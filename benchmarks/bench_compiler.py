@@ -1,0 +1,59 @@
+"""Benchmarks: the Ocelot toolchain itself.
+
+Times each pipeline stage on the largest benchmark sources -- useful to
+track the cost of the taint analysis and region inference as the repo
+evolves (the paper's compiler runs offline, so these are sanity budgets,
+not paper results).
+"""
+
+import pytest
+
+from repro.analysis.policies import build_policies
+from repro.analysis.taint import analyze_module
+from repro.apps import BENCHMARK_NAMES, BENCHMARKS
+from repro.core.inference import infer_atomic
+from repro.core.pipeline import compile_source
+from repro.ir.lowering import lower_program
+from repro.lang.parser import parse_program
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_full_pipeline(benchmark, name):
+    source = BENCHMARKS[name].source
+    compiled = benchmark(compile_source, source, "ocelot")
+    assert compiled.check.ok
+
+
+def test_parse_all(benchmark):
+    def parse_all():
+        return [parse_program(m.source) for m in BENCHMARKS.values()]
+
+    programs = benchmark(parse_all)
+    assert len(programs) == 6
+
+
+def test_lower_all(benchmark):
+    programs = {n: parse_program(m.source) for n, m in BENCHMARKS.items()}
+
+    def lower_all():
+        return [lower_program(p) for p in programs.values()]
+
+    modules = benchmark(lower_all)
+    assert len(modules) == 6
+
+
+def test_taint_analysis_tire(benchmark):
+    module = lower_program(parse_program(BENCHMARKS["tire"].source))
+    result = benchmark(analyze_module, module)
+    assert result.annot_inputs
+
+
+def test_region_inference_tire(benchmark):
+    def infer_fresh():
+        module = lower_program(parse_program(BENCHMARKS["tire"].source))
+        taint = analyze_module(module)
+        policies = build_policies(taint)
+        return infer_atomic(module, policies)
+
+    pm, regions = benchmark(infer_fresh)
+    assert regions

@@ -1,0 +1,56 @@
+"""Benchmark: regenerate Figure 7 (continuous runtimes, JIT/Atomics/Ocelot).
+
+One timed case per benchmark application: running all three builds on
+continuous power and checking the paper's shape (Ocelot near JIT; CEM's
+Atomics-only blowup; Tire's Atomics-only not slower than Ocelot).
+"""
+
+import pytest
+
+from repro.apps import BENCHMARK_NAMES, BENCHMARKS
+from repro.eval.report import geometric_mean
+from repro.runtime.harness import run_activations
+from repro.runtime.supply import ContinuousPower
+
+ACTIVATIONS = 12
+
+
+def measure_app(builds, name):
+    meta = BENCHMARKS[name]
+    costs = meta.cost_model()
+    cycles = {}
+    for config, compiled in builds[name].items():
+        result = run_activations(
+            compiled,
+            meta.env_factory(0),
+            ContinuousPower(),
+            budget_cycles=10**12,
+            costs=costs,
+            max_activations=ACTIVATIONS,
+        )
+        cycles[config] = result.total_cycles_on / len(result.records)
+    return cycles
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_figure7_app(benchmark, builds, name):
+    cycles = benchmark(measure_app, builds, name)
+    ocelot = cycles["ocelot"] / cycles["jit"]
+    atomics = cycles["atomics"] / cycles["jit"]
+    assert 0.97 <= ocelot <= 1.35, f"{name}: ocelot {ocelot:.3f}"
+    if name == "cem":
+        assert atomics > 1.8, f"cem atomics {atomics:.3f}"
+    if name == "tire":
+        assert atomics <= ocelot + 0.02, f"tire {atomics:.3f} vs {ocelot:.3f}"
+
+
+def test_figure7_gmean(benchmark, builds):
+    def measure_all():
+        return {name: measure_app(builds, name) for name in BENCHMARK_NAMES}
+
+    rows = benchmark(measure_all)
+    gmean = geometric_mean(
+        [rows[n]["ocelot"] / rows[n]["jit"] for n in BENCHMARK_NAMES]
+    )
+    # Paper: "Ocelot has a mean 7% runtime increase".
+    assert gmean < 1.12, f"ocelot gmean {gmean:.3f}"

@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Figure 8 (intermittent runtimes, on + charging).
+
+Runs each application on the standard harvesting profile and checks the
+dominant-charging-time shape of the paper's stacked bars.
+"""
+
+import pytest
+
+from repro.apps import BENCHMARK_NAMES, BENCHMARKS
+from repro.eval.profiles import STANDARD_PROFILE
+from repro.runtime.harness import run_activations
+
+BUDGET = 120_000
+
+
+def measure_app(builds, name):
+    meta = BENCHMARKS[name]
+    costs = meta.cost_model()
+    outcome = {}
+    for config, compiled in builds[name].items():
+        supply = STANDARD_PROFILE.make_supply(seed=11)
+        result = run_activations(
+            compiled,
+            meta.env_factory(0),
+            supply,
+            budget_cycles=BUDGET,
+            costs=costs,
+        )
+        completed = [r for r in result.records if r.completed]
+        outcome[config] = (
+            sum(r.cycles_on for r in completed) / max(1, len(completed)),
+            sum(r.cycles_off for r in completed) / max(1, len(completed)),
+        )
+    return outcome
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_figure8_app(benchmark, builds, name):
+    outcome = benchmark(measure_app, builds, name)
+    for config, (on, off) in outcome.items():
+        assert on > 0, (name, config)
+        # Charging dominates the total runtime (the grey stacks).
+        assert off > on, (name, config)

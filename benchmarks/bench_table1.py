@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 1 (benchmark characteristics)."""
+
+from repro.eval.table1 import table1
+
+
+def test_table1(benchmark):
+    table = benchmark(table1)
+    assert len(table.rows) == 6
+    apps = {row[0] for row in table.rows}
+    assert apps == {"activity", "cem", "greenhouse", "photo", "send_photo", "tire"}

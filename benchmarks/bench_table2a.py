@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Table 2a (pathological power-failure points).
+
+For each application, inject a power failure at every detector check site
+and count violating runs: the paper's headline 0% (Ocelot) vs 100% (JIT).
+"""
+
+import pytest
+
+from repro.apps import BENCHMARK_NAMES, BENCHMARKS
+from repro.runtime.harness import run_once
+from repro.runtime.supply import FailurePoint, ScheduledFailures
+
+
+def inject_all_points(builds, name, config):
+    meta = BENCHMARKS[name]
+    compiled = builds[name][config]
+    plan = compiled.detector_plan()
+    costs = meta.cost_model()
+    violating = fired = 0
+    for site in sorted(plan.checks):
+        supply = ScheduledFailures([FailurePoint(chain=site)], off_cycles=20_000)
+        result = run_once(
+            compiled, meta.env_factory(0), supply, costs=costs, plan=plan
+        )
+        assert result.stats.completed
+        if not supply.all_fired:
+            continue
+        fired += 1
+        if result.stats.violations:
+            violating += 1
+    return violating, fired
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_table2a_jit_always_violates(benchmark, builds, name):
+    violating, fired = benchmark(inject_all_points, builds, name, "jit")
+    assert fired > 0
+    assert violating == fired, f"{name}: {violating}/{fired}"
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_table2a_ocelot_never_violates(benchmark, builds, name):
+    violating, fired = benchmark(inject_all_points, builds, name, "ocelot")
+    assert violating == 0, f"{name}: {violating}/{fired}"

@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Table 2b (% violating on intermittent power).
+
+Each application loops on harvested energy for a fixed logical-time
+budget; the JIT build's violation rates follow the paper's ordering
+(Photo highest, CEM ~zero) while Ocelot stays at 0%.
+"""
+
+import pytest
+
+from repro.apps import BENCHMARK_NAMES, BENCHMARKS
+from repro.eval.profiles import STANDARD_PROFILE
+from repro.runtime.harness import run_activations
+
+BUDGET = 150_000
+
+
+def measure(builds, name, config, seed=5):
+    meta = BENCHMARKS[name]
+    supply = STANDARD_PROFILE.make_supply(seed=seed)
+    outcome = run_activations(
+        builds[name][config],
+        meta.env_factory(0),
+        supply,
+        budget_cycles=BUDGET,
+        costs=meta.cost_model(),
+    )
+    return outcome.violation_rate, outcome.completed_runs
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_table2b_ocelot_clean(benchmark, builds, name):
+    rate, runs = benchmark(measure, builds, name, "ocelot")
+    assert runs > 0
+    assert rate == 0.0, f"{name}: {rate:.0%} over {runs} runs"
+
+
+def test_table2b_jit_ordering(benchmark, builds):
+    def measure_all():
+        return {
+            name: measure(builds, name, "jit")[0] for name in BENCHMARK_NAMES
+        }
+
+    rates = benchmark(measure_all)
+    assert rates["cem"] <= 0.05
+    assert rates["photo"] > 0.2
+    assert rates["photo"] >= rates["greenhouse"]
+    assert rates["photo"] >= rates["tire"]

@@ -1,0 +1,39 @@
+"""Benchmarks: regenerate Tables 3 and 4 (strategy and effort models)."""
+
+from repro.apps import BENCHMARKS
+from repro.baselines.effort import ocelot_effort, samoyed_effort, tics_effort
+from repro.eval.table3 import table3
+from repro.eval.table4 import measure_table4, table4
+
+
+def test_table3(benchmark):
+    table = benchmark(table3)
+    assert [row[0] for row in table.rows] == [
+        "Ocelot", "JIT", "Atomics", "TICS", "Samoyed",
+    ]
+
+
+def test_table4(benchmark):
+    rows = benchmark(measure_table4)
+    by_app = {row.app: row for row in rows}
+    # Exact paper matches for five of six apps (send_photo documented).
+    for app in ("activity", "cem", "greenhouse", "photo", "tire"):
+        assert by_app[app].ours == by_app[app].paper, app
+    # Ocelot never worse than TICS anywhere.
+    for row in rows:
+        assert row.ours["ocelot"] <= row.ours["tics"]
+
+
+def test_table4_renders(benchmark):
+    table = benchmark(table4)
+    assert len(table.rows) == 6
+
+
+def test_effort_models_tire(benchmark):
+    meta = BENCHMARKS["tire"]
+
+    def model_all():
+        return ocelot_effort(meta), tics_effort(meta), samoyed_effort(meta)
+
+    ocelot, tics, samoyed = benchmark(model_all)
+    assert (ocelot, tics, samoyed) == (9, 32, 24)

@@ -1,0 +1,23 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures; the
+timed body is the actual experiment, and shape assertions run on the
+result afterwards.  Budgets are reduced relative to ``python -m
+repro.eval`` so the whole suite stays interactive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import BENCHMARKS
+from repro.core.pipeline import CONFIGS, compile_source
+
+
+@pytest.fixture(scope="session")
+def builds():
+    """All six apps compiled in all three configurations, shared."""
+    return {
+        name: {cfg: compile_source(meta.source, cfg) for cfg in CONFIGS}
+        for name, meta in BENCHMARKS.items()
+    }

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Checker mode (Section 8): validating manually placed atomic regions.
+
+Programmers who already placed atomic regions -- e.g. ported Samoyed code
+-- can use Ocelot's analysis as a *checker*: annotate the timing
+constraints, and the Section 5.2 judgments verify that the existing
+regions enforce them, without inserting anything.
+
+The script shows three scenarios:
+
+1. a correct manual placement (one region covers the consistent pair),
+2. a subtly wrong one (the pair split across two regions -- memory is
+   perfectly consistent, but the timing property silently breaks),
+3. mixed mode: keeping the programmer's regions and letting Ocelot add
+   only what is missing (the paper's "using added regions and Ocelot
+   together").
+
+Run with::
+
+    python examples/checker_mode.py
+"""
+
+from repro.analysis.policies import build_policies
+from repro.analysis.taint import analyze_module
+from repro.core.checker import check_atomic_regions
+from repro.core.pipeline import compile_source
+from repro.ir import print_module
+from repro.ir.lowering import lower_program
+from repro.lang import parse_program
+
+GOOD = """\
+inputs pres, hum;
+
+fn main() {
+  atomic {
+    let consistent(1) y = input(pres);
+    let consistent(1) z = input(hum);
+  }
+  log(y, z);
+}
+"""
+
+BAD = """\
+inputs pres, hum;
+
+fn main() {
+  atomic {
+    let consistent(1) y = input(pres);
+  }
+  atomic {
+    let consistent(1) z = input(hum);
+  }
+  log(y, z);
+}
+"""
+
+
+def check_manual(source: str) -> None:
+    """Run only the region-placement judgment on programmer regions."""
+    module = lower_program(parse_program(source))
+    taint = analyze_module(module)
+    policies = build_policies(taint)
+    report = check_atomic_regions(module, policies)
+    if report.ok:
+        print("  PASS: every policy is enclosed in one atomic extent")
+        for pid, extent in report.policy_extents.items():
+            print(f"    {pid}: enforced by region opened at {extent[1]}")
+    else:
+        print("  FAIL:")
+        for failure in report.failures:
+            print(f"    {failure}")
+
+
+def main() -> None:
+    print("--- 1. correct manual placement " + "-" * 37)
+    print(GOOD)
+    check_manual(GOOD)
+
+    print()
+    print("--- 2. split consistent set " + "-" * 41)
+    print(BAD)
+    check_manual(BAD)
+    print()
+    print("  Memory stays consistent in both builds -- only the checker")
+    print("  notices that a power failure between the regions tears the")
+    print("  pair (no DINO/Alpaca-style system would flag this).")
+
+    print()
+    print("--- 3. mixed mode: Ocelot repairs the bad placement " + "-" * 17)
+    compiled = compile_source(BAD, "ocelot")
+    print(f"  checker after inference: {'PASS' if compiled.check.ok else 'FAIL'}")
+    inferred = [r for r in compiled.regions]
+    for region in inferred:
+        print(
+            f"  added region {region.region} for {region.pid} in "
+            f"{region.func} ({region.start_block}[{region.start_index}] .. "
+            f"{region.end_block}[{region.end_index}])"
+        )
+    print()
+    print("  The inferred region overlaps the programmer's two regions;")
+    print("  at runtime the markers flatten into one atomic extent, so")
+    print("  both the manual and the inferred atomicity are respected:")
+    print()
+    print(print_module(compiled.module))
+
+
+if __name__ == "__main__":
+    main()

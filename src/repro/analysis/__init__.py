@@ -1,0 +1,65 @@
+"""Static analyses: taint / input-dependence, summaries, and policies.
+
+The pipeline is ``analyze_module`` (Algorithm 2 taint analysis) followed by
+``build_policies`` (Section 5.1), feeding region inference in
+:mod:`repro.core`.
+"""
+
+from repro.analysis.policies import (
+    ConsistentPolicy,
+    FreshPolicy,
+    Policy,
+    PolicyDecls,
+    PolicyMap,
+    build_policies,
+    policy_channels,
+)
+from repro.analysis.provenance import Chain, Context, common_context, representative_op
+from repro.analysis.summaries import (
+    FromArg,
+    FromLocal,
+    FromPbr,
+    FromRet,
+    FunctionSummaries,
+    FunctionSummary,
+    InInfo,
+    TaintMap,
+    call_chain,
+)
+from repro.analysis.taint import (
+    Facts,
+    TaintAnalysis,
+    TaintResult,
+    analyze_module,
+    consistent_pid,
+    fresh_pid,
+)
+
+__all__ = [
+    "ConsistentPolicy",
+    "FreshPolicy",
+    "Policy",
+    "PolicyDecls",
+    "PolicyMap",
+    "build_policies",
+    "policy_channels",
+    "Chain",
+    "Context",
+    "common_context",
+    "representative_op",
+    "FromArg",
+    "FromLocal",
+    "FromPbr",
+    "FromRet",
+    "FunctionSummaries",
+    "FunctionSummary",
+    "InInfo",
+    "TaintMap",
+    "call_chain",
+    "Facts",
+    "TaintAnalysis",
+    "TaintResult",
+    "analyze_module",
+    "consistent_pid",
+    "fresh_pid",
+]

@@ -1,0 +1,156 @@
+"""Policy construction: annotations + taint facts -> policy declarations.
+
+Implements the ``buildPolicies`` step of Algorithm 1 / Section 5.1.  A
+*policy* records everything that must execute inside one atomic region:
+
+* ``fresh(decl, inputs, uses)`` -- the declaration site, the provenance
+  chains of every input operation the annotated variable depends on, and
+  every use of the variable (Figure 5);
+* ``consistent(decls, inputs)`` -- the declaration sites of every variable
+  in the consistent set and the provenance chains of their inputs.
+
+Policies are context-qualified throughout: each operation is a
+:class:`~repro.analysis.provenance.Chain`, so two calls to the same input
+function stay distinct (the Figure 6(b) situation).
+
+``PolicyDecls`` is the paper's ``PD``; ``PolicyMap`` is ``PM`` (atomic
+region id -> policies it enforces), filled in by region inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.provenance import Chain
+from repro.analysis.taint import TaintResult, consistent_pid, fresh_pid
+from repro.ir import instructions as ir
+from repro.lang import ast as lang_ast
+
+
+@dataclass
+class FreshPolicy:
+    """A freshness policy: one per static ``Fresh`` annotation."""
+
+    pid: str
+    decl: ir.InstrId  # the annotation instruction (policy declaration site)
+    decl_chains: set[Chain] = field(default_factory=set)
+    inputs: set[Chain] = field(default_factory=set)
+    uses: set[Chain] = field(default_factory=set)
+
+    @property
+    def kind(self) -> str:
+        return "fresh"
+
+    def ops(self) -> set[Chain]:
+        """Every context-qualified operation the region must contain."""
+        return self.decl_chains | self.inputs | self.uses
+
+    def is_trivial(self) -> bool:
+        """True when the variable depends on no inputs (vacuous freshness)."""
+        return not self.inputs
+
+
+@dataclass
+class ConsistentPolicy:
+    """A temporal-consistency policy: one per consistent-set id."""
+
+    pid: str
+    set_id: int
+    decls: set[ir.InstrId] = field(default_factory=set)
+    decl_chains: set[Chain] = field(default_factory=set)
+    inputs: set[Chain] = field(default_factory=set)
+    #: per member declaration: the inputs that member depends on (drives
+    #: the detector's ordered preceding-member checks, Section 7.3)
+    decl_inputs: dict[ir.InstrId, set[Chain]] = field(default_factory=dict)
+
+    @property
+    def kind(self) -> str:
+        return "consistent"
+
+    def ops(self) -> set[Chain]:
+        return self.decl_chains | self.inputs
+
+    def is_trivial(self) -> bool:
+        """A consistent set with at most one input has nothing to enforce --
+        but we still keep its region so the declaration's meaning is stable
+        under program evolution."""
+        return len(self.inputs) <= 1
+
+
+Policy = FreshPolicy | ConsistentPolicy
+
+
+@dataclass
+class PolicyDecls:
+    """``PD``: policy id -> policy."""
+
+    by_pid: dict[str, Policy] = field(default_factory=dict)
+
+    def fresh_policies(self) -> list[FreshPolicy]:
+        return [p for p in self.by_pid.values() if isinstance(p, FreshPolicy)]
+
+    def consistent_policies(self) -> list[ConsistentPolicy]:
+        return [p for p in self.by_pid.values() if isinstance(p, ConsistentPolicy)]
+
+    def all_policies(self) -> list[Policy]:
+        return list(self.by_pid.values())
+
+    def get(self, pid: str) -> Policy:
+        return self.by_pid[pid]
+
+    def __len__(self) -> int:
+        return len(self.by_pid)
+
+
+@dataclass
+class PolicyMap:
+    """``PM``: atomic region id -> policy ids the region enforces."""
+
+    by_region: dict[str, list[str]] = field(default_factory=dict)
+
+    def assign(self, region: str, pid: str) -> None:
+        self.by_region.setdefault(region, []).append(pid)
+
+    def policies_of(self, region: str) -> list[str]:
+        return self.by_region.get(region, [])
+
+    def region_of(self, pid: str) -> str | None:
+        for region, pids in self.by_region.items():
+            if pid in pids:
+                return region
+        return None
+
+
+def build_policies(taint: TaintResult) -> PolicyDecls:
+    """Construct ``PD`` from the taint analysis of an annotated module."""
+    decls = PolicyDecls()
+    for annot in taint.module.annot_instrs():
+        chains = taint.annot_chains.get(annot.uid, set())
+        inputs = taint.annot_inputs.get(annot.uid, set())
+        if annot.kind == lang_ast.AnnotKind.FRESH:
+            pid = fresh_pid(annot.uid)
+            policy = FreshPolicy(pid=pid, decl=annot.uid)
+            policy.decl_chains = set(chains)
+            policy.inputs = set(inputs)
+            policy.uses = set(taint.uses.get(pid, set()))
+            decls.by_pid[pid] = policy
+        else:
+            if annot.set_id is None:
+                raise ValueError(f"consistent annotation {annot.uid} has no set id")
+            pid = consistent_pid(annot.set_id)
+            existing = decls.by_pid.get(pid)
+            if existing is None:
+                existing = ConsistentPolicy(pid=pid, set_id=annot.set_id)
+                decls.by_pid[pid] = existing
+            assert isinstance(existing, ConsistentPolicy)
+            existing.decls.add(annot.uid)
+            existing.decl_chains.update(chains)
+            existing.inputs.update(inputs)
+            existing.decl_inputs.setdefault(annot.uid, set()).update(inputs)
+    return decls
+
+
+def policy_channels(taint: TaintResult, policy: Policy) -> list[str]:
+    """Sensor channels feeding a policy, in deterministic order."""
+    channels = {taint.channel_of(chain) for chain in policy.inputs}
+    return sorted(channels)

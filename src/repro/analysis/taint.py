@@ -1,0 +1,546 @@
+"""Interprocedural, context-sensitive input taint analysis (Algorithm 2).
+
+The analysis walks the call tree from ``main`` (call paths are finite: the
+language forbids recursion) and computes, flow-sensitively per calling
+context, two kinds of facts for every variable:
+
+* **input provenance** (``provs``): the set of provenance chains of input
+  operations the value depends on, through data flow *and* control flow
+  ("it inserts any definitions that are data or control dependent on iOp
+  into the taint map", Appendix I); and
+* **policy tags** (``tags``): identity tags injected at ``Fresh``
+  annotations and propagated only through value-preserving moves
+  (parameter binding, bare-variable copies, returns of a bare variable).
+  An instruction reading a tagged value -- or control-dependent on a
+  branch that does -- is a *use* of that policy, matching the paper's use
+  set ``[let x, if x, alarm]`` for ``Fresh(x); if x < 5 { alarm(); }``
+  (Figure 3): direct readers plus the control-dependence closure, but not
+  arbitrary data descendants (re-deriving a value ends the freshness
+  obligation, which is why CEM's inferred region stays small, Section 7.2).
+
+Rust's ownership discipline is what makes this precise in the paper; our
+modeling language enforces the same discipline (singleton may-alias sets,
+no mutable globals aliasing), so no conservative pointer blow-up occurs.
+
+Outputs:
+
+* per-annotation input provenance (feeding policy construction),
+* per-policy use chains,
+* function summaries in the Figure 5 shape (:mod:`repro.analysis.summaries`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.provenance import Chain, Context
+from repro.analysis.summaries import (
+    SINK_RET,
+    FromArg,
+    FromLocal,
+    FromPbr,
+    FromRet,
+    FromTp,
+    FunctionSummaries,
+    InInfo,
+    sink_ref,
+)
+from repro.ir import instructions as ir
+from repro.ir.dominators import control_dependence
+from repro.ir.module import IRFunction, Module
+from repro.lang import ast as lang_ast
+
+# -- facts ----------------------------------------------------------------------
+
+Provs = frozenset[Chain]
+Tags = frozenset[str]
+
+EMPTY_PROVS: Provs = frozenset()
+EMPTY_TAGS: Tags = frozenset()
+
+
+@dataclass(frozen=True)
+class Facts:
+    """What a value carries: input provenance chains and policy tags."""
+
+    provs: Provs = EMPTY_PROVS
+    tags: Tags = EMPTY_TAGS
+
+    def merge(self, other: "Facts") -> "Facts":
+        if not other.provs and not other.tags:
+            return self
+        if not self.provs and not self.tags:
+            return other
+        return Facts(self.provs | other.provs, self.tags | other.tags)
+
+    def __bool__(self) -> bool:
+        return bool(self.provs or self.tags)
+
+
+EMPTY_FACTS = Facts()
+
+
+def fresh_pid(uid: ir.InstrId) -> str:
+    """Policy id for a ``Fresh`` annotation instruction."""
+    return f"fresh@{uid.func}:{uid.label}"
+
+
+def consistent_pid(set_id: int) -> str:
+    """Policy id for a consistent set."""
+    return f"consistent#{set_id}"
+
+
+@dataclass
+class CallOutcome:
+    """Taint flowing out of one analyzed call."""
+
+    ret: Facts = EMPTY_FACTS
+    ref_out: dict[str, Facts] = field(default_factory=dict)
+
+
+@dataclass
+class TaintResult:
+    """Everything downstream passes need from the analysis."""
+
+    module: Module
+    summaries: FunctionSummaries
+    #: static AnnotInstr uid -> union of input provenance over all contexts
+    annot_inputs: dict[ir.InstrId, set[Chain]]
+    #: static AnnotInstr uid -> the annotation's own context-qualified chains
+    annot_chains: dict[ir.InstrId, set[Chain]]
+    #: policy id -> use chains (fresh policies only)
+    uses: dict[str, set[Chain]]
+
+    def channel_of(self, chain: Chain) -> str:
+        instr = self.module.instr(chain.op)
+        if not isinstance(instr, ir.InputInstr):
+            raise ValueError(f"{chain} does not end at an input operation")
+        return instr.channel
+
+
+class TaintAnalysis:
+    """Whole-program analysis; run once per module via :func:`analyze_module`."""
+
+    def __init__(self, module: Module):
+        self._module = module
+        self._cd: dict[str, dict[str, set[str]]] = {
+            name: control_dependence(func) for name, func in module.functions.items()
+        }
+        # Monotone accumulators (survive outer fixpoint rounds).
+        self._global_facts: dict[str, Facts] = {}
+        self._branch_facts: dict[tuple[Context, ir.InstrId], Facts] = {}
+        self._uses: dict[str, set[Chain]] = {}
+        self._annot_inputs: dict[ir.InstrId, set[Chain]] = {}
+        self._annot_chains: dict[ir.InstrId, set[Chain]] = {}
+        self._summaries = FunctionSummaries()
+        #: (context, chain) -> ('ret'|'pbr', hop uid): how a subtree chain
+        #: surfaced in the context's function; used for fromTp derivation.
+        self._hop_kind: dict[tuple[Context, Chain], tuple[str, ir.InstrId]] = {}
+        self._memo: dict = {}
+
+    # -- entry point --------------------------------------------------------------
+
+    def run(self) -> TaintResult:
+        previous = -1
+        for _ in range(64):  # outer fixpoint over global-memory taint
+            self._memo.clear()
+            self._analyze_call(context=(), func_name=self._module.entry, bindings={})
+            size = self._state_size()
+            if size == previous:
+                break
+            previous = size
+        else:  # pragma: no cover - would need a pathological program
+            raise RuntimeError("taint analysis failed to converge")
+        return TaintResult(
+            module=self._module,
+            summaries=self._summaries,
+            annot_inputs=self._annot_inputs,
+            annot_chains=self._annot_chains,
+            uses=self._uses,
+        )
+
+    def _state_size(self) -> int:
+        total = sum(len(f.provs) + len(f.tags) for f in self._global_facts.values())
+        total += sum(len(f.provs) + len(f.tags) for f in self._branch_facts.values())
+        total += sum(len(s) for s in self._uses.values())
+        total += sum(len(s) for s in self._annot_inputs.values())
+        total += sum(len(s) for s in self._annot_chains.values())
+        total += len(self._summaries.all_entries())
+        return total
+
+    # -- per-call analysis -----------------------------------------------------------
+
+    def _analyze_call(
+        self,
+        context: Context,
+        func_name: str,
+        bindings: dict[str, Facts],
+    ) -> CallOutcome:
+        memo_key = (
+            context,
+            func_name,
+            tuple(sorted((k, v.provs, v.tags) for k, v in bindings.items())),
+        )
+        if memo_key in self._memo:
+            return self._memo[memo_key]
+
+        func = self._module.function(func_name)
+        analyzer = _FunctionFlow(self, func, context, bindings)
+        outcome = analyzer.run()
+        self._memo[memo_key] = outcome
+        return outcome
+
+    # -- shared recording hooks ---------------------------------------------------------
+
+    def record_use(self, tags: Tags, chain: Chain) -> None:
+        for tag in tags:
+            self._uses.setdefault(tag, set()).add(chain)
+
+    def record_annot(self, uid: ir.InstrId, chain: Chain, provs: Provs) -> None:
+        self._annot_inputs.setdefault(uid, set()).update(provs)
+        self._annot_chains.setdefault(uid, set()).add(chain)
+
+    def record_branch(self, context: Context, uid: ir.InstrId, facts: Facts) -> None:
+        key = (context, uid)
+        self._branch_facts[key] = self._branch_facts.get(key, EMPTY_FACTS).merge(facts)
+
+    def branch_facts(self, context: Context, uid: ir.InstrId) -> Facts:
+        return self._branch_facts.get((context, uid), EMPTY_FACTS)
+
+    def global_facts(self, name: str) -> Facts:
+        return self._global_facts.get(name, EMPTY_FACTS)
+
+    def merge_global(self, name: str, facts: Facts) -> None:
+        # Stored values lose identity tags (re-deriving through memory ends
+        # the freshness obligation; see the module docstring).
+        stripped = Facts(provs=facts.provs)
+        self._global_facts[name] = self._global_facts.get(
+            name, EMPTY_FACTS
+        ).merge(stripped)
+
+    def derive_fromtp(self, context: Context, chain: Chain) -> FromTp:
+        """How ``chain``'s taint surfaced in ``context``'s function (Figure 5)."""
+        if chain.extends(context):
+            if len(chain) == len(context) + 1:
+                return FromLocal(chain.op.label)
+            hop = chain.ids[len(context)]
+            kind, _ = self._hop_kind.get((context, chain), ("ret", hop))
+            return FromPbr(hop) if kind == "pbr" else FromRet(hop)
+        if context:
+            return FromArg(context[-1])
+        return FromLocal(chain.op.label)
+
+    def record_hop(
+        self, context: Context, chain: Chain, kind: str, site: ir.InstrId
+    ) -> None:
+        self._hop_kind.setdefault((context, chain), (kind, site))
+
+    @property
+    def module(self) -> Module:
+        return self._module
+
+    @property
+    def summaries(self) -> FunctionSummaries:
+        return self._summaries
+
+
+class _FunctionFlow:
+    """Flow-sensitive fixpoint over one function in one calling context."""
+
+    def __init__(
+        self,
+        owner: TaintAnalysis,
+        func: IRFunction,
+        context: Context,
+        bindings: dict[str, Facts],
+    ):
+        self._owner = owner
+        self._func = func
+        self._context = context
+        self._bindings = bindings
+        self._module = owner.module
+        self._cd = owner._cd[func.name]
+        self._in_states: dict[str, dict[str, Facts]] = {}
+        self._ret_facts = EMPTY_FACTS
+        self._ref_out: dict[str, Facts] = {}
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _control_facts(self, block: str) -> Facts:
+        facts = EMPTY_FACTS
+        for controller in self._cd.get(block, ()):
+            term = self._func.blocks[controller].terminator
+            if term is not None:
+                facts = facts.merge(self._owner.branch_facts(self._context, term.uid))
+        return facts
+
+    def _lookup(self, env: dict[str, Facts], name: str) -> Facts:
+        if name in self._func.locals or name in {p.name for p in self._func.params}:
+            return env.get(name, EMPTY_FACTS)
+        return self._owner.global_facts(name)
+
+    def _expr_facts(self, env: dict[str, Facts], expr: lang_ast.Expr) -> Facts:
+        facts = EMPTY_FACTS
+        for sub in lang_ast.walk_exprs(expr):
+            if isinstance(sub, (lang_ast.Var, lang_ast.Ref)):
+                facts = facts.merge(self._lookup(env, sub.name))
+            elif isinstance(sub, lang_ast.Index):
+                facts = facts.merge(self._owner.global_facts(sub.array))
+        return facts
+
+    @staticmethod
+    def _move_tags(env_facts: Facts, expr: lang_ast.Expr) -> Tags:
+        """Tags survive only a bare-variable move (Rust value identity)."""
+        if isinstance(expr, lang_ast.Var):
+            return env_facts.tags
+        return EMPTY_TAGS
+
+    def _read_facts(self, env: dict[str, Facts], instr: ir.Instr, block: str) -> Facts:
+        facts = self._control_facts(block)
+        for expr in instr.used_exprs():
+            facts = facts.merge(self._expr_facts(env, expr))
+        if isinstance(instr, ir.CallInstr):
+            for name in instr.ref_args():
+                facts = facts.merge(self._lookup(env, name))
+        if isinstance(instr, ir.StoreRefInstr):
+            pass  # the stored expression is already in used_exprs
+        return facts
+
+    def _chain_here(self, uid: ir.InstrId) -> Chain:
+        return Chain.of(self._context, uid)
+
+    # -- driver -----------------------------------------------------------------------
+
+    def run(self) -> CallOutcome:
+        entry_env: dict[str, Facts] = dict(self._bindings)
+        self._in_states[self._func.entry] = entry_env
+
+        changed = True
+        rounds = 0
+        order = list(self._func.blocks)
+        while changed:
+            rounds += 1
+            if rounds > 200:  # pragma: no cover
+                raise RuntimeError(f"taint fixpoint diverged in {self._func.name}")
+            changed = False
+            before = self._snapshot()
+            for block_name in order:
+                if block_name not in self._in_states:
+                    continue
+                env = dict(self._in_states[block_name])
+                block = self._func.blocks[block_name]
+                for instr in block.instrs:
+                    self._transfer(env, instr, block_name)
+                if block.terminator is not None:
+                    self._transfer_terminator(env, block.terminator, block_name)
+                for succ in block.successors():
+                    if self._merge_into(succ, env):
+                        changed = True
+            if self._snapshot() != before:
+                changed = True
+        return CallOutcome(ret=self._ret_facts, ref_out=dict(self._ref_out))
+
+    def _snapshot(self) -> tuple:
+        env_size = tuple(
+            sorted(
+                (name, len(env), sum(len(f.provs) + len(f.tags) for f in env.values()))
+                for name, env in self._in_states.items()
+            )
+        )
+        ret = (len(self._ret_facts.provs), len(self._ret_facts.tags))
+        ref = tuple(
+            sorted(
+                (p, len(f.provs), len(f.tags)) for p, f in self._ref_out.items()
+            )
+        )
+        return env_size, ret, ref
+
+    def _merge_into(self, block: str, env: dict[str, Facts]) -> bool:
+        if block not in self._in_states:
+            self._in_states[block] = dict(env)
+            return True
+        target = self._in_states[block]
+        changed = False
+        for name, facts in env.items():
+            merged = target.get(name, EMPTY_FACTS).merge(facts)
+            if merged != target.get(name, EMPTY_FACTS):
+                target[name] = merged
+                changed = True
+        return changed
+
+    # -- transfer functions ---------------------------------------------------------------
+
+    def _transfer(self, env: dict[str, Facts], instr: ir.Instr, block: str) -> None:
+        reads = self._read_facts(env, instr, block)
+        if reads.tags and not isinstance(instr, ir.AnnotInstr):
+            self._owner.record_use(reads.tags, self._chain_here(instr.uid))
+
+        if isinstance(instr, ir.InputInstr):
+            chain = self._chain_here(instr.uid)
+            env[instr.dest] = Facts(provs=frozenset({chain}))
+        elif isinstance(instr, ir.Assign):
+            value = self._expr_facts(env, instr.expr)
+            control = self._control_facts(block)
+            tags = self._move_tags(
+                self._lookup(env, instr.expr.name)
+                if isinstance(instr.expr, lang_ast.Var)
+                else EMPTY_FACTS,
+                instr.expr,
+            )
+            result = Facts(provs=value.provs | control.provs, tags=tags)
+            if instr.scope == ir.SCOPE_GLOBAL:
+                self._owner.merge_global(instr.dest, result)
+            else:
+                env[instr.dest] = result
+        elif isinstance(instr, ir.StoreArr):
+            value = self._expr_facts(env, instr.expr)
+            index = self._expr_facts(env, instr.index)
+            control = self._control_facts(block)
+            self._owner.merge_global(
+                instr.array,
+                Facts(provs=value.provs | index.provs | control.provs),
+            )
+        elif isinstance(instr, ir.StoreRefInstr):
+            value = self._expr_facts(env, instr.expr)
+            control = self._control_facts(block)
+            tags = self._move_tags(
+                self._lookup(env, instr.expr.name)
+                if isinstance(instr.expr, lang_ast.Var)
+                else EMPTY_FACTS,
+                instr.expr,
+            )
+            result = Facts(provs=value.provs | control.provs, tags=tags)
+            env[instr.param] = result
+            self._ref_out[instr.param] = self._ref_out.get(
+                instr.param, EMPTY_FACTS
+            ).merge(result)
+        elif isinstance(instr, ir.CallInstr):
+            self._transfer_call(env, instr, block)
+        elif isinstance(instr, ir.AnnotInstr):
+            var_facts = self._lookup(env, instr.var)
+            chain = self._chain_here(instr.uid)
+            self._owner.record_annot(instr.uid, chain, var_facts.provs)
+            if instr.kind == lang_ast.AnnotKind.FRESH:
+                pid = fresh_pid(instr.uid)
+                env[instr.var] = Facts(
+                    provs=var_facts.provs, tags=var_facts.tags | {pid}
+                )
+        # Output, work, skip, atomic markers: reads recorded above, no defs.
+
+    def _transfer_call(
+        self, env: dict[str, Facts], instr: ir.CallInstr, block: str
+    ) -> None:
+        if instr.func not in self._module.functions:
+            return
+        callee = self._module.function(instr.func)
+        site_chain = self._context + (instr.uid,)
+        bindings: dict[str, Facts] = {}
+        incoming: list[tuple[str, Facts]] = []  # (sink, facts) for summaries
+        for param, arg in zip(callee.params, instr.args):
+            if isinstance(arg, ir.RefArg):
+                facts = self._lookup(env, arg.name)
+                bindings[param.name] = facts
+                if facts.provs:
+                    incoming.append((sink_ref(param.name), facts))
+            else:
+                value = self._expr_facts(env, arg)
+                tags = self._move_tags(
+                    self._lookup(env, arg.name)
+                    if isinstance(arg, lang_ast.Var)
+                    else EMPTY_FACTS,
+                    arg,
+                )
+                facts = Facts(provs=value.provs, tags=tags)
+                bindings[param.name] = facts
+                if facts.provs:
+                    incoming.append((param.name, facts))
+
+        outcome = self._owner._analyze_call(site_chain, instr.func, bindings)
+
+        # -- summary rows (Figure 5) -------------------------------------------------
+        summary = self._owner.summaries.of(instr.func)
+        for sink, facts in incoming:
+            for chain in facts.provs:
+                summary.caller(instr.uid).add(
+                    sink,
+                    InInfo(
+                        input=chain.op,
+                        from_tp=self._owner.derive_fromtp(self._context, chain),
+                        chain=chain,
+                    ),
+                )
+        self._record_outflow(summary, instr.uid, SINK_RET, outcome.ret, site_chain)
+        for param, facts in outcome.ref_out.items():
+            self._record_outflow(
+                summary, instr.uid, sink_ref(param), facts, site_chain
+            )
+
+        # -- effect on the caller state ------------------------------------------------
+        control = self._control_facts(block)
+        for chain in outcome.ret.provs:
+            if chain.extends(site_chain):
+                self._owner.record_hop(self._context, chain, "ret", instr.uid)
+        if instr.dest is not None:
+            env[instr.dest] = Facts(
+                provs=outcome.ret.provs | control.provs, tags=outcome.ret.tags
+            )
+        for param, arg in zip(callee.params, instr.args):
+            if isinstance(arg, ir.RefArg) and param.name in outcome.ref_out:
+                written = outcome.ref_out[param.name]
+                for chain in written.provs:
+                    if chain.extends(site_chain):
+                        self._owner.record_hop(
+                            self._context, chain, "pbr", instr.uid
+                        )
+                merged = Facts(
+                    provs=written.provs | control.provs, tags=written.tags
+                )
+                env[arg.name] = self._lookup(env, arg.name).merge(merged)
+
+    def _record_outflow(
+        self,
+        summary,
+        site: ir.InstrId,
+        sink: str,
+        facts: Facts,
+        site_chain: Context,
+    ) -> None:
+        for chain in facts.provs:
+            if chain.extends(site_chain):
+                # Generated within the callee's subtree: local summary.
+                hop_label = chain.ids[len(site_chain)].label
+                summary.local.add(
+                    sink,
+                    InInfo(input=chain.op, from_tp=FromLocal(hop_label), chain=chain),
+                )
+            else:
+                summary.caller(site).add(
+                    sink,
+                    InInfo(input=chain.op, from_tp=FromArg(site), chain=chain),
+                )
+
+    def _transfer_terminator(
+        self, env: dict[str, Facts], term: ir.Terminator, block: str
+    ) -> None:
+        reads = self._read_facts(env, term, block)
+        if reads.tags:
+            self._owner.record_use(reads.tags, self._chain_here(term.uid))
+        if isinstance(term, ir.Branch):
+            self._owner.record_branch(self._context, term.uid, reads)
+        elif isinstance(term, ir.RetInstr) and term.expr is not None:
+            value = self._expr_facts(env, term.expr)
+            control = self._control_facts(block)
+            tags = self._move_tags(
+                self._lookup(env, term.expr.name)
+                if isinstance(term.expr, lang_ast.Var)
+                else EMPTY_FACTS,
+                term.expr,
+            )
+            self._ret_facts = self._ret_facts.merge(
+                Facts(provs=value.provs | control.provs, tags=tags)
+            )
+
+
+def analyze_module(module: Module) -> TaintResult:
+    """Run the whole-program taint analysis on ``module``."""
+    return TaintAnalysis(module).run()

@@ -1,0 +1,12 @@
+"""The six benchmark applications (Section 7.1, Table 1)."""
+
+from repro.apps.meta import BenchmarkMeta, SamoyedShape
+from repro.apps.registry import BENCHMARK_NAMES, BENCHMARKS, get_benchmark
+
+__all__ = [
+    "BenchmarkMeta",
+    "SamoyedShape",
+    "BENCHMARK_NAMES",
+    "BENCHMARKS",
+    "get_benchmark",
+]

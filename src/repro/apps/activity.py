@@ -1,0 +1,147 @@
+"""Activity -- accelerometer activity recognition (from the TICS artifact).
+
+The application samples a small window of accelerometer readings, extracts
+features (mean magnitude and jitter), classifies the window against
+nearest-centroid models (stationary / walking / shaking), and accumulates
+per-class nonvolatile counters that are logged periodically.
+
+Timing constraints (Table 1: ``Con, Fresh``):
+
+* the three window samples must be **temporally consistent** -- a window
+  assembled across a power failure mixes two different motion episodes and
+  classifies garbage;
+* the classified feature must be **fresh** when the class counters are
+  updated -- counting a minutes-old window as current activity is wrong.
+"""
+
+from __future__ import annotations
+
+from repro.apps.meta import BenchmarkMeta, SamoyedShape
+from repro.sensors.environment import Environment, burst
+
+SOURCE = """\
+// Activity recognition on a single accelerometer channel (TICS).
+inputs accel;
+
+nonvolatile stationary_count = 0;
+nonvolatile walking_count = 0;
+nonvolatile shaking_count = 0;
+nonvolatile windows_seen = 0;
+
+// Read one accelerometer sample (magnitude, already rectified).
+fn read_accel() {
+  let raw = input(accel);
+  let clipped = min(raw, 4000);
+  return clipped;
+}
+
+// Mean of the three window samples.
+fn window_mean(a, b, c) {
+  let sum = a + b + c;
+  return sum / 3;
+}
+
+// Total absolute deviation from the mean: a cheap jitter feature.
+fn window_jitter(a, b, c, m) {
+  let da = abs(a - m);
+  let db = abs(b - m);
+  let dc = abs(c - m);
+  return da + db + dc;
+}
+
+// Nearest-centroid classifier over (mean, jitter).
+//   class 0: stationary   (low mean, low jitter)
+//   class 1: walking      (mid mean, mid jitter)
+//   class 2: shaking      (high mean or high jitter)
+fn classify(m, j) {
+  let d0 = abs(m - 80) + abs(j - 10);
+  let d1 = abs(m - 600) + abs(j - 120);
+  let d2 = abs(m - 1800) + abs(j - 500);
+  let best = 0;
+  let bestd = d0;
+  if d1 < bestd {
+    best = 1;
+    bestd = d1;
+  }
+  if d2 < bestd {
+    best = 2;
+    bestd = d2;
+  }
+  return best;
+}
+
+fn update_counts(cls) {
+  if cls == 0 {
+    stationary_count = stationary_count + 1;
+  } else {
+    if cls == 1 {
+      walking_count = walking_count + 1;
+    } else {
+      shaking_count = shaking_count + 1;
+    }
+  }
+}
+
+fn main() {
+  // --- sample one consistent window of three readings -------------------
+  let consistent(1) w0 = read_accel();
+  work(120);                      // sensor settle between samples
+  let consistent(1) w1 = read_accel();
+  work(120);
+  let consistent(1) w2 = read_accel();
+
+  // --- feature extraction ------------------------------------------------
+  let m = window_mean(w0, w1, w2);
+  let j = window_jitter(w0, w1, w2, m);
+  work(260);                      // filter arithmetic the model abstracts
+
+  // --- classification: the class must be acted on while fresh ------------
+  let cls = classify(m, j);
+  Fresh(cls);
+  update_counts(cls);
+  if cls == 2 {
+    alarm();                      // shake alarm must reflect *current* motion
+  }
+
+  // --- bookkeeping and periodic reporting --------------------------------
+  windows_seen = windows_seen + 1;
+  work(420);                      // model update / smoothing
+  if windows_seen % 8 == 0 {
+    log(stationary_count, walking_count, shaking_count);
+  }
+}
+"""
+
+
+def make_env(seed: int = 0) -> Environment:
+    """Motion episodes: mostly stationary, periodic walking/shaking bursts."""
+    return Environment(
+        {
+            "accel": burst(
+                base=70 + (seed % 7),
+                spike=1900,
+                period=9000 + 37 * (seed % 11),
+                width=2600,
+                offset=131 * seed,
+            )
+        }
+    )
+
+
+META = BenchmarkMeta(
+    name="activity",
+    origin="TICS",
+    sensors=["Accel*"],
+    constraints="Con, Fresh",
+    paper_loc=470,
+    input_sites=1,
+    fresh_lines=1,
+    consistent_lines=3,
+    freshcon_lines=0,
+    consistent_sets=1,
+    samoyed=SamoyedShape(atomic_fns=2, params=4, loop_fns=1),
+    paper_effort={"ocelot": 5, "tics": 20, "samoyed": 18},
+    input_costs={"accel": 80},
+    source=SOURCE,
+    env_factory=make_env,
+)

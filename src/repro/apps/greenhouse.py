@@ -1,0 +1,109 @@
+"""Greenhouse -- humidity/temperature monitor (from the TICS artifact).
+
+The application assembles one *consistent* reading triple -- two humidity
+samples (for a gradient estimate) plus the air temperature -- computes a
+vapor-pressure-deficit-style comfort metric, and decides whether to vent,
+mist, or do nothing.  A second, unannotated temperature reading feeds a
+slow-moving daily statistics log.
+
+Timing constraint (Table 1: ``Con``): the triple must come from one point
+in time.  Figure 2's storm-logging bug is exactly this app's failure mode:
+humidity from before a power failure combined with temperature from after
+it reports weather no continuous execution could have seen.
+"""
+
+from __future__ import annotations
+
+from repro.apps.meta import BenchmarkMeta, SamoyedShape
+from repro.sensors.environment import Environment, sine, steps
+
+SOURCE = """\
+// Greenhouse climate monitor (TICS).
+inputs hum, temp;
+
+nonvolatile vent_events = 0;
+nonvolatile mist_events = 0;
+nonvolatile samples_logged = 0;
+nonvolatile temp_accum = 0;
+
+fn read_hum() {
+  let raw = input(hum);
+  return min(raw, 100);
+}
+
+fn read_temp() {
+  let raw = input(temp);
+  return raw;
+}
+
+// Integer approximation of a vapor-pressure-deficit comfort score.
+fn comfort(h, t) {
+  let sat = 6 * t + 40;          // saturation proxy, scaled
+  let vap = sat * h / 100;
+  return sat - vap;
+}
+
+fn main() {
+  // --- one consistent climate snapshot: gradient + temperature -----------
+  let consistent(1) h1 = read_hum();
+  work(160);                      // RH sensor settle
+  let consistent(1) h2 = read_hum();
+  let consistent(1) t = read_temp();
+
+  // --- control decision ---------------------------------------------------
+  let h = (h1 + h2) / 2;
+  let gradient = h2 - h1;
+  let score = comfort(h, t);
+  work(180);
+  if score > 120 {
+    mist_events = mist_events + 1;
+    log(1, score);                // actuate: mist
+  } else {
+    if score < 30 && gradient >= 0 {
+      vent_events = vent_events + 1;
+      log(2, score);              // actuate: vent
+    }
+  }
+
+  // --- slow statistics (no timing constraint) -----------------------------
+  let t2 = read_temp();
+  temp_accum = temp_accum + t2;
+  samples_logged = samples_logged + 1;
+  work(140);
+  if samples_logged % 16 == 0 {
+    log(3, temp_accum / 16);
+    temp_accum = 0;
+  }
+}
+"""
+
+
+def make_env(seed: int = 0) -> Environment:
+    """Diurnal temperature plus humidity fronts moving through."""
+    return Environment(
+        {
+            "hum": steps(
+                levels=[35, 42, 55, 78, 90, 72, 50], dwell=4000 + 29 * (seed % 13)
+            ),
+            "temp": sine(mean=24, amplitude=9, period=50_000 + 101 * seed),
+        }
+    )
+
+
+META = BenchmarkMeta(
+    name="greenhouse",
+    origin="TICS",
+    sensors=["Hum", "Temp"],
+    constraints="Con",
+    paper_loc=170,
+    input_sites=4,
+    fresh_lines=0,
+    consistent_lines=3,
+    freshcon_lines=0,
+    consistent_sets=1,
+    samoyed=SamoyedShape(atomic_fns=1, params=3, loop_fns=0),
+    paper_effort={"ocelot": 7, "tics": 12, "samoyed": 6},
+    input_costs={"hum": 50, "temp": 40},
+    source=SOURCE,
+    env_factory=make_env,
+)

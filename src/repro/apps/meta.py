@@ -1,0 +1,86 @@
+"""Benchmark metadata: Table 1 characteristics + effort-model parameters.
+
+Each benchmark module exports a :class:`BenchmarkMeta`; the registry
+collects them and the evaluation harness derives Table 1 (characteristics)
+and Tables 3/4 (programming-effort models) from these fields.
+
+The effort parameters mirror how the paper models LoC changes
+(Section 7.4):
+
+* ``input_sites`` -- input operations the programmer must name in the
+  ``[IO: fn = ...]`` declaration (one line each);
+* ``fresh_lines`` / ``consistent_lines`` / ``freshcon_lines`` -- source
+  annotation lines (``FreshConsistent`` is a single line declaring both
+  constraints, Figure 9);
+* ``consistent_sets`` -- number of distinct consistent-set ids (TICS needs
+  one expiration check + handler per set);
+* ``samoyed`` -- the restructuring shape Samoyed would need: atomic
+  functions created, parameters threaded into them, and how many contain
+  loops (those need a scaling rule + fallback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.energy.costs import CostModel
+from repro.sensors.environment import Environment
+
+
+@dataclass(frozen=True)
+class SamoyedShape:
+    """What converting the app to Samoyed atomic functions would take."""
+
+    atomic_fns: int
+    params: int
+    loop_fns: int
+
+
+@dataclass(frozen=True)
+class BenchmarkMeta:
+    name: str
+    origin: str  # TICS / Samoyed / DINO / Ocelot (Table 1 "Origin")
+    sensors: list[str]  # '*' marks sensors the paper simulated
+    constraints: str  # Table 1 "Constraints"
+    paper_loc: int  # Table 1 "LoC" (the authors' Rust code)
+    input_sites: int
+    fresh_lines: int
+    consistent_lines: int
+    freshcon_lines: int
+    consistent_sets: int
+    samoyed: SamoyedShape
+    #: the paper's Table 4 row for cross-checking our effort model
+    paper_effort: dict[str, int]
+    source: str
+    env_factory: Callable[[int], Environment]
+    #: per-channel sampling cost overrides (sensor mix of this app)
+    input_costs: dict[str, int] = field(default_factory=dict)
+
+    def cost_model(self) -> CostModel:
+        """The benchmark's cost model: defaults + its sensor sampling costs."""
+        return CostModel(input_costs=dict(self.input_costs))
+
+    @property
+    def annotation_lines(self) -> int:
+        return self.fresh_lines + self.consistent_lines + self.freshcon_lines
+
+    @property
+    def fresh_vars(self) -> int:
+        """Variables carrying a freshness constraint (plain + combined)."""
+        return self.fresh_lines + self.freshcon_lines
+
+    @property
+    def consistent_vars(self) -> int:
+        """Variables in consistent sets (plain + combined)."""
+        return self.consistent_lines + self.freshcon_lines
+
+    @property
+    def loc(self) -> int:
+        """Lines of our modeling-language source (excluding blanks/comments)."""
+        count = 0
+        for line in self.source.splitlines():
+            stripped = line.strip()
+            if stripped and not stripped.startswith("//"):
+                count += 1
+        return count

@@ -1,0 +1,69 @@
+"""Photo -- averaged photoresistor sampling (Samoyed microbenchmark).
+
+Takes the average of five photoresistor readings.  The five samples form
+one *consistent* set: averaging light levels from two different moments
+(before and after an arbitrary-length power failure) produces a value no
+continuous execution could compute.  The settle time between samples makes
+the constrained span cover almost the whole program, which is why JIT
+violates so often on intermittent power (77% in Table 2b).
+"""
+
+from __future__ import annotations
+
+from repro.apps.meta import BenchmarkMeta, SamoyedShape
+from repro.sensors.environment import Environment, steps
+
+SOURCE = """\
+// Five-sample photoresistor average (Samoyed).
+inputs photo;
+
+nonvolatile readings_taken = 0;
+
+fn read_photo() {
+  let raw = input(photo);
+  return min(raw, 4095);
+}
+
+fn main() {
+  let sum = 0;
+  repeat 5 {
+    let consistent(1) r = read_photo();
+    sum = sum + r;
+    work(160);                    // exposure settle between samples
+  }
+  let avg = sum / 5;
+  readings_taken = readings_taken + 1;
+  log(avg);
+}
+"""
+
+
+def make_env(seed: int = 0) -> Environment:
+    """Light level stepping as clouds / shadows pass."""
+    return Environment(
+        {
+            "photo": steps(
+                levels=[210, 240, 900, 1800, 1100, 300],
+                dwell=3500 + 41 * (seed % 17),
+            )
+        }
+    )
+
+
+META = BenchmarkMeta(
+    name="photo",
+    origin="Samoyed",
+    sensors=["Photo"],
+    constraints="Con",
+    paper_loc=68,
+    input_sites=1,
+    fresh_lines=0,
+    consistent_lines=1,
+    freshcon_lines=0,
+    consistent_sets=1,
+    samoyed=SamoyedShape(atomic_fns=1, params=1, loop_fns=1),
+    paper_effort={"ocelot": 2, "tics": 8, "samoyed": 12},
+    input_costs={"photo": 100},
+    source=SOURCE,
+    env_factory=make_env,
+)

@@ -1,0 +1,30 @@
+"""Benchmark registry: the six applications of the evaluation (Table 1)."""
+
+from __future__ import annotations
+
+from repro.apps import activity, cem, greenhouse, photo, send_photo, tire
+from repro.apps.meta import BenchmarkMeta
+
+#: Evaluation order matches the paper's figures.
+BENCHMARKS: dict[str, BenchmarkMeta] = {
+    meta.name: meta
+    for meta in (
+        activity.META,
+        cem.META,
+        greenhouse.META,
+        photo.META,
+        send_photo.META,
+        tire.META,
+    )
+}
+
+BENCHMARK_NAMES = list(BENCHMARKS)
+
+
+def get_benchmark(name: str) -> BenchmarkMeta:
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark '{name}'; known: {', '.join(BENCHMARK_NAMES)}"
+        ) from None

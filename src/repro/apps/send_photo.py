@@ -1,0 +1,76 @@
+"""SendPhoto -- threshold-triggered radio report (Samoyed microbenchmark).
+
+Samples the photoresistor (a short three-sample burst, keeping the peak)
+and sends a radio packet if the light level is above threshold.  The peak
+must be *fresh* when the send decision is made: deciding to transmit based
+on a reading taken before an arbitrary power-off gap reports light that is
+no longer there (and wastes the radio energy budget, the most expensive
+operation the device has).
+"""
+
+from __future__ import annotations
+
+from repro.apps.meta import BenchmarkMeta, SamoyedShape
+from repro.sensors.environment import Environment, burst
+
+SOURCE = """\
+// Photoresistor sample + conditional radio send (Samoyed).
+inputs photo;
+
+nonvolatile packets_sent = 0;
+nonvolatile samples_taken = 0;
+
+// A short burst of three samples; keep the peak to debounce flicker.
+fn sample_peak() {
+  let a = input(photo);
+  let b = input(photo);
+  let c = input(photo);
+  return max(a, max(b, c));
+}
+
+fn main() {
+  let level = sample_peak();
+  Fresh(level);
+  work(420);                      // packet framing / CRC
+  if level > 900 {
+    send(level);
+    packets_sent = packets_sent + 1;
+  }
+  samples_taken = samples_taken + 1;
+  work(160);                      // housekeeping after the decision
+}
+"""
+
+
+def make_env(seed: int = 0) -> Environment:
+    """Mostly dim with periodic bright flashes worth reporting."""
+    return Environment(
+        {
+            "photo": burst(
+                base=140,
+                spike=1600,
+                period=7000 + 53 * (seed % 19),
+                width=2200,
+                offset=97 * seed,
+            )
+        }
+    )
+
+
+META = BenchmarkMeta(
+    name="send_photo",
+    origin="Samoyed",
+    sensors=["Photo"],
+    constraints="Fresh",
+    paper_loc=92,
+    input_sites=1,
+    fresh_lines=1,
+    consistent_lines=0,
+    freshcon_lines=0,
+    consistent_sets=0,
+    samoyed=SamoyedShape(atomic_fns=1, params=1, loop_fns=0),
+    paper_effort={"ocelot": 4, "tics": 8, "samoyed": 4},
+    input_costs={"photo": 100},
+    source=SOURCE,
+    env_factory=make_env,
+)

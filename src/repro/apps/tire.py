@@ -1,0 +1,134 @@
+"""Tire -- tire safety monitor (the paper's own application, Section 7.1).
+
+The monitor interleaves two duties:
+
+1. a **motion scan**: a short loop sampling the accelerometer; each sample
+   must be acted on while *fresh* (a burst alarm for a parked car, or a
+   missed alarm for a moving one, is exactly the Figure 2 staleness bug);
+2. a **burst/leak decision** over one *consistent* snapshot: pressure,
+   temperature, and motion must come from the same instant, because the
+   temperature-compensated pressure delta is meaningless across a gap.
+   The smoothed delta both belongs to the consistent set and must be fresh
+   when the alarm branch runs -- the combined ``FreshConsistent``
+   constraint of Figure 9.
+
+Table 1: sensors Pres*, Temp*, Accel*; constraints Fresh, Con, FreshCon.
+"""
+
+from __future__ import annotations
+
+from repro.apps.meta import BenchmarkMeta, SamoyedShape
+from repro.sensors.environment import Environment, burst, sine, steps
+
+SOURCE = """\
+// Tire pressure / burst monitor (Ocelot's own benchmark, Figure 9).
+inputs pres, temp, accel;
+
+nonvolatile baseline_pressure = 3200;
+nonvolatile urgent_warnings = 0;
+nonvolatile leak_warnings = 0;
+nonvolatile motion_events = 0;
+nonvolatile checks_done = 0;
+
+fn read_pressure() {
+  let raw = input(pres);
+  return max(raw, 0);
+}
+
+fn read_temp() {
+  let raw = input(temp);
+  return raw;
+}
+
+fn read_accel() {
+  let raw = input(accel);
+  return min(raw, 4000);
+}
+
+// Simple linear temperature compensation of a pressure reading.
+fn compensate(p, t) {
+  let corr = (t - 20) * 6;
+  return p - corr;
+}
+
+fn is_moving(m) {
+  return m > 1200;
+}
+
+fn main() {
+  // --- motion scan: each sample acted on while fresh ----------------------
+  repeat 6 {
+    let m = read_accel();
+    Fresh(m);
+    if is_moving(m) {
+      motion_events = motion_events + 1;
+    }
+    work(110);                    // vibration filter between samples
+  }
+
+  // --- consistent snapshot for the burst/leak decision --------------------
+  let consistent(1) p = read_pressure();
+  let consistent(1) t = read_temp();
+  let consistent(1) m2 = read_accel();
+  let pc = compensate(p, t);
+  let consistent(1) pdelta = baseline_pressure - pc;
+  let avgDiff = (pdelta * 3) / 4;
+  FreshConsistent(avgDiff, 1);
+
+  // --- the Figure 9 decision ----------------------------------------------
+  if is_moving(m2) && avgDiff > 400 {
+    send(avgDiff);                // "urgent_burst_tire!"
+    urgent_warnings = urgent_warnings + 1;
+  } else {
+    if avgDiff > 150 {
+      leak_warnings = leak_warnings + 1;
+    }
+  }
+
+  // --- trend bookkeeping (unconstrained) -----------------------------------
+  checks_done = checks_done + 1;
+  work(240);                      // pressure-trend model update
+  if checks_done % 12 == 0 {
+    log(urgent_warnings, leak_warnings, motion_events);
+  }
+}
+"""
+
+
+def make_env(seed: int = 0) -> Environment:
+    """Pressure with occasional sharp drops, diurnal temp, motion bursts."""
+    return Environment(
+        {
+            "pres": steps(
+                levels=[3200, 3190, 3180, 2600, 3185, 3195],
+                dwell=6000 + 71 * (seed % 7),
+            ),
+            "temp": sine(mean=28, amplitude=14, period=40_000 + 131 * seed),
+            "accel": burst(
+                base=150,
+                spike=2100,
+                period=8000 + 43 * (seed % 13),
+                width=3000,
+                offset=59 * seed,
+            ),
+        }
+    )
+
+
+META = BenchmarkMeta(
+    name="tire",
+    origin="Ocelot",
+    sensors=["Pres*", "Temp*", "Accel*"],
+    constraints="Fresh, Con, FreshCon",
+    paper_loc=338,
+    input_sites=3,
+    fresh_lines=1,
+    consistent_lines=4,
+    freshcon_lines=1,
+    consistent_sets=1,
+    samoyed=SamoyedShape(atomic_fns=3, params=7, loop_fns=1),
+    paper_effort={"ocelot": 9, "tics": 32, "samoyed": 24},
+    input_costs={"pres": 40, "temp": 40, "accel": 10},
+    source=SOURCE,
+    env_factory=make_env,
+)

@@ -1,0 +1,23 @@
+"""Baseline execution models and programming-effort models."""
+
+from repro.baselines.atomics_only import atomics_only_transform
+from repro.baselines.effort import (
+    STRATEGY_TABLE,
+    StrategyRow,
+    atomics_effort,
+    jit_effort,
+    ocelot_effort,
+    samoyed_effort,
+    tics_effort,
+)
+
+__all__ = [
+    "atomics_only_transform",
+    "STRATEGY_TABLE",
+    "StrategyRow",
+    "atomics_effort",
+    "jit_effort",
+    "ocelot_effort",
+    "samoyed_effort",
+    "tics_effort",
+]

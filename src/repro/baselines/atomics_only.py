@@ -1,0 +1,78 @@
+"""The Atomics-only baseline (Section 7.2's teal bars).
+
+Models DINO-style execution [Lucia & Ransford 2015]: the whole program is
+divided into atomic regions ("the Atomics-only programs are entirely
+divided into atomic regions").  We wrap, in every function, each maximal
+run of simple statements -- and each compound statement (``if`` /
+``repeat``) as a whole -- in a programmer-style ``atomic { }`` block,
+which is how a developer places task boundaries at control-flow changes.
+
+Two paper-observed consequences fall out of this shape:
+
+* CEM's lookup/insert loop becomes one region whose undo log must back up
+  the whole compressed-log structure, the source of its ~2.5x overhead;
+* Tire's frequently executed Ocelot region ends up nested inside a larger
+  Atomics-only region, and "at runtime, only the outermost bounds are
+  treated as an atomic region", making Atomics-only slightly faster there.
+
+The transform runs before lowering; Ocelot's inference then runs on top
+(Section 8, "using added regions and Ocelot together"), so the correctness
+properties hold by construction rather than by programmer care.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.lang import ast
+
+
+def _is_compound(stmt: ast.Stmt) -> bool:
+    return isinstance(stmt, (ast.If, ast.Repeat, ast.Atomic))
+
+
+def _wrap_body(body: list[ast.Stmt]) -> list[ast.Stmt]:
+    """Partition ``body`` into atomic chunks.
+
+    Consecutive simple statements form one region; each compound statement
+    becomes its own region (its nested bodies are *not* re-wrapped -- inner
+    code already executes atomically under the outer region).
+    """
+    wrapped: list[ast.Stmt] = []
+    run: list[ast.Stmt] = []
+
+    def flush() -> None:
+        if run:
+            wrapped.append(ast.Atomic(body=list(run), span=run[0].span))
+            run.clear()
+
+    for stmt in body:
+        if isinstance(stmt, ast.Atomic):
+            flush()
+            wrapped.append(stmt)  # already a region
+        elif _is_compound(stmt):
+            flush()
+            wrapped.append(ast.Atomic(body=[stmt], span=stmt.span))
+        elif isinstance(stmt, ast.Return):
+            # Returns stay outside so the region commits before unwinding.
+            flush()
+            wrapped.append(stmt)
+        else:
+            run.append(stmt)
+    flush()
+    return wrapped
+
+
+def atomics_only_transform(program: ast.Program, entry: str = "main") -> ast.Program:
+    """Return a deep-copied program divided entirely into atomic regions.
+
+    Only the entry function's body is chunked: every callee executes within
+    its caller's region, so chunking ``main`` already places the entire
+    execution inside atomic regions -- which is where DINO-style task
+    systems put their boundaries (the main control loop, not leaf driver
+    functions).
+    """
+    transformed = copy.deepcopy(program)
+    transformed.functions[entry].body = _wrap_body(transformed.functions[entry].body)
+    ast.assign_labels(transformed)
+    return transformed

@@ -1,0 +1,114 @@
+"""Programming-effort models: Tables 3 and 4 of the paper.
+
+The paper models the lines of code each system needs to make a benchmark
+timing-correct (Section 7.4).  The formulas below implement the stated
+estimates:
+
+* **Ocelot** -- declare each input operation and annotate each
+  time-constrained datum: ``inputs + annotation lines``; a combined
+  ``FreshConsistent`` is one line (Figure 9).
+* **JIT** -- nothing to write, nothing enforced.
+* **Atomics-only** -- declare inputs and manually bracket each region:
+  ``inputs + 2 * regions``.
+* **TICS** -- per fresh datum: expiry + alignment + check (3 LoC) plus a
+  ~5-line expiration handler; per consistent set: 2 LoC per member
+  (expiry + alignment) plus one check + handler (6 LoC) for the set.
+* **Samoyed** -- per atomic function: signature + call-site restructuring
+  (3 LoC) plus one line per threaded parameter; functions containing loops
+  also need a scaling rule (3 LoC) and a software fallback (~5 LoC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.meta import BenchmarkMeta
+
+TICS_HANDLER_LOC = 5
+SAMOYED_SCALING_LOC = 3
+SAMOYED_FALLBACK_LOC = 5
+
+
+def ocelot_effort(meta: BenchmarkMeta) -> int:
+    return meta.input_sites + meta.annotation_lines
+
+
+def jit_effort(meta: BenchmarkMeta) -> int:
+    return 0
+
+
+def atomics_effort(meta: BenchmarkMeta, regions: int) -> int:
+    """``1*(num inputs) + 2*(num atomic regions)`` (Table 3)."""
+    return meta.input_sites + 2 * regions
+
+
+def tics_effort(meta: BenchmarkMeta) -> int:
+    fresh = meta.fresh_vars * (3 + TICS_HANDLER_LOC)
+    consistent = 2 * meta.consistent_vars + meta.consistent_sets * (
+        1 + TICS_HANDLER_LOC
+    )
+    return fresh + consistent
+
+
+def samoyed_effort(meta: BenchmarkMeta) -> int:
+    shape = meta.samoyed
+    base = 3 * shape.atomic_fns + shape.params
+    loops = shape.loop_fns * (SAMOYED_SCALING_LOC + SAMOYED_FALLBACK_LOC)
+    return base + loops
+
+
+@dataclass(frozen=True)
+class StrategyRow:
+    """One row of Table 3: how a system is used and what it guarantees."""
+
+    system: str
+    constructs: str
+    strategy: str
+    loc_model: str
+    upholds: str
+
+
+STRATEGY_TABLE: list[StrategyRow] = [
+    StrategyRow(
+        system="Ocelot",
+        constructs="Time-constraint types",
+        strategy="Annotate inputs and time-constrained data",
+        loc_model="1*(num inputs) + 1*(data with constraint)",
+        upholds="Correct: intermittent execution matches the continuous "
+        "specification",
+    ),
+    StrategyRow(
+        system="JIT",
+        constructs="None",
+        strategy="Do nothing",
+        loc_model="0",
+        upholds="Incorrect",
+    ),
+    StrategyRow(
+        system="Atomics",
+        constructs="Atomic regions",
+        strategy="Annotate inputs, manually place regions; reason about "
+        "control and data flow",
+        loc_model="1*(num inputs) + 2*(num atomic regions)",
+        upholds="Programmer-dependent: regions may be misplaced",
+    ),
+    StrategyRow(
+        system="TICS",
+        constructs="Timestamp alignment, expiration catch, timely branches",
+        strategy="Add real-time expiry dates, alignment operations, "
+        "expiration/branch points; write exception handlers",
+        loc_model="3*(time-sensitive data) + sum(handler LoC)",
+        upholds="Real-time timeliness; no clear mapping to temporal "
+        "consistency",
+    ),
+    StrategyRow(
+        system="Samoyed",
+        constructs="Atomic functions",
+        strategy="Reason about control/data flow; rewrite code into "
+        "functions; optionally provide fallbacks and scaling rules",
+        loc_model="sum(rewrite cost) + sum(scaling rule LoC) + "
+        "sum(fallback LoC)",
+        upholds="Programmer-dependent: wrong code may land in the atomic "
+        "function",
+    ),
+]

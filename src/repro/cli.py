@@ -1,0 +1,224 @@
+"""Command-line interface for the Ocelot toolchain.
+
+Subcommands::
+
+    python -m repro compile FILE      # compile; show regions / IR / policies
+    python -m repro check FILE        # checker mode on manual regions
+    python -m repro run FILE          # simulate an execution
+    python -m repro feasibility FILE  # Section 5.3 energy-feasibility report
+    python -m repro eval              # regenerate the paper's tables/figures
+
+Programs are modeling-language source files (see ``examples/`` and
+``src/repro/apps/`` for reference programs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.policies import build_policies
+from repro.analysis.taint import analyze_module
+from repro.core.checker import check_atomic_regions
+from repro.core.feasibility import check_feasibility, profile_usable_energy
+from repro.core.pipeline import CONFIGS, PipelineOptions, compile_source
+from repro.eval.profiles import STANDARD_PROFILE
+from repro.ir.lowering import lower_program
+from repro.ir.printer import print_module
+from repro.lang.parser import parse_program
+from repro.runtime.harness import run_once
+from repro.runtime.supply import ContinuousPower
+from repro.sensors.environment import Environment, constant, steps
+
+
+def _read_source(path: str) -> str:
+    return Path(path).read_text()
+
+
+def _parse_env(module_channels: list[str], specs: list[str]) -> Environment:
+    """Build an environment from ``--set ch=value`` / ``ch=a,b:dwell`` specs."""
+    env = Environment()
+    bound: set[str] = set()
+    for spec in specs:
+        if "=" not in spec:
+            raise SystemExit(f"bad --set '{spec}': expected channel=value")
+        channel, _, value = spec.partition("=")
+        if ":" in value or "," in value:
+            levels_text, _, dwell_text = value.partition(":")
+            levels = [int(v) for v in levels_text.split(",")]
+            dwell = int(dwell_text) if dwell_text else 2000
+            env.bind(channel, steps(levels, dwell))
+        else:
+            env.bind(channel, constant(int(value)))
+        bound.add(channel)
+    for channel in module_channels:
+        if channel not in bound:
+            env.bind(channel, constant(0))
+    return env
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    compiled = compile_source(
+        _read_source(args.file),
+        config=args.config,
+        options=PipelineOptions(strict=False),
+    )
+    print(f"config      : {compiled.config}")
+    print(f"functions   : {len(compiled.module.functions)}")
+    print(f"policies    : {len(compiled.policies)}")
+    print(f"checker     : {'PASS' if compiled.check.ok else 'FAIL'}")
+    for failure in compiled.check.failures:
+        print(f"  ! {failure}")
+    if args.regions or not (args.ir or args.policies):
+        for region in compiled.regions:
+            print(
+                f"region {region.region} [{region.pid}] in {region.func}: "
+                f"{region.start_block}[{region.start_index}] .. "
+                f"{region.end_block}[{region.end_index}]"
+            )
+        for info in compiled.region_infos:
+            print(
+                f"  {info.region}: omega={sorted(info.omega)} "
+                f"war={sorted(info.war)} emw={sorted(info.emw)}"
+            )
+    if args.policies:
+        for policy in compiled.policies.all_policies():
+            print(f"policy {policy.pid} [{policy.kind}]")
+            for chain in sorted(policy.inputs):
+                print(f"  input: {chain}")
+    if args.ir:
+        print(print_module(compiled.module))
+    return 0 if compiled.check.ok or args.config == "jit" else 1
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Checker mode (Section 8): validate manual regions, insert nothing."""
+    module = lower_program(parse_program(_read_source(args.file)))
+    taint = analyze_module(module)
+    policies = build_policies(taint)
+    report = check_atomic_regions(module, policies)
+    if report.ok:
+        print("PASS: every policy is enforced by an existing atomic region")
+        for pid, extent in sorted(report.policy_extents.items()):
+            print(f"  {pid}: region opened at {extent[1]}")
+        return 0
+    print("FAIL:")
+    for failure in report.failures:
+        print(f"  {failure}")
+    return 1
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    compiled = compile_source(
+        _read_source(args.file),
+        config=args.config,
+        options=PipelineOptions(strict=False),
+    )
+    env = _parse_env(compiled.module.channels, args.set or [])
+    if args.intermittent:
+        supply = STANDARD_PROFILE.make_supply(seed=args.seed)
+    else:
+        supply = ContinuousPower()
+    result = run_once(compiled, env, supply)
+    print(f"completed   : {result.stats.completed}")
+    print(f"cycles on   : {result.stats.cycles_on}")
+    print(f"cycles off  : {result.stats.cycles_off}")
+    print(f"reboots     : {result.stats.reboots}")
+    print(f"violations  : {result.stats.violations}")
+    for output in result.trace.outputs:
+        values = ", ".join(str(v) for v in output.values)
+        print(f"  [tau={output.tau}] {output.op}({values})")
+    if args.trace:
+        for event in result.trace:
+            print(f"  {event}")
+    return 0 if result.stats.completed else 1
+
+
+def cmd_feasibility(args: argparse.Namespace) -> int:
+    compiled = compile_source(
+        _read_source(args.file),
+        config=args.config,
+        options=PipelineOptions(strict=False),
+    )
+    usable = args.usable or profile_usable_energy(STANDARD_PROFILE)
+    report = check_feasibility(compiled.module, usable)
+    print(f"usable energy window: {usable}")
+    for bound in report.bounds:
+        if bound.bounded:
+            verdict = "ok" if bound not in report.infeasible else "INFEASIBLE"
+            print(
+                f"  {bound.region}: worst-case {bound.cycles} cycles "
+                f"(entry {bound.entry_cycles}, omega {bound.omega_words} "
+                f"words) -> {verdict}"
+            )
+        else:
+            print(f"  {bound.region}: UNKNOWN ({bound.reason})")
+    print("verdict:", "PASS" if report.ok else "FAIL")
+    return 0 if report.ok else 1
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    from repro.eval.runner import main as eval_main
+
+    forwarded = []
+    if args.markdown:
+        forwarded.append("--markdown")
+    forwarded.extend(["--seed", str(args.seed)])
+    return eval_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile a program")
+    p_compile.add_argument("file")
+    p_compile.add_argument("--config", choices=CONFIGS, default="ocelot")
+    p_compile.add_argument("--ir", action="store_true", help="print the IR")
+    p_compile.add_argument("--regions", action="store_true")
+    p_compile.add_argument("--policies", action="store_true")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_check = sub.add_parser("check", help="checker mode for manual regions")
+    p_check.add_argument("file")
+    p_check.set_defaults(func=cmd_check)
+
+    p_run = sub.add_parser("run", help="simulate one activation")
+    p_run.add_argument("file")
+    p_run.add_argument("--config", choices=CONFIGS, default="ocelot")
+    p_run.add_argument(
+        "--set",
+        action="append",
+        metavar="CH=VALUE | CH=L1,L2,...:DWELL",
+        help="bind a sensor channel (constant or stepping signal)",
+    )
+    p_run.add_argument("--intermittent", action="store_true")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--trace", action="store_true", help="dump all events")
+    p_run.set_defaults(func=cmd_run)
+
+    p_feas = sub.add_parser("feasibility", help="region energy bounds")
+    p_feas.add_argument("file")
+    p_feas.add_argument("--config", choices=CONFIGS, default="ocelot")
+    p_feas.add_argument("--usable", type=int, default=None)
+    p_feas.set_defaults(func=cmd_feasibility)
+
+    p_eval = sub.add_parser("eval", help="regenerate the paper's evaluation")
+    p_eval.add_argument("--markdown", action="store_true")
+    p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.set_defaults(func=cmd_eval)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Ocelot's core: region inference, WAR/EMW analysis, checks, pipeline."""
+
+from repro.core.checker import (
+    CheckReport,
+    check_atomic_regions,
+    check_policy_declarations,
+    check_program,
+    check_summaries,
+)
+from repro.core.inference import (
+    InferenceError,
+    InferredRegion,
+    candidate_function,
+    find_candidate,
+    infer_atomic,
+)
+from repro.core.pipeline import (
+    CONFIG_ATOMICS,
+    CONFIG_JIT,
+    CONFIG_OCELOT,
+    CONFIGS,
+    CompileError,
+    CompiledProgram,
+    PipelineOptions,
+    compile_all_configs,
+    compile_program,
+    compile_source,
+)
+from repro.core.war import (
+    Effects,
+    RegionInfo,
+    analyze_regions,
+    annotate_omegas,
+    function_effects,
+    region_extent,
+)
+
+__all__ = [
+    "CheckReport",
+    "check_atomic_regions",
+    "check_policy_declarations",
+    "check_program",
+    "check_summaries",
+    "InferenceError",
+    "InferredRegion",
+    "candidate_function",
+    "find_candidate",
+    "infer_atomic",
+    "CONFIG_ATOMICS",
+    "CONFIG_JIT",
+    "CONFIG_OCELOT",
+    "CONFIGS",
+    "CompileError",
+    "CompiledProgram",
+    "PipelineOptions",
+    "compile_all_configs",
+    "compile_program",
+    "compile_source",
+    "Effects",
+    "RegionInfo",
+    "analyze_regions",
+    "annotate_omegas",
+    "function_effects",
+    "region_extent",
+]

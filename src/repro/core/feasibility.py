@@ -1,0 +1,196 @@
+"""Energy feasibility of atomic regions (Section 5.3, and the paper's
+"Reasoning about Forward Progress" future-work direction).
+
+An atomic region only makes progress if it can finish within one charge of
+the energy buffer: "if the smallest possible region that guarantees
+correctness w.r.t. timing policies is too large to complete, such a
+program fundamentally cannot run correctly."  Ocelot infers the smallest
+sufficient regions precisely to maximize the chance of feasibility; this
+module closes the loop by *checking* it statically.
+
+For every region we compute a worst-case cycle bound:
+
+* entry cost: volatile save (bounded by the maximum possible frame stack
+  along any call path into the region) plus the undo log for omega;
+* body cost: every instruction in the flattened extent charged once --
+  sound for unrolled programs, whose extents are DAGs -- plus the
+  worst-case cost of every callee reachable from the region (call graph
+  is a DAG, so the recursion terminates);
+* ``work(e)`` with a non-constant argument makes the bound *unknown*
+  rather than silently wrong.
+
+``check_feasibility`` compares each bound against the smallest usable
+energy window a profile guarantees after boot; the report lists regions
+that might livelock (fail, recharge, restart, forever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.war import RegionInfo, analyze_regions
+from repro.energy.costs import DEFAULT_COSTS, CostModel
+from repro.ir import instructions as ir
+from repro.ir.callgraph import build_call_graph
+from repro.ir.module import Module
+from repro.lang import ast as lang_ast
+
+
+@dataclass(frozen=True)
+class RegionBound:
+    """Worst-case execution bound for one region."""
+
+    region: str
+    start: ir.InstrId
+    #: worst-case cycles including entry cost; None when unbounded/unknown
+    cycles: Optional[int]
+    entry_cycles: int
+    omega_words: int
+    #: why the bound is unknown, if it is
+    reason: Optional[str] = None
+
+    @property
+    def bounded(self) -> bool:
+        return self.cycles is not None
+
+
+@dataclass
+class FeasibilityReport:
+    """Per-region bounds plus the verdict against an energy window."""
+
+    bounds: list[RegionBound] = field(default_factory=list)
+    usable_energy: Optional[int] = None
+    infeasible: list[RegionBound] = field(default_factory=list)
+    unknown: list[RegionBound] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.infeasible and not self.unknown
+
+    def worst(self) -> Optional[RegionBound]:
+        bounded = [b for b in self.bounds if b.bounded]
+        if not bounded:
+            return None
+        return max(bounded, key=lambda b: b.cycles or 0)
+
+
+class _Bounder:
+    def __init__(self, module: Module, costs: CostModel):
+        self._module = module
+        self._costs = costs
+        self._function_cycles: dict[str, Optional[int]] = {}
+        self._compute_function_bounds()
+
+    def _const_work(self, expr: lang_ast.Expr) -> Optional[int]:
+        if isinstance(expr, lang_ast.IntLit):
+            return max(0, expr.value)
+        return None
+
+    def _instr_cycles(self, instr: ir.Instr) -> Optional[int]:
+        if isinstance(instr, ir.WorkInstr):
+            amount = self._const_work(instr.cycles)
+            if amount is None:
+                return None
+            return self._costs.instr_cycles(instr, work_value=amount)
+        if isinstance(instr, ir.CallInstr):
+            callee = self._function_cycles.get(instr.func)
+            if callee is None:
+                return None
+            return self._costs.instr_cycles(instr) + callee
+        if isinstance(instr, (ir.AtomicStart, ir.AtomicEnd)):
+            # Inner markers cost only bookkeeping; the outer entry is
+            # charged separately by the caller of bound_region.
+            return self._costs.region_inner
+        return self._costs.instr_cycles(instr)
+
+    def _compute_function_bounds(self) -> None:
+        graph = build_call_graph(self._module)
+        order = graph.topo_order(self._module.entry)
+        for name in self._module.functions:
+            if name not in order:
+                order.append(name)
+        for name in order:
+            func = self._module.function(name)
+            total: Optional[int] = 0
+            for instr in func.all_instrs():
+                if isinstance(instr, ir.CallInstr) and instr.func not in (
+                    self._function_cycles
+                ):
+                    # Callee bound not yet computed -> not reachable via
+                    # topo order (shouldn't happen for DAGs); be safe.
+                    total = None
+                    break
+                step = self._instr_cycles(instr)
+                if step is None or total is None:
+                    total = None
+                    break
+                total += step
+            self._function_cycles[name] = total
+
+    def bound_region(self, info: RegionInfo) -> RegionBound:
+        module = self._module
+        omega_words = info.omega_words(module)
+        # Volatile estimate: a word per local of every function on any
+        # call path (conservative: all functions), plus frame overhead.
+        volatile = sum(
+            len(func.locals) + 2 for func in module.functions.values()
+        )
+        entry = self._costs.region_entry_cycles(volatile, omega_words)
+
+        total: Optional[int] = entry
+        reason = None
+        for uid in info.instrs:
+            instr = module.instr(uid)
+            step = self._instr_cycles(instr)
+            if step is None:
+                total = None
+                reason = f"unbounded cost at {uid} (non-constant work or loop)"
+                break
+            assert total is not None
+            total += step
+        return RegionBound(
+            region=info.region,
+            start=info.start,
+            cycles=total,
+            entry_cycles=entry,
+            omega_words=omega_words,
+            reason=reason,
+        )
+
+
+def bound_regions(
+    module: Module, costs: CostModel = DEFAULT_COSTS
+) -> list[RegionBound]:
+    """Worst-case cycle bounds for every region in ``module``."""
+    bounder = _Bounder(module, costs)
+    return [bounder.bound_region(info) for info in analyze_regions(module)]
+
+
+def check_feasibility(
+    module: Module,
+    usable_energy: int,
+    costs: CostModel = DEFAULT_COSTS,
+) -> FeasibilityReport:
+    """Compare every region bound against a guaranteed energy window.
+
+    ``usable_energy`` is the smallest post-boot budget the platform
+    guarantees (for :class:`repro.eval.profiles.EnergyProfile`, that is
+    ``low_threshold + lo_boot_fraction * (capacity - low_threshold)``
+    minus the threshold itself).
+    """
+    report = FeasibilityReport(usable_energy=usable_energy)
+    report.bounds = bound_regions(module, costs)
+    for bound in report.bounds:
+        if not bound.bounded:
+            report.unknown.append(bound)
+        elif costs.energy(bound.cycles or 0) > usable_energy:
+            report.infeasible.append(bound)
+    return report
+
+
+def profile_usable_energy(profile) -> int:
+    """The smallest usable window an :class:`EnergyProfile` guarantees."""
+    lo, _hi = profile.boot_fraction
+    span = profile.capacity - profile.low_threshold
+    return int(lo * span)

@@ -1,0 +1,248 @@
+"""Atomic region inference -- Algorithm 1 of the paper.
+
+For each policy the algorithm:
+
+1. maps every policy operation (context-qualified chain) to a basic block
+   (line 5),
+2. finds the *candidate function*: the deepest function such that every
+   operation is in it or a policy-named descendant call (``findCandidate``,
+   lines 6 and the recursion described in Section 6.2).  Our
+   :func:`find_candidate` implements the paper's recursive walk; it is
+   provably the longest common call-site prefix of the operations' chains
+   (:func:`repro.analysis.provenance.common_context`), and a property test
+   keeps the two in agreement,
+3. hoists each operation to the call site within the candidate function
+   that reaches it (lines 7-16; with chains this is a single index),
+4. takes the closest common dominator / post-dominator of the hoisted
+   blocks (lines 17-18, LCA queries on the dominator trees),
+5. truncates to instruction granularity: the region starts immediately
+   before the earliest policy operation in the start block and ends
+   immediately after the latest one in the end block (line 19), and
+6. inserts ``startatom``/``endatom`` (line 20).
+
+If the latest operation in the end block is the block's terminator (a
+branch that *uses* a fresh value), the end marker slides to the immediate
+post-dominator block, except at the function's return landing-pad where it
+is placed just before ``ret``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.policies import Policy, PolicyDecls, PolicyMap
+from repro.analysis.provenance import Chain, Context, common_context, representative_op
+from repro.ir import instructions as ir
+from repro.ir.callgraph import CallGraph, build_call_graph
+from repro.ir.dominators import dominator_tree, postdominator_tree
+from repro.ir.module import IRFunction, Module
+
+
+class InferenceError(Exception):
+    """Raised when no legal region placement exists for a policy."""
+
+
+@dataclass
+class InferredRegion:
+    """One region placement decision, for reporting and tests."""
+
+    region: str
+    pid: str
+    func: str
+    start_block: str
+    start_index: int
+    end_block: str
+    end_index: int
+    reps: list[ir.InstrId] = field(default_factory=list)
+
+
+def candidate_function(module: Module, context: Context) -> str:
+    """The function a candidate context denotes (``main`` for the empty one)."""
+    if not context:
+        return module.entry
+    call = module.instr(context[-1])
+    if not isinstance(call, ir.CallInstr):
+        raise InferenceError(f"{context[-1]} is not a call site")
+    return call.func
+
+
+def find_candidate(
+    module: Module, chains: list[Chain], graph: CallGraph | None = None
+) -> Context:
+    """The paper's recursive ``findCandidate`` over the call tree.
+
+    Walks from the root, descending only through call sites that appear in
+    the policy's provenance, and returns the deepest context containing
+    every operation.  Equivalent to the longest common call-site prefix of
+    the chains (property-tested against
+    :func:`repro.analysis.provenance.common_context`).
+    """
+    if not chains:
+        raise InferenceError("policy has no operations")
+    graph = graph or build_call_graph(module)
+
+    def visit(prefix: Context) -> Context:
+        # All chains extend ``prefix`` when we get here.  Try descending:
+        # a deeper candidate needs every chain to continue through one and
+        # the same call site (a chain whose operation *is* at this level
+        # pins the candidate here).
+        next_ids = set()
+        for chain in chains:
+            if len(chain) == len(prefix) + 1:
+                return prefix  # this chain's op lives directly here
+            next_ids.add(chain.ids[len(prefix)])
+        if len(next_ids) != 1:
+            return prefix
+        site = next_ids.pop()
+        instr = module.instr(site)
+        if not isinstance(instr, ir.CallInstr):
+            return prefix
+        return visit(prefix + (site,))
+
+    for chain in chains:
+        if not chain.extends(()):
+            raise InferenceError(f"chain {chain} not rooted at main")
+    return visit(())
+
+
+def _positions(
+    func: IRFunction, reps: list[ir.InstrId]
+) -> dict[ir.InstrId, tuple[str, int]]:
+    return {rep: func.position_of(rep) for rep in reps}
+
+
+@dataclass
+class _Placement:
+    func: str
+    start_block: str
+    start_index: int
+    end_block: str
+    end_index: int
+
+
+def _truncate(
+    func: IRFunction,
+    reps: list[ir.InstrId],
+    start_block: str,
+    end_block: str,
+) -> _Placement:
+    """Line 19 of Algorithm 1: instruction-granular start and end points."""
+    positions = _positions(func, reps)
+
+    in_start = [idx for rep, (blk, idx) in positions.items() if blk == start_block]
+    if in_start:
+        start_index = min(in_start)
+    else:
+        start_index = len(func.blocks[start_block].instrs)
+
+    pdom = postdominator_tree(func)
+    current = end_block
+    guard = 0
+    while True:
+        guard += 1
+        if guard > len(func.blocks) + 2:
+            raise InferenceError(f"could not place region end in {func.name}")
+        block = func.blocks[current]
+        here = [idx for rep, (blk, idx) in positions.items() if blk == current]
+        terminator_is_rep = bool(here) and max(here) >= len(block.instrs)
+        if terminator_is_rep:
+            if current == func.exit:
+                end_index = len(block.instrs)  # just before ret
+                break
+            current = pdom.idom[current]
+            continue
+        end_index = (max(here) + 1) if here else 0
+        break
+
+    return _Placement(
+        func=func.name,
+        start_block=start_block,
+        start_index=start_index,
+        end_block=current,
+        end_index=end_index,
+    )
+
+
+@dataclass
+class _Insertion:
+    func: str
+    block: str
+    index: int
+    marker: ir.Instr
+    #: sort key: at equal indices, ends (0) land before starts (1) so
+    #: adjacent regions stay disjoint rather than accidentally overlapping.
+    kind: int
+
+
+def infer_atomic(
+    module: Module,
+    policies: PolicyDecls,
+    include_trivial: bool = False,
+) -> tuple[PolicyMap, list[InferredRegion]]:
+    """Run region inference and insert the markers; returns ``PM`` + report.
+
+    ``include_trivial`` also materializes regions for policies that have
+    nothing to enforce (no inputs / a single input); by default they are
+    skipped, matching Ocelot's goal of smallest sufficient regions.
+    """
+    graph = build_call_graph(module)
+    policy_map = PolicyMap()
+    placements: list[tuple[Policy, _Placement, list[ir.InstrId]]] = []
+
+    for pid in sorted(policies.by_pid):
+        policy = policies.get(pid)
+        if policy.is_trivial() and not include_trivial:
+            continue
+        chains = sorted(policy.ops())
+        if not chains:
+            continue
+        context = find_candidate(module, chains, graph)
+        assert context == common_context(chains), "findCandidate mismatch"
+        func = module.function(candidate_function(module, context))
+        reps = sorted({representative_op(chain, context) for chain in chains})
+        blocks = [func.block_of(rep) for rep in reps]
+        dom = dominator_tree(func)
+        pdom = postdominator_tree(func)
+        start_block = dom.common_ancestor(blocks)
+        end_block = pdom.common_ancestor(blocks)
+        placement = _truncate(func, reps, start_block, end_block)
+        placements.append((policy, placement, reps))
+
+    insertions: list[_Insertion] = []
+    regions: list[InferredRegion] = []
+    for policy, placement, reps in placements:
+        region = module.fresh_region("a")
+        policy_map.assign(region, policy.pid)
+        func = module.function(placement.func)
+        start = ir.AtomicStart(region=region, origin="inferred")
+        end = ir.AtomicEnd(region=region, origin="inferred")
+        func.stamp(start)
+        func.stamp(end)
+        insertions.append(
+            _Insertion(placement.func, placement.start_block, placement.start_index, start, kind=1)
+        )
+        insertions.append(
+            _Insertion(placement.func, placement.end_block, placement.end_index, end, kind=0)
+        )
+        regions.append(
+            InferredRegion(
+                region=region,
+                pid=policy.pid,
+                func=placement.func,
+                start_block=placement.start_block,
+                start_index=placement.start_index,
+                end_block=placement.end_block,
+                end_index=placement.end_index,
+                reps=list(reps),
+            )
+        )
+
+    # Apply from the back of each block so earlier indices stay valid; at
+    # equal indices, inserting the start first leaves the end before it,
+    # keeping adjacent regions disjoint (end-then-start order at runtime).
+    insertions.sort(key=lambda ins: (ins.func, ins.block, -ins.index, -ins.kind))
+    for ins in insertions:
+        block = module.function(ins.func).blocks[ins.block]
+        block.instrs.insert(ins.index, ins.marker)
+
+    return policy_map, regions

@@ -1,0 +1,209 @@
+"""WAR / EMW analysis: which nonvolatile state must a region checkpoint.
+
+Checkpoint-based intermittent systems must back up nonvolatile locations
+with a Write-After-Read dependence (WAR, [Lucia & Ransford 2015; Van Der
+Woude & Hicks 2016]) and, once inputs are involved, the conditionally
+written "exclusive may-write" set (EMW, [Surbatovich et al. 2019/2020]) --
+Section 2.1.  Ocelot's runtime undo-logs ``omega = WAR ∪ EMW`` at region
+entry (the ``startatom(aID, omega)`` parameter of the formalism).
+
+We compute, per atomic region:
+
+* the region's instruction extent (intra-procedurally, from the start
+  marker to its matching end marker; the end post-dominates the start by
+  construction, so the walk terminates),
+* transitive callee effects (the call graph is a DAG),
+* ``reads`` / ``writes`` of nonvolatile locations (array granularity is
+  whole-array, which is exactly why CEM's Atomics-only build pays a 2.5x
+  cost: its big log structure lands in omega, Section 7.2),
+* ``war = reads ∩ writes`` and ``emw = writes \\ war``; ``omega`` is their
+  union, i.e. the full may-write set.
+
+``annotate_omegas`` stamps omega onto every ``AtomicStart`` in a module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir import instructions as ir
+from repro.ir.callgraph import CallGraph, build_call_graph
+from repro.ir.module import IRFunction, Module
+from repro.lang import ast as lang_ast
+
+
+@dataclass
+class Effects:
+    """Nonvolatile reads and writes."""
+
+    reads: set[str] = field(default_factory=set)
+    writes: set[str] = field(default_factory=set)
+
+    def merge(self, other: "Effects") -> None:
+        self.reads |= other.reads
+        self.writes |= other.writes
+
+
+@dataclass
+class RegionInfo:
+    """The extent and undo-log requirements of one atomic region."""
+
+    region: str
+    start: ir.InstrId
+    end: ir.InstrId
+    instrs: list[ir.InstrId]
+    effects: Effects
+
+    @property
+    def war(self) -> set[str]:
+        return self.effects.reads & self.effects.writes
+
+    @property
+    def emw(self) -> set[str]:
+        return self.effects.writes - self.war
+
+    @property
+    def omega(self) -> frozenset[str]:
+        return frozenset(self.effects.writes)
+
+    def omega_words(self, module: Module) -> int:
+        """Undo-log size in words (arrays count their full length)."""
+        total = 0
+        for name in self.omega:
+            if name in module.arrays:
+                total += len(module.arrays[name])
+            else:
+                total += 1
+        return total
+
+
+def _instr_effects(module: Module, func: IRFunction, instr: ir.Instr) -> Effects:
+    """Direct (non-call) nonvolatile effects of one instruction."""
+    effects = Effects()
+    for expr in instr.used_exprs():
+        for sub in lang_ast.walk_exprs(expr):
+            if isinstance(sub, lang_ast.Var) and sub.name not in func.locals:
+                if sub.name in module.globals:
+                    effects.reads.add(sub.name)
+            elif isinstance(sub, lang_ast.Index):
+                effects.reads.add(sub.array)
+    if isinstance(instr, ir.Assign) and instr.scope == ir.SCOPE_GLOBAL:
+        effects.writes.add(instr.dest)
+    elif isinstance(instr, ir.StoreArr):
+        effects.writes.add(instr.array)
+    return effects
+
+
+def function_effects(module: Module, graph: CallGraph | None = None) -> dict[str, Effects]:
+    """Transitive nonvolatile effects per function (callee-first order)."""
+    graph = graph or build_call_graph(module)
+    order = graph.topo_order(module.entry)
+    # topo_order only covers the entry's reachable set; include the rest.
+    remaining = [n for n in module.functions if n not in order]
+    for name in remaining:
+        for extra in graph.topo_order(name):
+            if extra not in order:
+                order.append(extra)
+
+    effects: dict[str, Effects] = {}
+    for name in order:
+        func = module.function(name)
+        total = Effects()
+        for instr in func.all_instrs():
+            total.merge(_instr_effects(module, func, instr))
+            if isinstance(instr, ir.CallInstr) and instr.func in effects:
+                total.merge(effects[instr.func])
+        effects[name] = total
+    return effects
+
+
+def region_extent(func: IRFunction, start: ir.AtomicStart) -> list[ir.Instr]:
+    """Instructions in the *flattened* extent opened by ``start``.
+
+    Nested and overlapping regions flatten at run time: inner start/end
+    markers only move the ``n_atom`` counter, and the extent commits when
+    the counter would go negative (Appendix H).  The undo log captured at
+    the outer start must therefore cover every write up to that commit
+    point -- e.g. with the overlap ``start_A start_B end_A ... end_B``, a
+    write after ``end_A`` still happens inside A's flattened extent.
+
+    The walk mirrors the counter exactly: any ``AtomicStart`` increments,
+    any ``AtomicEnd`` decrements, and a path ends where the depth drops
+    below zero.  Call markers inside callees are balanced, so callee
+    bodies never terminate the extent (their effects arrive via
+    :func:`function_effects`).
+    """
+    start_block, start_idx = func.position_of(start.uid)
+    collected: list[ir.Instr] = []
+    seen: set[tuple[str, int, int]] = set()
+    work: list[tuple[str, int, int]] = [(start_block, start_idx + 1, 0)]
+    while work:
+        block_name, idx, depth = work.pop()
+        block = func.blocks[block_name]
+        while True:
+            key = (block_name, idx, depth)
+            if key in seen:
+                break
+            seen.add(key)
+            if idx < len(block.instrs):
+                instr = block.instrs[idx]
+                if isinstance(instr, ir.AtomicStart):
+                    depth += 1
+                elif isinstance(instr, ir.AtomicEnd):
+                    depth -= 1
+                    if depth < 0:
+                        break  # the flattened extent commits here
+                collected.append(instr)
+                idx += 1
+                continue
+            if block.terminator is not None:
+                collected.append(block.terminator)
+                for succ in block.successors():
+                    work.append((succ, 0, depth))
+            break
+    return collected
+
+
+def _matching_end(func: IRFunction, start: ir.AtomicStart) -> ir.InstrId:
+    for instr in func.all_instrs():
+        if isinstance(instr, ir.AtomicEnd) and instr.region == start.region:
+            return instr.uid
+    raise ValueError(f"region '{start.region}' has no end marker in {func.name}")
+
+
+def analyze_regions(module: Module) -> list[RegionInfo]:
+    """Compute :class:`RegionInfo` for every region in ``module``."""
+    graph = build_call_graph(module)
+    per_function = function_effects(module, graph)
+    infos: list[RegionInfo] = []
+    for func in module.functions.values():
+        for instr in func.all_instrs():
+            if not isinstance(instr, ir.AtomicStart):
+                continue
+            extent = region_extent(func, instr)
+            effects = Effects()
+            for inner in extent:
+                effects.merge(_instr_effects(module, func, inner))
+                if isinstance(inner, ir.CallInstr) and inner.func in per_function:
+                    effects.merge(per_function[inner.func])
+            infos.append(
+                RegionInfo(
+                    region=instr.region,
+                    start=instr.uid,
+                    end=_matching_end(func, instr),
+                    instrs=[i.uid for i in extent],
+                    effects=effects,
+                )
+            )
+    return infos
+
+
+def annotate_omegas(module: Module) -> list[RegionInfo]:
+    """Stamp ``omega`` onto every ``AtomicStart``; return the region infos."""
+    infos = analyze_regions(module)
+    by_region = {info.region: info for info in infos}
+    for func in module.functions.values():
+        for instr in func.all_instrs():
+            if isinstance(instr, ir.AtomicStart):
+                instr.omega = by_region[instr.region].omega
+    return infos

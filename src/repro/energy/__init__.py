@@ -1,0 +1,19 @@
+"""Energy substrate: capacitor, harvesters, and the instruction cost model.
+
+Together with :class:`repro.runtime.supply.EnergyDrivenSupply` this stands
+in for the Capybara board + PowerCast harvester of the paper's testbed.
+"""
+
+from repro.energy.capacitor import Capacitor, EnergyError
+from repro.energy.costs import DEFAULT_COSTS, CostModel
+from repro.energy.harvester import ConstantHarvester, NoisyHarvester, TraceHarvester
+
+__all__ = [
+    "Capacitor",
+    "EnergyError",
+    "DEFAULT_COSTS",
+    "CostModel",
+    "ConstantHarvester",
+    "NoisyHarvester",
+    "TraceHarvester",
+]

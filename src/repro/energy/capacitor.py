@@ -1,0 +1,68 @@
+"""Energy storage: the capacitor / tiny battery of an energy-harvesting node.
+
+The Capybara platform the paper targets monitors its storage with a
+comparator and raises an interrupt at a configurable low threshold; the
+firmware reserves enough headroom above "off" that a JIT checkpoint always
+completes (Section 6.3, the Samoyed assumption).  The model mirrors that:
+
+* ``capacity`` -- energy units stored when full,
+* ``low_threshold`` -- the comparator trip point: crossing it delivers the
+  low-power signal,
+* the band between ``low_threshold`` and empty is the checkpoint reserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class EnergyError(Exception):
+    """Raised when the reserve assumption is violated (checkpoint too big)."""
+
+
+@dataclass
+class Capacitor:
+    capacity: int
+    low_threshold: int
+    level: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.low_threshold >= self.capacity:
+            raise ValueError("low threshold must leave usable energy")
+        if self.low_threshold < 0:
+            raise ValueError("low threshold must be nonnegative")
+        if self.level < 0:
+            self.level = self.capacity
+
+    @property
+    def usable(self) -> int:
+        """Energy available above the low-power trip point."""
+        return max(0, self.level - self.low_threshold)
+
+    def drain(self, energy: int) -> bool:
+        """Consume ``energy``; return True when the comparator trips."""
+        if energy < 0:
+            raise ValueError("cannot drain negative energy")
+        self.level -= energy
+        return self.level <= self.low_threshold
+
+    def drain_reserve(self, energy: int) -> None:
+        """Spend checkpoint energy from the reserve band.
+
+        The paper assumes the reserve suffices ("we assume that the extra
+        energy gained from raising the trigger point will always be enough
+        to complete the checkpoint"); we check the assumption and fail
+        loudly when a configuration breaks it.
+        """
+        self.level -= energy
+        if self.level < 0:
+            raise EnergyError(
+                f"checkpoint needed {energy} units but only "
+                f"{energy + self.level} remained in reserve"
+            )
+
+    def refill(self) -> int:
+        """Charge to full; return the deficit that had to be harvested."""
+        deficit = self.capacity - self.level
+        self.level = self.capacity
+        return max(0, deficit)

@@ -1,0 +1,90 @@
+"""Per-instruction cost model.
+
+Replaces the paper's MSP430 + Capybara measurements with an explicit cycle
+and energy model.  Absolute numbers are arbitrary; what matters for the
+reproduction is the *structure* the paper's results depend on:
+
+* sensor reads and radio/UART outputs are much slower than ALU work,
+* a JIT checkpoint costs time proportional to live volatile state,
+* an atomic region entry costs a volatile save plus an undo-log write
+  proportional to the checkpointed nonvolatile set omega (backing a large
+  structure is what makes CEM's Atomics-only build ~2.5x slower, Section
+  7.2),
+* energy consumption is proportional to cycles (single supply rail).
+
+Tuning knobs are dataclass fields so ablation benchmarks can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir import instructions as ir
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs per instruction class and per runtime action.
+
+    ``input_costs`` overrides the sampling cost per channel: a
+    photoresistor needs integration time, a thermometer an ADC conversion,
+    while an accelerometer with a FIFO reads out in a few cycles.  The
+    per-benchmark cost models in :mod:`repro.apps` use this to reflect
+    each application's sensor mix.
+    """
+
+    alu: int = 1  # assign / branch / jump / skip
+    input_op: int = 40  # default sensor sample (ADC settle + read)
+    input_costs: dict[str, int] = None  # type: ignore[assignment]
+    call: int = 2
+    ret: int = 2
+    output_op: int = 60  # UART/radio word
+    annot: int = 0  # annotations erase to nothing
+    #: JIT checkpoint: base + per volatile word
+    ckpt_base: int = 20
+    ckpt_per_word: int = 2
+    #: atomic region entry: base + volatile save + undo-log per nv word
+    region_base: int = 12
+    region_per_volatile_word: int = 2
+    region_per_nv_word: int = 3
+    region_commit: int = 6
+    region_inner: int = 1  # nested start/end bookkeeping
+    restore: int = 10  # reboot context restore
+    #: energy units consumed per cycle while on
+    energy_per_cycle: int = 1
+
+    def instr_cycles(self, instr: ir.Instr, work_value: int = 0) -> int:
+        """Base cycles for one instruction (region costs handled separately)."""
+        if isinstance(instr, ir.InputInstr):
+            if self.input_costs and instr.channel in self.input_costs:
+                return self.input_costs[instr.channel]
+            return self.input_op
+        if isinstance(instr, ir.OutputInstr):
+            return self.output_op
+        if isinstance(instr, ir.WorkInstr):
+            return max(0, work_value)
+        if isinstance(instr, ir.CallInstr):
+            return self.call
+        if isinstance(instr, ir.RetInstr):
+            return self.ret
+        if isinstance(instr, ir.AnnotInstr):
+            return self.annot
+        if isinstance(instr, (ir.AtomicStart, ir.AtomicEnd)):
+            return 0  # charged via region_entry/commit below
+        return self.alu
+
+    def checkpoint_cycles(self, volatile_words: int) -> int:
+        return self.ckpt_base + self.ckpt_per_word * volatile_words
+
+    def region_entry_cycles(self, volatile_words: int, omega_words: int) -> int:
+        return (
+            self.region_base
+            + self.region_per_volatile_word * volatile_words
+            + self.region_per_nv_word * omega_words
+        )
+
+    def energy(self, cycles: int) -> int:
+        return cycles * self.energy_per_cycle
+
+
+DEFAULT_COSTS = CostModel()

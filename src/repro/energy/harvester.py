@@ -1,0 +1,73 @@
+"""Harvest sources: how fast the capacitor recharges while the node is off.
+
+The paper harvests RF from a PowerCast transmitter 10 inches away; the
+off-time between bursts is "dictated by the physical environment"
+(Section 7.2).  We model a harvester as a seeded source of charging rates:
+given the energy deficit, it answers how many cycles of off-time pass
+before the node can boot again.
+
+Determinism: every harvester is a pure function of its seed and call
+index, so whole experiments replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ConstantHarvester:
+    """Fixed charging rate: ``rate`` energy units per kilocycle."""
+
+    rate_per_kilocycle: int
+
+    def off_cycles(self, deficit: int) -> int:
+        if self.rate_per_kilocycle <= 0:
+            raise ValueError("harvest rate must be positive")
+        return max(1, (deficit * 1000) // self.rate_per_kilocycle)
+
+
+@dataclass
+class NoisyHarvester:
+    """RF-like harvester: base rate with multiplicative seeded jitter.
+
+    Jitter spans ``[1/spread, spread]`` around the base rate, drawn from a
+    seeded RNG -- successive power failures see different off-times, which
+    is what makes intermittent violation timing vary (Table 2b).
+    """
+
+    rate_per_kilocycle: int
+    seed: int = 0
+    spread: float = 3.0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rate_per_kilocycle <= 0:
+            raise ValueError("harvest rate must be positive")
+        if self.spread < 1.0:
+            raise ValueError("spread must be >= 1")
+        self._rng = random.Random(self.seed)
+
+    def off_cycles(self, deficit: int) -> int:
+        factor = self._rng.uniform(1.0 / self.spread, self.spread)
+        effective = max(1.0, self.rate_per_kilocycle * factor)
+        return max(1, int(deficit * 1000 / effective))
+
+
+@dataclass
+class TraceHarvester:
+    """Replay a fixed sequence of off-times (cycles), wrapping around.
+
+    Useful for regression tests that need exact, hand-picked gaps.
+    """
+
+    off_times: list[int]
+    _idx: int = 0
+
+    def off_cycles(self, deficit: int) -> int:
+        if not self.off_times:
+            raise ValueError("empty off-time trace")
+        value = self.off_times[self._idx % len(self.off_times)]
+        self._idx += 1
+        return max(1, value)

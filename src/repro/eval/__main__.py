@@ -1,0 +1,5 @@
+"""``python -m repro.eval`` entry point."""
+
+from repro.eval.runner import main
+
+raise SystemExit(main())

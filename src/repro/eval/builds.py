@@ -1,0 +1,22 @@
+"""Shared, cached builds of the six benchmarks in all three configurations."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.apps import BENCHMARKS, BenchmarkMeta
+from repro.core.pipeline import CONFIGS, CompiledProgram, compile_source
+
+
+@lru_cache(maxsize=None)
+def build(name: str, config: str) -> CompiledProgram:
+    meta = BENCHMARKS[name]
+    return compile_source(meta.source, config=config)
+
+
+def all_builds(name: str) -> dict[str, CompiledProgram]:
+    return {config: build(name, config) for config in CONFIGS}
+
+
+def meta_of(name: str) -> BenchmarkMeta:
+    return BENCHMARKS[name]

@@ -1,0 +1,86 @@
+"""Figure 7: continuous-power runtimes of JIT / Atomics-only / Ocelot.
+
+Each benchmark runs on continuous power under all three build
+configurations; runtimes are averaged over many activations (the sensed
+environment evolves with logical time, so single activations are noisy)
+and normalized to the JIT build.  Paper shape targets: Ocelot's geometric
+mean within ~10% of JIT; Atomics-only similar except CEM (~2.5x, its undo
+log must back the whole compressed-log structure) and Tire (slightly
+*faster* than Ocelot, because the flattened outer region amortizes the
+frequently-executing inferred region inside it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import BENCHMARKS
+from repro.core.pipeline import CONFIGS
+from repro.eval.builds import all_builds
+from repro.eval.profiles import CONTINUOUS_ACTIVATIONS
+from repro.eval.report import Table, geometric_mean
+from repro.runtime.harness import run_activations
+from repro.runtime.supply import ContinuousPower
+
+
+@dataclass
+class Figure7Row:
+    app: str
+    cycles: dict[str, float]  # config -> mean on-cycles per activation
+
+    def normalized(self, config: str) -> float:
+        return self.cycles[config] / self.cycles["jit"]
+
+
+def measure_figure7(
+    activations: int = CONTINUOUS_ACTIVATIONS, seed: int = 0
+) -> list[Figure7Row]:
+    rows: list[Figure7Row] = []
+    for name, meta in BENCHMARKS.items():
+        builds = all_builds(name)
+        costs = meta.cost_model()
+        cycles: dict[str, float] = {}
+        for config in CONFIGS:
+            env = meta.env_factory(seed)
+            result = run_activations(
+                builds[config],
+                env,
+                ContinuousPower(),
+                budget_cycles=10**12,
+                costs=costs,
+                max_activations=activations,
+            )
+            assert result.records, f"{name}/{config} produced no activations"
+            cycles[config] = result.total_cycles_on / len(result.records)
+        rows.append(Figure7Row(app=name, cycles=cycles))
+    return rows
+
+
+def figure7(rows: list[Figure7Row] | None = None) -> Table:
+    rows = rows if rows is not None else measure_figure7()
+    table = Table(
+        title="Figure 7: Continuous runtimes, normalized to JIT",
+        headers=["App", "JIT cycles", "Ocelot", "Atomics-only"],
+    )
+    for row in rows:
+        table.add_row(
+            row.app,
+            int(row.cycles["jit"]),
+            row.normalized("ocelot"),
+            row.normalized("atomics"),
+        )
+    table.add_row(
+        "gmean",
+        "-",
+        geometric_mean([r.normalized("ocelot") for r in rows]),
+        geometric_mean([r.normalized("atomics") for r in rows]),
+    )
+    table.add_note(
+        "paper: Ocelot gmean ~1.07; Atomics-only ~2.5x on CEM and slightly "
+        "faster than Ocelot on Tire"
+    )
+    return table
+
+
+if __name__ == "__main__":
+    print(figure7().render_text())

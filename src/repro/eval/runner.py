@@ -1,0 +1,59 @@
+"""Run the whole evaluation and render every table and figure.
+
+``python -m repro.eval`` prints the full set; ``--markdown`` emits the
+Markdown used to refresh EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.eval.figure7 import figure7, measure_figure7
+from repro.eval.figure8 import figure8, measure_figure8
+from repro.eval.report import Table
+from repro.eval.table1 import table1
+from repro.eval.table2 import measure_table2a, measure_table2b, table2a, table2b
+from repro.eval.table3 import table3
+from repro.eval.table4 import table4
+
+
+def run_all(seed: int = 0) -> list[Table]:
+    """Every table/figure of the evaluation, measured fresh."""
+    continuous = measure_figure7(seed=seed)
+    tables = [
+        table1(),
+        figure7(continuous),
+        figure8(measure_figure8(seed=seed, continuous=continuous)),
+        table2a(measure_table2a(seed=seed)),
+        table2b(measure_table2b(seed=seed)),
+        table3(),
+        table4(),
+    ]
+    return tables
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit Markdown instead of text"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    tables = run_all(seed=args.seed)
+    for table in tables:
+        if args.markdown:
+            print(table.render_markdown())
+        else:
+            print(table.render_text())
+        print()
+    elapsed = time.time() - started
+    print(f"(evaluation completed in {elapsed:.1f}s)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

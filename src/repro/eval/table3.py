@@ -1,0 +1,27 @@
+"""Table 3: characterizing the strategy of each system.
+
+An analytic table (the paper's Table 3): what constructs each system gives
+the programmer, how they are used, the LoC-change model, and whether the
+result correctly upholds freshness and temporal consistency.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.effort import STRATEGY_TABLE
+from repro.eval.report import Table
+
+
+def table3() -> Table:
+    table = Table(
+        title="Table 3: Strategy characterization",
+        headers=["System", "Constructs", "Strategy", "LoC model", "Upholds?"],
+    )
+    for row in STRATEGY_TABLE:
+        table.add_row(
+            row.system, row.constructs, row.strategy, row.loc_model, row.upholds
+        )
+    return table
+
+
+if __name__ == "__main__":
+    print(table3().render_text())

@@ -1,0 +1,63 @@
+"""Table 4: modeled LoC changes to enable correct execution, per system.
+
+Applies the Section 7.4 effort models (:mod:`repro.baselines.effort`) to
+each benchmark's annotation shape and prints our value next to the paper's
+for every cell.  The shape that matters: Ocelot needs the fewest changes
+everywhere, with TICS and Samoyed multiples higher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import BENCHMARKS
+from repro.baselines.effort import ocelot_effort, samoyed_effort, tics_effort
+from repro.eval.report import Table
+
+
+@dataclass
+class Table4Row:
+    app: str
+    ours: dict[str, int]
+    paper: dict[str, int]
+
+
+def measure_table4() -> list[Table4Row]:
+    rows: list[Table4Row] = []
+    for meta in BENCHMARKS.values():
+        rows.append(
+            Table4Row(
+                app=meta.name,
+                ours={
+                    "ocelot": ocelot_effort(meta),
+                    "tics": tics_effort(meta),
+                    "samoyed": samoyed_effort(meta),
+                },
+                paper=dict(meta.paper_effort),
+            )
+        )
+    return rows
+
+
+def table4(rows: list[Table4Row] | None = None) -> Table:
+    rows = rows if rows is not None else measure_table4()
+    table = Table(
+        title="Table 4: Modeled LoC changes (ours / paper)",
+        headers=["App", "Ocelot", "TICS", "Samoyed"],
+    )
+    for row in rows:
+        table.add_row(
+            row.app,
+            f"{row.ours['ocelot']} / {row.paper['ocelot']}",
+            f"{row.ours['tics']} / {row.paper['tics']}",
+            f"{row.ours['samoyed']} / {row.paper['samoyed']}",
+        )
+    table.add_note(
+        "Ocelot needs no real-time reasoning and no dataflow reasoning; "
+        "TICS needs real-time, Samoyed needs dataflow (paper Table 4)"
+    )
+    return table
+
+
+if __name__ == "__main__":
+    print(table4().render_text())

@@ -1,0 +1,142 @@
+"""ASCII execution timelines: the paper's Figure 1/2 pictures, from traces.
+
+Renders one intermittent execution as a set of horizontal tracks over
+logical time::
+
+    power   ###########....############....#######
+    region  ...[=====]......[========]............
+    events  ..I..I...C..........I.I..V............
+
+* ``power``  -- ``#`` while on, ``.`` while off/charging,
+* ``region`` -- ``=`` inside an atomic extent (``[``/``]`` entry/commit),
+* ``events`` -- ``I`` input, ``C`` checkpoint, ``R`` reboot, ``O`` output,
+  ``V`` violation.
+
+Useful in examples and debugging sessions; tested like any renderer
+(structure, not pixels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime import observations as obs
+
+
+@dataclass
+class Timeline:
+    """A rendered timeline: fixed-width tracks plus the time scale."""
+
+    width: int
+    start_tau: int
+    end_tau: int
+    power: str
+    region: str
+    events: str
+
+    @property
+    def cycles_per_column(self) -> float:
+        span = max(1, self.end_tau - self.start_tau)
+        return span / self.width
+
+    def render(self) -> str:
+        scale = (
+            f"tau {self.start_tau} .. {self.end_tau} "
+            f"({self.cycles_per_column:.0f} cycles/column)"
+        )
+        return "\n".join(
+            [
+                f"power   {self.power}",
+                f"region  {self.region}",
+                f"events  {self.events}",
+                f"        {scale}",
+            ]
+        )
+
+
+_EVENT_GLYPHS = [
+    (obs.ViolationObs, "V"),
+    (obs.RebootObs, "R"),
+    (obs.CheckpointObs, "C"),
+    (obs.InputObs, "I"),
+    (obs.OutputObs, "O"),
+    (obs.RegionEnterObs, "["),
+    (obs.RegionExitObs, "]"),
+]
+
+#: Priority when several events share a column (highest wins).
+_PRIORITY = {glyph: rank for rank, (_, glyph) in enumerate(reversed(_EVENT_GLYPHS))}
+
+
+def build_timeline(trace: obs.Trace, width: int = 72) -> Timeline:
+    """Render ``trace`` into ``width`` columns."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    events = list(trace)
+    if not events:
+        return Timeline(
+            width=width,
+            start_tau=0,
+            end_tau=0,
+            power="." * width,
+            region="." * width,
+            events="." * width,
+        )
+    start = min(e.tau for e in events)
+    end = max(e.tau for e in events)
+    span = max(1, end - start)
+
+    def column(tau: int) -> int:
+        return min(width - 1, int((tau - start) * width / span))
+
+    # Off intervals: between a PowerFailObs and the following RebootObs.
+    power = ["#"] * width
+    fail_tau: int | None = None
+    for event in events:
+        if isinstance(event, obs.PowerFailObs):
+            fail_tau = event.tau
+        elif isinstance(event, obs.RebootObs) and fail_tau is not None:
+            for col in range(column(fail_tau), column(event.tau) + 1):
+                power[col] = "."
+            fail_tau = None
+
+    # Region extents: between enter and exit/reboot-restart.
+    region = ["."] * width
+    open_tau: int | None = None
+    for event in events:
+        if isinstance(event, obs.RegionEnterObs):
+            open_tau = event.tau
+        elif isinstance(event, obs.RegionExitObs) and open_tau is not None:
+            lo, hi = column(open_tau), column(event.tau)
+            for col in range(lo, hi + 1):
+                region[col] = "="
+            region[lo] = "["
+            region[hi] = "]"
+            open_tau = None
+
+    marks = ["."] * width
+    for event in events:
+        glyph = None
+        for kind, candidate in _EVENT_GLYPHS:
+            if isinstance(event, kind):
+                glyph = candidate
+                break
+        if glyph is None or glyph in "[]":
+            continue
+        col = column(event.tau)
+        if marks[col] == "." or _PRIORITY[glyph] > _PRIORITY.get(marks[col], -1):
+            marks[col] = glyph
+
+    return Timeline(
+        width=width,
+        start_tau=start,
+        end_tau=end,
+        power="".join(power),
+        region="".join(region),
+        events="".join(marks),
+    )
+
+
+def render_timeline(trace: obs.Trace, width: int = 72) -> str:
+    """One-call convenience: build and render."""
+    return build_timeline(trace, width).render()

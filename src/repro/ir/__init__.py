@@ -1,0 +1,41 @@
+"""Intermediate representation: CFG functions, dominators, call graph.
+
+This package plays the role LLVM plays for the paper's Ocelot prototype:
+the analyses (taint, policies, region inference) and the runtime all
+operate on this IR.
+"""
+
+from repro.ir.callgraph import CallGraph, CallSite, build_call_graph
+from repro.ir.dominators import (
+    DomTree,
+    control_dependence,
+    dominator_tree,
+    postdominator_tree,
+)
+from repro.ir.instructions import InstrId
+from repro.ir.lowering import LoweringOptions, lower_program
+from repro.ir.module import BasicBlock, IRError, IRFunction, Module
+from repro.ir.printer import print_instr, print_ir_function, print_module
+from repro.ir.verify import verify_function, verify_module
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "build_call_graph",
+    "DomTree",
+    "control_dependence",
+    "dominator_tree",
+    "postdominator_tree",
+    "InstrId",
+    "LoweringOptions",
+    "lower_program",
+    "BasicBlock",
+    "IRError",
+    "IRFunction",
+    "Module",
+    "print_instr",
+    "print_ir_function",
+    "print_module",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,207 @@
+"""Dominator and post-dominator analysis.
+
+Implements the Cooper-Harvey-Kennedy iterative dominance algorithm, applied
+forward (dominators, rooted at the entry block) and backward (post-
+dominators, rooted at the unified exit block the lowering guarantees).
+
+Region inference (Algorithm 1 of the paper) uses the tree for its
+``closestCommonDominator`` / ``closestCommonPostDominator`` queries, which
+are lowest-common-ancestor lookups here.  Control dependence -- needed to
+match Ocelot's "data or control dependent" taint rule -- is derived from
+the post-dominator tree with the classic Ferrante-Ottenstein-Warren
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.module import IRFunction
+
+
+@dataclass
+class DomTree:
+    """An immediate-dominator tree over basic block names.
+
+    ``idom[root] == root`` by convention; every other node maps to its
+    immediate dominator.  Unreachable nodes are absent.
+    """
+
+    root: str
+    idom: dict[str, str]
+    _depth: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self._depth:
+            self._depth = self._compute_depths()
+
+    def _compute_depths(self) -> dict[str, int]:
+        depth = {self.root: 0}
+        remaining = [n for n in self.idom if n != self.root]
+        # Nodes form a tree; resolve depths by repeated passes (graphs are
+        # tiny, and every pass resolves at least one node).
+        while remaining:
+            progressed = False
+            next_round = []
+            for node in remaining:
+                parent = self.idom[node]
+                if parent in depth:
+                    depth[node] = depth[parent] + 1
+                    progressed = True
+                else:
+                    next_round.append(node)
+            if not progressed:
+                raise ValueError("immediate-dominator map is not a tree")
+            remaining = next_round
+        return depth
+
+    def depth(self, node: str) -> int:
+        return self._depth[node]
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True iff ``a`` dominates ``b`` (reflexive)."""
+        node = b
+        while True:
+            if node == a:
+                return True
+            if node == self.root:
+                return False
+            node = self.idom[node]
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def lca(self, a: str, b: str) -> str:
+        """Lowest common ancestor: the closest node dominating both."""
+        while self._depth[a] > self._depth[b]:
+            a = self.idom[a]
+        while self._depth[b] > self._depth[a]:
+            b = self.idom[b]
+        while a != b:
+            a = self.idom[a]
+            b = self.idom[b]
+        return a
+
+    def common_ancestor(self, nodes: list[str]) -> str:
+        """Closest node dominating every node in ``nodes`` (non-empty)."""
+        if not nodes:
+            raise ValueError("common_ancestor of no nodes")
+        result = nodes[0]
+        for node in nodes[1:]:
+            result = self.lca(result, node)
+        return result
+
+    def dominators_of(self, node: str) -> list[str]:
+        """All dominators of ``node``, from ``node`` up to the root."""
+        chain = [node]
+        while node != self.root:
+            node = self.idom[node]
+            chain.append(node)
+        return chain
+
+
+def _reverse_postorder(succ: dict[str, list[str]], root: str) -> list[str]:
+    order: list[str] = []
+    seen: set[str] = set()
+    # Iterative post-order DFS.
+    stack: list[tuple[str, int]] = [(root, 0)]
+    seen.add(root)
+    while stack:
+        node, idx = stack[-1]
+        children = succ.get(node, [])
+        if idx < len(children):
+            stack[-1] = (node, idx + 1)
+            child = children[idx]
+            if child not in seen:
+                seen.add(child)
+                stack.append((child, 0))
+        else:
+            order.append(node)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def _dominator_tree(succ: dict[str, list[str]], root: str) -> DomTree:
+    """Cooper-Harvey-Kennedy iterative dominance on an arbitrary digraph."""
+    rpo = _reverse_postorder(succ, root)
+    rpo_index = {name: i for i, name in enumerate(rpo)}
+    preds: dict[str, list[str]] = {name: [] for name in rpo}
+    for node in rpo:
+        for child in succ.get(node, []):
+            if child in rpo_index:
+                preds[child].append(node)
+
+    idom: dict[str, str] = {root: root}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while rpo_index[a] > rpo_index[b]:
+                a = idom[a]
+            while rpo_index[b] > rpo_index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == root:
+                continue
+            candidates = [p for p in preds[node] if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for pred in candidates[1:]:
+                new_idom = intersect(pred, new_idom)
+            if idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    return DomTree(root=root, idom=idom)
+
+
+def dominator_tree(func: IRFunction) -> DomTree:
+    """Dominator tree of ``func``'s CFG, rooted at the entry block."""
+    succ = {name: block.successors() for name, block in func.blocks.items()}
+    return _dominator_tree(succ, func.entry)
+
+
+def postdominator_tree(func: IRFunction) -> DomTree:
+    """Post-dominator tree, rooted at the unified exit block.
+
+    The lowering guarantees a single ``RetInstr`` landing-pad block, so the
+    reverse CFG has a unique root and the tree is total over reachable
+    blocks (the paper leans on the same property, Section 6.2).
+    """
+    reverse: dict[str, list[str]] = {name: [] for name in func.blocks}
+    for name, block in func.blocks.items():
+        for succ_name in block.successors():
+            reverse[succ_name].append(name)
+    return _dominator_tree(reverse, func.exit)
+
+
+def control_dependence(func: IRFunction) -> dict[str, set[str]]:
+    """Map each block to the set of blocks it is control-dependent on.
+
+    Ferrante-Ottenstein-Warren: ``b`` is control dependent on ``a`` iff
+    ``a`` has a successor ``s`` such that ``b`` post-dominates ``s`` but
+    ``b`` does not strictly post-dominate ``a``.
+    """
+    pdom = postdominator_tree(func)
+    deps: dict[str, set[str]] = {name: set() for name in func.blocks}
+    for a, block in func.blocks.items():
+        successors = block.successors()
+        if len(successors) < 2:
+            continue
+        for s in successors:
+            # Walk the post-dominator chain from s up to (but excluding)
+            # a's immediate post-dominator: those blocks depend on a.
+            stop = pdom.idom[a] if a != pdom.root else pdom.root
+            node = s
+            while node != stop:
+                if node != a:
+                    deps[node].add(a)
+                if node == pdom.root:
+                    break
+                node = pdom.idom[node]
+    return deps

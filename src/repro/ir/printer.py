@@ -1,0 +1,94 @@
+"""Human-readable IR dump, in the spirit of ``llvm-dis`` output.
+
+Used by tests (golden comparisons on structure) and by the examples to show
+what Ocelot inserted.
+"""
+
+from __future__ import annotations
+
+from repro.ir import instructions as ir
+from repro.ir.module import IRFunction, Module
+from repro.lang.printer import print_expr
+
+
+def _operand(op: ir.Operand) -> str:
+    if isinstance(op, ir.RefArg):
+        return str(op)
+    return print_expr(op)
+
+
+def print_instr(instr: ir.Instr) -> str:
+    label = f"%{instr.uid.label}"
+    if isinstance(instr, ir.Assign):
+        tag = "" if instr.scope == ir.SCOPE_LOCAL else " [nv]"
+        return f"{label}: {instr.dest} := {print_expr(instr.expr)}{tag}"
+    if isinstance(instr, ir.InputInstr):
+        return f"{label}: {instr.dest} := input({instr.channel})"
+    if isinstance(instr, ir.CallInstr):
+        args = ", ".join(_operand(a) for a in instr.args)
+        dest = f"{instr.dest} := " if instr.dest else ""
+        return f"{label}: {dest}call {instr.func}({args})"
+    if isinstance(instr, ir.StoreRefInstr):
+        return f"{label}: *{instr.param} := {print_expr(instr.expr)}"
+    if isinstance(instr, ir.StoreArr):
+        return (
+            f"{label}: {instr.array}[{print_expr(instr.index)}] := "
+            f"{print_expr(instr.expr)}"
+        )
+    if isinstance(instr, ir.AnnotInstr):
+        if instr.set_id is None:
+            return f"{label}: annot {instr.kind}({instr.var})"
+        return f"{label}: annot {instr.kind}({instr.var}, {instr.set_id})"
+    if isinstance(instr, ir.AtomicStart):
+        omega = ", ".join(sorted(instr.omega))
+        return f"{label}: atomic_start {instr.region} [{instr.origin}] omega={{{omega}}}"
+    if isinstance(instr, ir.AtomicEnd):
+        return f"{label}: atomic_end {instr.region} [{instr.origin}]"
+    if isinstance(instr, ir.OutputInstr):
+        args = ", ".join(print_expr(a) for a in instr.args)
+        return f"{label}: {instr.op}({args})"
+    if isinstance(instr, ir.WorkInstr):
+        return f"{label}: work({print_expr(instr.cycles)})"
+    if isinstance(instr, ir.SkipInstr):
+        return f"{label}: skip"
+    if isinstance(instr, ir.Jump):
+        return f"{label}: br {instr.target}"
+    if isinstance(instr, ir.Branch):
+        return (
+            f"{label}: br {print_expr(instr.cond)} ? {instr.true_target} "
+            f": {instr.false_target}"
+        )
+    if isinstance(instr, ir.RetInstr):
+        if instr.expr is None:
+            return f"{label}: ret"
+        return f"{label}: ret {print_expr(instr.expr)}"
+    raise TypeError(f"unknown instruction {type(instr).__name__}")
+
+
+def print_ir_function(func: IRFunction) -> str:
+    params = ", ".join(("&" + p.name) if p.by_ref else p.name for p in func.params)
+    lines = [f"fn {func.name}({params}) {{"]
+    ordered = [func.entry]
+    ordered += [n for n in func.blocks if n not in (func.entry, func.exit)]
+    if func.exit != func.entry:
+        ordered.append(func.exit)
+    for name in ordered:
+        block = func.blocks[name]
+        lines.append(f"  {name}:")
+        for instr in block.all_instrs():
+            lines.append(f"    {print_instr(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    chunks: list[str] = []
+    if module.channels:
+        chunks.append("; channels: " + ", ".join(module.channels))
+    for name, value in module.globals.items():
+        chunks.append(f"; nonvolatile {name} = {value}")
+    for name, values in module.arrays.items():
+        chunks.append(f"; nonvolatile {name}[{len(values)}]")
+    for func in module.functions.values():
+        chunks.append(print_ir_function(func))
+    return "\n\n".join(chunks) + "\n"

@@ -1,0 +1,30 @@
+"""Front end for the Ocelot modeling language (Appendix A of the paper).
+
+Public surface:
+
+* :func:`repro.lang.parser.parse_program` -- text to labeled AST,
+* :func:`repro.lang.printer.print_program` -- AST back to text,
+* :func:`repro.lang.validate.validate_program` -- semantic checks,
+* :mod:`repro.lang.ast` -- node classes and traversal helpers.
+"""
+
+from repro.lang.ast import Program
+from repro.lang.errors import LangError, LexError, ParseError, SemanticError
+from repro.lang.parser import parse_function, parse_program
+from repro.lang.printer import print_expr, print_function, print_program
+from repro.lang.validate import ProgramInfo, validate_program
+
+__all__ = [
+    "Program",
+    "LangError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "parse_program",
+    "parse_function",
+    "print_expr",
+    "print_function",
+    "print_program",
+    "ProgramInfo",
+    "validate_program",
+]

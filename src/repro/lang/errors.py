@@ -1,0 +1,67 @@
+"""Error types shared by the language front end.
+
+Every front-end failure carries a :class:`SourceSpan` so that callers (and
+tests) can pinpoint the offending token.  The span is intentionally small --
+line / column pairs -- because the modeling language is meant for programs of
+a few hundred lines, matching the benchmarks in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A half-open region of source text, ``(line, col)`` to ``(end_line, end_col)``.
+
+    Lines and columns are 1-based, matching most editors.  A zero-width span
+    (``line == end_line`` and ``col == end_col``) marks a point, which is how
+    synthesized nodes (e.g. unrolled loop bodies) are tagged.
+    """
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+
+    @staticmethod
+    def point(line: int, col: int) -> "SourceSpan":
+        return SourceSpan(line, col, line, col)
+
+    @staticmethod
+    def synthetic() -> "SourceSpan":
+        """Span for nodes that have no surface-syntax origin."""
+        return SourceSpan(0, 0, 0, 0)
+
+    def merge(self, other: "SourceSpan") -> "SourceSpan":
+        """Smallest span covering both ``self`` and ``other``."""
+        start = min((self.line, self.col), (other.line, other.col))
+        end = max((self.end_line, self.end_col), (other.end_line, other.end_col))
+        return SourceSpan(start[0], start[1], end[0], end[1])
+
+    def __str__(self) -> str:
+        if self == SourceSpan.synthetic():
+            return "<synthetic>"
+        return f"{self.line}:{self.col}"
+
+
+class LangError(Exception):
+    """Base class for all front-end errors."""
+
+    def __init__(self, message: str, span: SourceSpan | None = None):
+        self.span = span or SourceSpan.synthetic()
+        super().__init__(f"{self.span}: {message}" if span else message)
+        self.message = message
+
+
+class LexError(LangError):
+    """Raised when the lexer meets a character it cannot tokenize."""
+
+
+class ParseError(LangError):
+    """Raised when the token stream does not match the grammar."""
+
+
+class SemanticError(LangError):
+    """Raised by post-parse validation (duplicate functions, bad arity, ...)."""

@@ -1,0 +1,164 @@
+"""Tokenizer for the Ocelot modeling language.
+
+A small hand-written scanner: the grammar has no context sensitivity, so a
+single-pass lexer with one character of lookahead suffices.  Comments are
+``//`` to end of line.  Keywords are carved out of the identifier rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lang.errors import LexError, SourceSpan
+
+
+class TokenKind:
+    INT = "INT"
+    IDENT = "IDENT"
+    KEYWORD = "KEYWORD"
+    OP = "OP"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+KEYWORDS = frozenset(
+    {
+        "fn",
+        "let",
+        "fresh",
+        "consistent",
+        "if",
+        "else",
+        "repeat",
+        "atomic",
+        "return",
+        "true",
+        "false",
+        "nonvolatile",
+        "inputs",
+        "input",
+        "skip",
+    }
+)
+
+# Multi-character operators first so maximal munch works by ordered scan.
+_TWO_CHAR_OPS = ("==", "!=", "<=", ">=", "&&", "||")
+_ONE_CHAR_OPS = tuple("+-*/%<>!=&")
+_PUNCT = tuple("(){}[];,")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    span: SourceSpan
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.text == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == TokenKind.OP and self.text == op
+
+    def is_punct(self, punct: str) -> bool:
+        return self.kind == TokenKind.PUNCT and self.text == punct
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+class Lexer:
+    """Scans source text into a token stream ending with a single EOF token."""
+
+    def __init__(self, source: str):
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokens(self) -> list[Token]:
+        return list(self._scan())
+
+    # -- internals ----------------------------------------------------------
+
+    def _scan(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            if self._pos >= len(self._source):
+                yield Token(TokenKind.EOF, "", SourceSpan.point(self._line, self._col))
+                return
+            yield self._next_token()
+
+    def _skip_trivia(self) -> None:
+        src = self._source
+        while self._pos < len(src):
+            ch = src[self._pos]
+            if ch in " \t\r":
+                self._advance()
+            elif ch == "\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < len(src) and src[self._pos] != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        start_line, start_col = self._line, self._col
+        ch = self._source[self._pos]
+
+        if ch.isdigit():
+            text = self._take_while(str.isdigit)
+            return self._mk(TokenKind.INT, text, start_line, start_col)
+
+        if ch.isalpha() or ch == "_":
+            text = self._take_while(lambda c: c.isalnum() or c == "_")
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            return self._mk(kind, text, start_line, start_col)
+
+        two = self._source[self._pos : self._pos + 2]
+        if two in _TWO_CHAR_OPS:
+            self._advance()
+            self._advance()
+            return self._mk(TokenKind.OP, two, start_line, start_col)
+
+        if ch in _ONE_CHAR_OPS:
+            self._advance()
+            return self._mk(TokenKind.OP, ch, start_line, start_col)
+
+        if ch in _PUNCT:
+            self._advance()
+            return self._mk(TokenKind.PUNCT, ch, start_line, start_col)
+
+        raise LexError(
+            f"unexpected character {ch!r}", SourceSpan.point(start_line, start_col)
+        )
+
+    def _mk(self, kind: str, text: str, line: int, col: int) -> Token:
+        span = SourceSpan(line, col, self._line, self._col)
+        return Token(kind, text, span)
+
+    def _take_while(self, pred) -> str:
+        start = self._pos
+        while self._pos < len(self._source) and pred(self._source[self._pos]):
+            self._advance()
+        return self._source[start : self._pos]
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self._pos + offset
+        if idx < len(self._source):
+            return self._source[idx]
+        return ""
+
+    def _advance(self) -> None:
+        if self._source[self._pos] == "\n":
+            self._line += 1
+            self._col = 1
+        else:
+            self._col += 1
+        self._pos += 1
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: lex ``source`` into a token list (EOF-terminated)."""
+    return Lexer(source).tokens()

@@ -1,0 +1,466 @@
+"""Recursive-descent parser for the Ocelot modeling language.
+
+Grammar (EBNF, ``//`` comments and whitespace elided by the lexer)::
+
+    program  := decl*
+    decl     := 'inputs' IDENT (',' IDENT)* ';'
+              | 'nonvolatile' IDENT scalar-or-array ';'
+              | 'fn' IDENT '(' [param (',' param)*] ')' block
+    param    := ['&'] IDENT
+    block    := '{' stmt* '}'
+    stmt     := 'let' ['fresh' | 'consistent' '(' INT ')'] IDENT '=' expr ';'
+              | 'if' expr block ['else' (block | if-stmt)]
+              | 'repeat' INT block
+              | 'atomic' block
+              | 'return' [expr] ';'
+              | 'skip' ';'
+              | '*' IDENT '=' expr ';'
+              | IDENT '[' expr ']' '=' expr ';'
+              | IDENT '=' expr ';'
+              | expr ';'
+
+    expr     := or
+    or       := and ('||' and)*
+    and      := cmp ('&&' cmp)*
+    cmp      := add [('<'|'<='|'>'|'>='|'=='|'!=') add]
+    add      := mul (('+'|'-') mul)*
+    mul      := unary (('*'|'/'|'%') unary)*
+    unary    := ('-'|'!') unary | primary
+    primary  := INT | 'true' | 'false' | '(' expr ')' | '&' IDENT
+              | 'input' '(' IDENT ')'
+              | IDENT ['(' [expr (',' expr)*] ')' | '[' expr ']']
+
+Statement-position calls named ``Fresh`` / ``Consistent`` (capitalized, as in
+the paper's Rust surface syntax) are recognized as annotation statements.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang import ast
+from repro.lang.errors import ParseError, SemanticError
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+_CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._idx = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self._idx + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok.kind != TokenKind.EOF:
+            self._idx += 1
+        return tok
+
+    def _expect_punct(self, punct: str) -> Token:
+        tok = self._next()
+        if not tok.is_punct(punct):
+            raise ParseError(f"expected '{punct}', found {tok}", tok.span)
+        return tok
+
+    def _expect_op(self, op: str) -> Token:
+        tok = self._next()
+        if not tok.is_op(op):
+            raise ParseError(f"expected '{op}', found {tok}", tok.span)
+        return tok
+
+    def _expect_kw(self, word: str) -> Token:
+        tok = self._next()
+        if not tok.is_kw(word):
+            raise ParseError(f"expected '{word}', found {tok}", tok.span)
+        return tok
+
+    def _expect_ident(self) -> Token:
+        tok = self._next()
+        if tok.kind != TokenKind.IDENT:
+            raise ParseError(f"expected identifier, found {tok}", tok.span)
+        return tok
+
+    def _expect_int(self) -> tuple[int, Token]:
+        tok = self._next()
+        if tok.kind != TokenKind.INT:
+            raise ParseError(f"expected integer, found {tok}", tok.span)
+        return int(tok.text), tok
+
+    # -- declarations ---------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        functions: dict[str, ast.FuncDecl] = {}
+        globals_: dict[str, ast.GlobalDecl] = {}
+        arrays: dict[str, ast.ArrayDecl] = {}
+        channels: list[str] = []
+
+        while not self._peek().kind == TokenKind.EOF:
+            tok = self._peek()
+            if tok.is_kw("fn"):
+                func = self._parse_function()
+                if func.name in functions:
+                    raise SemanticError(
+                        f"duplicate function '{func.name}'", func.span
+                    )
+                functions[func.name] = func
+            elif tok.is_kw("inputs"):
+                channels.extend(self._parse_inputs_decl())
+            elif tok.is_kw("nonvolatile"):
+                decl = self._parse_nonvolatile_decl()
+                name = decl.name
+                if name in globals_ or name in arrays:
+                    raise SemanticError(f"duplicate nonvolatile '{name}'", decl.span)
+                if isinstance(decl, ast.ArrayDecl):
+                    arrays[name] = decl
+                else:
+                    globals_[name] = decl
+            else:
+                raise ParseError(f"expected declaration, found {tok}", tok.span)
+
+        program = ast.Program(
+            functions=functions, globals=globals_, arrays=arrays, channels=channels
+        )
+        ast.assign_labels(program)
+        return program
+
+    def _parse_inputs_decl(self) -> list[str]:
+        self._expect_kw("inputs")
+        names = [self._expect_ident().text]
+        while self._peek().is_punct(","):
+            self._next()
+            names.append(self._expect_ident().text)
+        self._expect_punct(";")
+        return names
+
+    def _parse_nonvolatile_decl(self):
+        start = self._expect_kw("nonvolatile")
+        name = self._expect_ident().text
+        if self._peek().is_punct("["):
+            self._next()
+            size, _ = self._expect_int()
+            self._expect_punct("]")
+            init: Optional[list[int]] = None
+            if self._peek().is_op("="):
+                self._next()
+                init = self._parse_int_list()
+                if len(init) != size:
+                    raise SemanticError(
+                        f"array '{name}' declares {size} elements but "
+                        f"initializes {len(init)}",
+                        start.span,
+                    )
+            self._expect_punct(";")
+            return ast.ArrayDecl(name=name, size=size, init=init, span=start.span)
+        init_val = 0
+        if self._peek().is_op("="):
+            self._next()
+            negate = False
+            if self._peek().is_op("-"):
+                self._next()
+                negate = True
+            init_val, _ = self._expect_int()
+            if negate:
+                init_val = -init_val
+        self._expect_punct(";")
+        return ast.GlobalDecl(name=name, init=init_val, span=start.span)
+
+    def _parse_int_list(self) -> list[int]:
+        self._expect_punct("[")
+        values: list[int] = []
+        if not self._peek().is_punct("]"):
+            values.append(self._parse_signed_int())
+            while self._peek().is_punct(","):
+                self._next()
+                values.append(self._parse_signed_int())
+        self._expect_punct("]")
+        return values
+
+    def _parse_signed_int(self) -> int:
+        negate = False
+        if self._peek().is_op("-"):
+            self._next()
+            negate = True
+        value, _ = self._expect_int()
+        return -value if negate else value
+
+    def _parse_function(self) -> ast.FuncDecl:
+        start = self._expect_kw("fn")
+        name = self._expect_ident().text
+        self._expect_punct("(")
+        params: list[ast.Param] = []
+        if not self._peek().is_punct(")"):
+            params.append(self._parse_param())
+            while self._peek().is_punct(","):
+                self._next()
+                params.append(self._parse_param())
+        self._expect_punct(")")
+        body = self._parse_block()
+        return ast.FuncDecl(name=name, params=params, body=body, span=start.span)
+
+    def _parse_param(self) -> ast.Param:
+        by_ref = False
+        if self._peek().is_op("&"):
+            self._next()
+            by_ref = True
+        name = self._expect_ident().text
+        return ast.Param(name=name, by_ref=by_ref)
+
+    # -- statements ------------------------------------------------------------
+
+    def _parse_block(self) -> list[ast.Stmt]:
+        self._expect_punct("{")
+        stmts: list[ast.Stmt] = []
+        while not self._peek().is_punct("}"):
+            stmts.append(self._parse_stmt())
+        self._expect_punct("}")
+        return stmts
+
+    def _parse_stmt(self) -> ast.Stmt:
+        tok = self._peek()
+        if tok.is_kw("let"):
+            return self._parse_let()
+        if tok.is_kw("if"):
+            return self._parse_if()
+        if tok.is_kw("repeat"):
+            return self._parse_repeat()
+        if tok.is_kw("atomic"):
+            start = self._next()
+            body = self._parse_block()
+            return ast.Atomic(body=body, span=start.span)
+        if tok.is_kw("return"):
+            self._next()
+            expr: Optional[ast.Expr] = None
+            if not self._peek().is_punct(";"):
+                expr = self._parse_expr()
+            self._expect_punct(";")
+            return ast.Return(expr=expr, span=tok.span)
+        if tok.is_kw("skip"):
+            self._next()
+            self._expect_punct(";")
+            return ast.Skip(span=tok.span)
+        if tok.is_op("*"):
+            self._next()
+            name = self._expect_ident().text
+            self._expect_op("=")
+            expr = self._parse_expr()
+            self._expect_punct(";")
+            return ast.StoreRef(name=name, expr=expr, span=tok.span)
+        if tok.kind == TokenKind.IDENT:
+            return self._parse_ident_stmt()
+        # Fallback: a bare expression statement (rarely used).
+        expr = self._parse_expr()
+        self._expect_punct(";")
+        return ast.ExprStmt(expr=expr, span=tok.span)
+
+    def _parse_let(self) -> ast.Stmt:
+        start = self._expect_kw("let")
+        annot: Optional[str] = None
+        set_id: Optional[int] = None
+        if self._peek().is_kw("fresh"):
+            self._next()
+            annot = ast.AnnotKind.FRESH
+        elif self._peek().is_kw("consistent"):
+            self._next()
+            self._expect_punct("(")
+            set_id, _ = self._expect_int()
+            self._expect_punct(")")
+            annot = ast.AnnotKind.CONSISTENT
+        name = self._expect_ident().text
+        self._expect_op("=")
+        expr = self._parse_expr()
+        self._expect_punct(";")
+        return ast.Let(name=name, expr=expr, annot=annot, set_id=set_id, span=start.span)
+
+    def _parse_if(self) -> ast.Stmt:
+        start = self._expect_kw("if")
+        cond = self._parse_expr()
+        then_body = self._parse_block()
+        else_body: list[ast.Stmt] = []
+        if self._peek().is_kw("else"):
+            self._next()
+            if self._peek().is_kw("if"):
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_block()
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body, span=start.span)
+
+    def _parse_repeat(self) -> ast.Stmt:
+        start = self._expect_kw("repeat")
+        count, count_tok = self._expect_int()
+        if count <= 0:
+            raise SemanticError("repeat count must be positive", count_tok.span)
+        body = self._parse_block()
+        return ast.Repeat(count=count, body=body, span=start.span)
+
+    def _parse_ident_stmt(self) -> ast.Stmt:
+        name_tok = self._expect_ident()
+        name = name_tok.text
+        nxt = self._peek()
+
+        if nxt.is_punct("["):
+            self._next()
+            index = self._parse_expr()
+            self._expect_punct("]")
+            self._expect_op("=")
+            expr = self._parse_expr()
+            self._expect_punct(";")
+            return ast.StoreIndex(array=name, index=index, expr=expr, span=name_tok.span)
+
+        if nxt.is_op("="):
+            self._next()
+            expr = self._parse_expr()
+            self._expect_punct(";")
+            return ast.Assign(name=name, expr=expr, span=name_tok.span)
+
+        if nxt.is_punct("("):
+            # Annotation statements use the capitalized marker functions of
+            # the paper's Rust syntax: Fresh(x); Consistent(x, n);
+            if name == "Fresh":
+                self._next()
+                var = self._expect_ident().text
+                self._expect_punct(")")
+                self._expect_punct(";")
+                return ast.AnnotStmt(
+                    kind=ast.AnnotKind.FRESH, var=var, span=name_tok.span
+                )
+            if name in ("Consistent", "FreshConsistent"):
+                kind = (
+                    ast.AnnotKind.CONSISTENT
+                    if name == "Consistent"
+                    else ast.AnnotKind.FRESHCON
+                )
+                self._next()
+                var = self._expect_ident().text
+                self._expect_punct(",")
+                set_id, _ = self._expect_int()
+                self._expect_punct(")")
+                self._expect_punct(";")
+                return ast.AnnotStmt(
+                    kind=kind,
+                    var=var,
+                    set_id=set_id,
+                    span=name_tok.span,
+                )
+            call = self._parse_call_after_name(name, name_tok)
+            self._expect_punct(";")
+            return ast.ExprStmt(expr=call, span=name_tok.span)
+
+        raise ParseError(f"unexpected token after '{name}': {nxt}", nxt.span)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        lhs = self._parse_and()
+        while self._peek().is_op("||"):
+            op_tok = self._next()
+            rhs = self._parse_and()
+            lhs = ast.Binary(op="||", lhs=lhs, rhs=rhs, span=op_tok.span)
+        return lhs
+
+    def _parse_and(self) -> ast.Expr:
+        lhs = self._parse_cmp()
+        while self._peek().is_op("&&"):
+            op_tok = self._next()
+            rhs = self._parse_cmp()
+            lhs = ast.Binary(op="&&", lhs=lhs, rhs=rhs, span=op_tok.span)
+        return lhs
+
+    def _parse_cmp(self) -> ast.Expr:
+        lhs = self._parse_add()
+        tok = self._peek()
+        if tok.kind == TokenKind.OP and tok.text in _CMP_OPS:
+            self._next()
+            rhs = self._parse_add()
+            return ast.Binary(op=tok.text, lhs=lhs, rhs=rhs, span=tok.span)
+        return lhs
+
+    def _parse_add(self) -> ast.Expr:
+        lhs = self._parse_mul()
+        while self._peek().kind == TokenKind.OP and self._peek().text in ("+", "-"):
+            op_tok = self._next()
+            rhs = self._parse_mul()
+            lhs = ast.Binary(op=op_tok.text, lhs=lhs, rhs=rhs, span=op_tok.span)
+        return lhs
+
+    def _parse_mul(self) -> ast.Expr:
+        lhs = self._parse_unary()
+        while self._peek().kind == TokenKind.OP and self._peek().text in ("*", "/", "%"):
+            op_tok = self._next()
+            rhs = self._parse_unary()
+            lhs = ast.Binary(op=op_tok.text, lhs=lhs, rhs=rhs, span=op_tok.span)
+        return lhs
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.is_op("-") or tok.is_op("!"):
+            self._next()
+            operand = self._parse_unary()
+            return ast.Unary(op=tok.text, operand=operand, span=tok.span)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._next()
+        if tok.kind == TokenKind.INT:
+            return ast.IntLit(value=int(tok.text), span=tok.span)
+        if tok.is_kw("true"):
+            return ast.BoolLit(value=True, span=tok.span)
+        if tok.is_kw("false"):
+            return ast.BoolLit(value=False, span=tok.span)
+        if tok.is_punct("("):
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+        if tok.is_op("&"):
+            name = self._expect_ident().text
+            return ast.Ref(name=name, span=tok.span)
+        if tok.is_kw("input"):
+            self._expect_punct("(")
+            channel = self._expect_ident().text
+            self._expect_punct(")")
+            return ast.Input(channel=channel, span=tok.span)
+        if tok.kind == TokenKind.IDENT:
+            name = tok.text
+            if self._peek().is_punct("("):
+                return self._parse_call_after_name(name, tok)
+            if self._peek().is_punct("["):
+                self._next()
+                index = self._parse_expr()
+                self._expect_punct("]")
+                return ast.Index(array=name, index=index, span=tok.span)
+            return ast.Var(name=name, span=tok.span)
+        raise ParseError(f"expected expression, found {tok}", tok.span)
+
+    def _parse_call_after_name(self, name: str, name_tok: Token) -> ast.Call:
+        self._expect_punct("(")
+        args: list[ast.Expr] = []
+        if not self._peek().is_punct(")"):
+            args.append(self._parse_expr())
+            while self._peek().is_punct(","):
+                self._next()
+                args.append(self._parse_expr())
+        self._expect_punct(")")
+        return ast.Call(func=name, args=args, span=name_tok.span)
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse complete program text into a labeled :class:`~repro.lang.ast.Program`."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_function(source: str) -> ast.FuncDecl:
+    """Parse a single ``fn`` declaration (handy in unit tests)."""
+    parser = Parser(tokenize(source))
+    func = parser._parse_function()
+    tok = parser._peek()
+    if tok.kind != TokenKind.EOF:
+        raise ParseError(f"trailing input after function: {tok}", tok.span)
+    return func

@@ -1,0 +1,146 @@
+"""Pretty-printer: AST back to surface syntax.
+
+``parse(print(ast))`` round-trips to a structurally equal AST (spans and
+labels aside), which the property tests rely on.  Output is deterministic:
+declarations print in insertion order, two-space indentation.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "<": 3,
+    "<=": 3,
+    ">": 3,
+    ">=": 3,
+    "==": 3,
+    "!=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+    "%": 5,
+}
+_UNARY_PRECEDENCE = 6
+
+
+def print_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    """Render ``expr``, parenthesizing only where precedence demands."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.Ref):
+        return f"&{expr.name}"
+    if isinstance(expr, ast.Input):
+        return f"input({expr.channel})"
+    if isinstance(expr, ast.Index):
+        return f"{expr.array}[{print_expr(expr.index)}]"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(print_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, ast.Unary):
+        inner = print_expr(expr.operand, _UNARY_PRECEDENCE)
+        text = f"{expr.op}{inner}"
+        if parent_prec > _UNARY_PRECEDENCE:
+            return f"({text})"
+        return text
+    if isinstance(expr, ast.Binary):
+        prec = _PRECEDENCE[expr.op]
+        # Left-associative: the right child needs a strictly higher context.
+        lhs = print_expr(expr.lhs, prec)
+        rhs = print_expr(expr.rhs, prec + 1)
+        text = f"{lhs} {expr.op} {rhs}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    raise TypeError(f"unknown expression node: {type(expr).__name__}")
+
+
+def _print_stmt(stmt: ast.Stmt, indent: int) -> list[str]:
+    pad = "  " * indent
+    if isinstance(stmt, ast.Let):
+        if stmt.annot == ast.AnnotKind.FRESH:
+            head = "let fresh"
+        elif stmt.annot == ast.AnnotKind.CONSISTENT:
+            head = f"let consistent({stmt.set_id})"
+        else:
+            head = "let"
+        return [f"{pad}{head} {stmt.name} = {print_expr(stmt.expr)};"]
+    if isinstance(stmt, ast.Assign):
+        return [f"{pad}{stmt.name} = {print_expr(stmt.expr)};"]
+    if isinstance(stmt, ast.StoreRef):
+        return [f"{pad}*{stmt.name} = {print_expr(stmt.expr)};"]
+    if isinstance(stmt, ast.StoreIndex):
+        return [
+            f"{pad}{stmt.array}[{print_expr(stmt.index)}] = {print_expr(stmt.expr)};"
+        ]
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if {print_expr(stmt.cond)} {{"]
+        for child in stmt.then_body:
+            lines.extend(_print_stmt(child, indent + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            for child in stmt.else_body:
+                lines.extend(_print_stmt(child, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.Repeat):
+        lines = [f"{pad}repeat {stmt.count} {{"]
+        for child in stmt.body:
+            lines.extend(_print_stmt(child, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.Atomic):
+        lines = [f"{pad}atomic {{"]
+        for child in stmt.body:
+            lines.extend(_print_stmt(child, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.Return):
+        if stmt.expr is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {print_expr(stmt.expr)};"]
+    if isinstance(stmt, ast.ExprStmt):
+        return [f"{pad}{print_expr(stmt.expr)};"]
+    if isinstance(stmt, ast.AnnotStmt):
+        if stmt.kind == ast.AnnotKind.FRESH:
+            return [f"{pad}Fresh({stmt.var});"]
+        if stmt.kind == ast.AnnotKind.FRESHCON:
+            return [f"{pad}FreshConsistent({stmt.var}, {stmt.set_id});"]
+        return [f"{pad}Consistent({stmt.var}, {stmt.set_id});"]
+    if isinstance(stmt, ast.Skip):
+        return [f"{pad}skip;"]
+    raise TypeError(f"unknown statement node: {type(stmt).__name__}")
+
+
+def print_function(func: ast.FuncDecl) -> str:
+    params = ", ".join(("&" + p.name) if p.by_ref else p.name for p in func.params)
+    lines = [f"fn {func.name}({params}) {{"]
+    for stmt in func.body:
+        lines.extend(_print_stmt(stmt, 1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_program(program: ast.Program) -> str:
+    """Render a full program; parseable by :func:`repro.lang.parser.parse_program`."""
+    chunks: list[str] = []
+    if program.channels:
+        chunks.append("inputs " + ", ".join(program.channels) + ";")
+    for decl in program.globals.values():
+        chunks.append(f"nonvolatile {decl.name} = {decl.init};")
+    for arr in program.arrays.values():
+        if arr.init is None:
+            chunks.append(f"nonvolatile {arr.name}[{arr.size}];")
+        else:
+            init = ", ".join(str(v) for v in arr.init)
+            chunks.append(f"nonvolatile {arr.name}[{arr.size}] = [{init}];")
+    for func in program.functions.values():
+        chunks.append(print_function(func))
+    return "\n\n".join(chunks) + "\n"

@@ -1,0 +1,289 @@
+"""Post-parse semantic validation.
+
+The modeling language inherits the restrictions the paper imposes (Section
+4.1) plus the Rust-like discipline its analyses assume (Section 5.1):
+
+* no recursive functions (``disallowed by many intermittent systems``),
+* no mutable globals aliasing -- nonvolatile globals are named directly,
+* references are created only at call sites (``f(&x)``) and only flow into
+  by-reference parameters, so the may-alias set of every location is a
+  singleton,
+* variables must be defined (``let``) before use; annotations must refer to
+  defined variables,
+* input channels must be declared.
+
+:func:`validate_program` raises :class:`~repro.lang.errors.SemanticError`
+on the first violation, and returns a :class:`ProgramInfo` summary on
+success (call graph, per-function variable kinds) that later passes reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.lang.errors import SemanticError
+
+#: Builtin arities; ``log`` and ``send`` are variadic (at least one arg).
+_FIXED_ARITY = {"alarm": 0, "work": 1, "abs": 1, "min": 2, "max": 2}
+_VARIADIC = {"log", "send"}
+
+
+@dataclass
+class FunctionInfo:
+    """Per-function facts gathered during validation."""
+
+    name: str
+    params: list[ast.Param]
+    locals: set[str] = field(default_factory=set)
+    callees: set[str] = field(default_factory=set)
+    has_return_value: bool = False
+
+    @property
+    def by_ref_params(self) -> set[str]:
+        return {p.name for p in self.params if p.by_ref}
+
+
+@dataclass
+class ProgramInfo:
+    """Whole-program facts: call graph and per-function summaries."""
+
+    functions: dict[str, FunctionInfo]
+    call_graph: dict[str, set[str]]
+
+    def reachable_from(self, root: str) -> set[str]:
+        seen: set[str] = set()
+        stack = [root]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.call_graph.get(name, ()))
+        return seen
+
+
+class _FunctionValidator:
+    def __init__(self, program: ast.Program, func: ast.FuncDecl):
+        self._program = program
+        self._func = func
+        self.info = FunctionInfo(name=func.name, params=list(func.params))
+
+    def run(self) -> FunctionInfo:
+        defined = {p.name for p in self._func.params}
+        self._check_body(self._func.body, defined)
+        return self.info
+
+    def _check_body(self, body: list[ast.Stmt], defined: set[str]) -> None:
+        # ``defined`` is mutated: a let in a block scopes to the rest of the
+        # enclosing body, mirroring ``let x = e in c``.
+        for stmt in body:
+            self._check_stmt(stmt, defined)
+
+    def _check_stmt(self, stmt: ast.Stmt, defined: set[str]) -> None:
+        if isinstance(stmt, ast.Let):
+            self._check_expr(stmt.expr, defined)
+            defined.add(stmt.name)
+            self.info.locals.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            self._check_expr(stmt.expr, defined)
+            if stmt.name not in defined and stmt.name not in self._program.globals:
+                raise SemanticError(
+                    f"assignment to undefined variable '{stmt.name}' in "
+                    f"'{self._func.name}'",
+                    stmt.span,
+                )
+            if stmt.name in self.info.by_ref_params:
+                raise SemanticError(
+                    f"cannot rebind reference parameter '{stmt.name}'; use "
+                    f"'*{stmt.name} = ...' to write through it",
+                    stmt.span,
+                )
+        elif isinstance(stmt, ast.StoreRef):
+            self._check_expr(stmt.expr, defined)
+            if stmt.name not in self.info.by_ref_params:
+                raise SemanticError(
+                    f"'*{stmt.name} = ...' requires '&{stmt.name}' parameter in "
+                    f"'{self._func.name}'",
+                    stmt.span,
+                )
+        elif isinstance(stmt, ast.StoreIndex):
+            if stmt.array not in self._program.arrays:
+                raise SemanticError(
+                    f"store into undeclared array '{stmt.array}'", stmt.span
+                )
+            self._check_expr(stmt.index, defined)
+            self._check_expr(stmt.expr, defined)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.cond, defined)
+            self._check_body(stmt.then_body, set(defined))
+            self._check_body(stmt.else_body, set(defined))
+        elif isinstance(stmt, ast.Repeat):
+            self._check_body(stmt.body, set(defined))
+        elif isinstance(stmt, ast.Atomic):
+            # Atomic brackets are commands, not binding constructs: a `let`
+            # inside the region scopes to the rest of the enclosing body
+            # (the Atomics-only transform relies on this transparency).
+            self._check_body(stmt.body, defined)
+        elif isinstance(stmt, ast.Return):
+            if stmt.expr is not None:
+                self._check_expr(stmt.expr, defined)
+                self.info.has_return_value = True
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, defined)
+        elif isinstance(stmt, ast.AnnotStmt):
+            if stmt.var not in defined:
+                raise SemanticError(
+                    f"annotation references undefined variable '{stmt.var}'",
+                    stmt.span,
+                )
+        elif isinstance(stmt, ast.Skip):
+            pass
+        else:
+            raise SemanticError(
+                f"unknown statement {type(stmt).__name__}", stmt.span
+            )
+
+    def _check_expr(self, expr: ast.Expr, defined: set[str]) -> None:
+        for sub in ast.walk_exprs(expr):
+            if isinstance(sub, ast.Var):
+                known = (
+                    sub.name in defined
+                    or sub.name in self._program.globals
+                )
+                if not known:
+                    raise SemanticError(
+                        f"use of undefined variable '{sub.name}' in "
+                        f"'{self._func.name}'",
+                        sub.span,
+                    )
+            elif isinstance(sub, ast.Ref):
+                # References are restricted to locals: taking '&' of a
+                # nonvolatile global would create aliasing the analyses
+                # (and Rust's discipline the paper leans on) exclude.
+                if sub.name not in defined:
+                    raise SemanticError(
+                        f"reference to undefined local '{sub.name}'", sub.span
+                    )
+            elif isinstance(sub, ast.Index):
+                if sub.array not in self._program.arrays:
+                    raise SemanticError(
+                        f"load from undeclared array '{sub.array}'", sub.span
+                    )
+            elif isinstance(sub, ast.Input):
+                if sub.channel not in self._program.channels:
+                    raise SemanticError(
+                        f"input from undeclared channel '{sub.channel}'", sub.span
+                    )
+            elif isinstance(sub, ast.Call):
+                self._check_call(sub)
+
+    def _check_call(self, call: ast.Call) -> None:
+        name = call.func
+        if name in _VARIADIC:
+            if not call.args:
+                raise SemanticError(f"'{name}' needs at least one argument", call.span)
+            self.info.callees.add(name)
+            return
+        if name in _FIXED_ARITY:
+            if len(call.args) != _FIXED_ARITY[name]:
+                raise SemanticError(
+                    f"'{name}' takes {_FIXED_ARITY[name]} argument(s), got "
+                    f"{len(call.args)}",
+                    call.span,
+                )
+            self.info.callees.add(name)
+            return
+        if name not in self._program.functions:
+            raise SemanticError(f"call to undefined function '{name}'", call.span)
+        callee = self._program.functions[name]
+        if len(call.args) != len(callee.params):
+            raise SemanticError(
+                f"'{name}' takes {len(callee.params)} argument(s), got "
+                f"{len(call.args)}",
+                call.span,
+            )
+        for arg, param in zip(call.args, callee.params):
+            arg_is_ref = isinstance(arg, ast.Ref)
+            if arg_is_ref and not param.by_ref:
+                raise SemanticError(
+                    f"passing '&' argument to by-value parameter "
+                    f"'{param.name}' of '{name}'",
+                    call.span,
+                )
+            if param.by_ref and not arg_is_ref:
+                raise SemanticError(
+                    f"parameter '{param.name}' of '{name}' requires a '&' argument",
+                    call.span,
+                )
+        self.info.callees.add(name)
+
+
+def _check_no_recursion(info: ProgramInfo) -> None:
+    """Reject direct or mutual recursion (iterative three-color DFS)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in info.call_graph}
+    for root in info.call_graph:
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[str, list[str]]] = [
+            (root, sorted(info.call_graph[root]))
+        ]
+        color[root] = GRAY
+        while stack:
+            name, pending = stack[-1]
+            if not pending:
+                color[name] = BLACK
+                stack.pop()
+                continue
+            child = pending.pop()
+            if child not in color:
+                continue  # builtin
+            if color[child] == GRAY:
+                raise SemanticError(
+                    f"recursive call cycle through '{child}' (the modeling "
+                    "language disallows recursion)"
+                )
+            if color[child] == WHITE:
+                color[child] = GRAY
+                stack.append((child, sorted(info.call_graph[child])))
+
+
+def validate_program(program: ast.Program, require_main: bool = True) -> ProgramInfo:
+    """Validate ``program``; return gathered :class:`ProgramInfo`.
+
+    ``require_main=False`` relaxes the entry-point requirement for unit
+    tests that validate fragments.
+    """
+    if require_main and "main" not in program.functions:
+        raise SemanticError("program has no 'main' function")
+    if "main" in program.functions and program.functions["main"].params:
+        raise SemanticError("'main' must take no parameters")
+
+    name_clashes = set(program.globals) & set(program.arrays)
+    if name_clashes:
+        raise SemanticError(f"global/array name clash: {sorted(name_clashes)}")
+    seen_channels: set[str] = set()
+    for channel in program.channels:
+        if channel in seen_channels:
+            raise SemanticError(f"duplicate input channel '{channel}'")
+        seen_channels.add(channel)
+
+    functions: dict[str, FunctionInfo] = {}
+    for func in program.functions.values():
+        seen_params: set[str] = set()
+        for param in func.params:
+            if param.name in seen_params:
+                raise SemanticError(
+                    f"duplicate parameter '{param.name}' in '{func.name}'", func.span
+                )
+            seen_params.add(param.name)
+        functions[func.name] = _FunctionValidator(program, func).run()
+
+    call_graph = {
+        name: {c for c in info.callees if c in program.functions}
+        for name, info in functions.items()
+    }
+    info = ProgramInfo(functions=functions, call_graph=call_graph)
+    _check_no_recursion(info)
+    return info

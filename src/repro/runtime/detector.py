@@ -1,0 +1,154 @@
+"""Bit-vector violation detector (Section 7.3).
+
+The paper's empirical correctness check: "we add [a] bit vector in
+nonvolatile memory.  Each sensor operation has a unique position in the
+bit vector.  On an input operation, the sensor's position in the bit
+vector is set to 1.  On power failure, the bit vector is cleared.  On the
+use of a fresh variable, the bits of any dependent sensors are checked.
+On an input operation in a consistent set, the bits of any preceding
+operations in the set are checked.  If the sensor has not been
+re-executed, the checked bit will be zero, generating an error."
+
+"Sensor operation" must mean a *dynamic sampling site*: Photo's five
+readings are five positions even though they reach the same driver
+function.  We therefore key bits by provenance **chain** (the
+context-qualified input operation), which is exactly the identity the
+analysis already assigns -- equivalent to inlining driver functions before
+instrumenting, which is what the paper's LLVM-level pass achieves with its
+provenance bookkeeping.  Chain keying is also what keeps a shared driver
+honest: Tire's accelerometer is read both by the motion-scan loop and by
+the snapshot, and only context separation avoids cross-talk between the
+two (false alarms one way, masked violations the other).
+
+Check placement:
+
+* **fresh**: at every use of the annotated variable, require the bits of
+  every input chain the value depends on;
+* **consistent**: at each input operation of the set (taking members in
+  program order), require the bits of all *preceding* inputs of the set --
+  the paper's placement verbatim, which also matches Definition 3 exactly:
+  a failure after the whole set is collected is not a violation.
+
+The plan is compiled from the policies, so the same plan drives detection
+for every build configuration (JIT-only / Atomics-only / Ocelot) of the
+same annotated source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.policies import PolicyDecls
+from repro.analysis.provenance import Chain
+from repro.ir.instructions import InstrId
+
+
+@dataclass(frozen=True)
+class Check:
+    """At the dynamic site ``site``: the bits of ``required`` must be set."""
+
+    site: Chain
+    pid: str
+    kind: str  # 'fresh' or 'consistent'
+    required: tuple[Chain, ...]
+
+
+@dataclass
+class DetectorPlan:
+    """All checks, indexed by the (context-qualified) trigger site."""
+
+    #: every input chain that owns a bit position
+    bit_chains: frozenset[Chain] = frozenset()
+    #: trigger chain -> checks evaluated right before it executes
+    checks: dict[Chain, list[Check]] = field(default_factory=dict)
+    #: instruction uids that terminate at least one trigger chain -- the
+    #: executor's fast path: only these uids warrant building the chain
+    trigger_uids: frozenset[InstrId] = frozenset()
+
+    def checks_at(self, chain: Chain) -> list[Check]:
+        return self.checks.get(chain, [])
+
+    @property
+    def total_checks(self) -> int:
+        return sum(len(v) for v in self.checks.values())
+
+
+def build_detector_plan(policies: PolicyDecls) -> DetectorPlan:
+    """Compile policies into the chain-keyed bit-vector checking plan."""
+    bit_chains: set[Chain] = set()
+    checks: dict[Chain, list[Check]] = {}
+
+    def add_check(check: Check) -> None:
+        checks.setdefault(check.site, []).append(check)
+
+    for policy in policies.all_policies():
+        bit_chains.update(policy.inputs)
+
+    for policy in policies.fresh_policies():
+        required = tuple(sorted(policy.inputs))
+        if not required:
+            continue
+        for use in sorted(policy.uses):
+            add_check(
+                Check(site=use, pid=policy.pid, kind="fresh", required=required)
+            )
+
+    for policy in policies.consistent_policies():
+        # Faithful placement: "on an input operation in a consistent set,
+        # the bits of any preceding operations in the set are checked."
+        # The check runs just before the input executes, so a power
+        # failure anywhere between two of the set's inputs is caught --
+        # and a failure after the whole set is collected is correctly NOT
+        # flagged (Definition 3 constrains only the collection span).
+        # Chain keying makes this sound for shared driver functions: the
+        # check at one member's input chain cannot fire when unrelated
+        # code happens to execute the same static input instruction.
+        members: list[tuple[Chain, InstrId]] = []
+        for decl_uid in policy.decls:
+            for chain in policy.decl_chains:
+                if chain.op == decl_uid:
+                    members.append((chain, decl_uid))
+        members.sort(key=lambda item: item[0])
+        preceding: list[Chain] = []
+        for _decl_chain, decl_uid in members:
+            member_inputs = sorted(policy.decl_inputs.get(decl_uid, set()))
+            for chain in member_inputs:
+                if chain in preceding:
+                    continue  # already required via an earlier member
+                if preceding:
+                    add_check(
+                        Check(
+                            site=chain,
+                            pid=policy.pid,
+                            kind="consistent",
+                            required=tuple(preceding),
+                        )
+                    )
+                preceding.append(chain)
+
+    trigger_uids = frozenset(chain.op for chain in checks)
+    return DetectorPlan(
+        bit_chains=frozenset(bit_chains),
+        checks=checks,
+        trigger_uids=trigger_uids,
+    )
+
+
+@dataclass
+class BitVector:
+    """The nonvolatile detector bit vector, keyed by input chain.
+
+    Lives in nonvolatile memory (survives reboots); ``clear`` models the
+    power-failure reset.
+    """
+
+    bits: set[Chain] = field(default_factory=set)
+
+    def set(self, chain: Chain) -> None:
+        self.bits.add(chain)
+
+    def clear(self) -> None:
+        self.bits.clear()
+
+    def missing(self, required: tuple[Chain, ...]) -> tuple[Chain, ...]:
+        return tuple(chain for chain in required if chain not in self.bits)

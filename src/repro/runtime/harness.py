@@ -1,0 +1,163 @@
+"""Run harness: one-shot and repeated executions of a compiled build.
+
+The evaluation needs three run modes:
+
+* :func:`run_continuous` -- one activation on wall power (Figure 7),
+* :func:`run_once` -- one activation on an arbitrary supply (Table 2a's
+  pathological injection),
+* :func:`run_activations` -- back-to-back activations sharing nonvolatile
+  state and one energy supply for a fixed logical-time budget (Figure 8
+  and Table 2b: "we ran each benchmark for a fixed time ... and recorded
+  the percentage of complete runs that contained a policy violation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.pipeline import CompiledProgram
+from repro.energy.costs import DEFAULT_COSTS, CostModel
+from repro.runtime.detector import DetectorPlan
+from repro.runtime.executor import Machine, MachineConfig, NVState
+from repro.runtime.observations import RunResult
+from repro.runtime.supply import ContinuousPower, PowerSupply
+from repro.sensors.environment import Environment
+
+
+def _plan_for(compiled: CompiledProgram, plan: Optional[DetectorPlan]) -> DetectorPlan:
+    return plan if plan is not None else compiled.detector_plan()
+
+
+def run_continuous(
+    compiled: CompiledProgram,
+    env: Environment,
+    costs: CostModel = DEFAULT_COSTS,
+    plan: Optional[DetectorPlan] = None,
+    config: Optional[MachineConfig] = None,
+) -> RunResult:
+    """One activation of ``main`` on continuous power."""
+    machine = Machine(
+        compiled.module,
+        env,
+        ContinuousPower(),
+        costs=costs,
+        plan=_plan_for(compiled, plan),
+        config=config,
+    )
+    return machine.run()
+
+
+def run_once(
+    compiled: CompiledProgram,
+    env: Environment,
+    supply: PowerSupply,
+    costs: CostModel = DEFAULT_COSTS,
+    plan: Optional[DetectorPlan] = None,
+    nv: Optional[NVState] = None,
+    config: Optional[MachineConfig] = None,
+) -> RunResult:
+    """One activation under ``supply`` (failures allowed)."""
+    machine = Machine(
+        compiled.module,
+        env,
+        supply,
+        costs=costs,
+        plan=_plan_for(compiled, plan),
+        nv=nv,
+        config=config,
+    )
+    return machine.run()
+
+
+@dataclass
+class ActivationRecord:
+    """One completed (or abandoned) iteration of ``main``."""
+
+    index: int
+    completed: bool
+    violations: int
+    cycles_on: int
+    cycles_off: int
+    reboots: int
+
+    @property
+    def violating(self) -> bool:
+        return self.violations > 0
+
+
+@dataclass
+class ActivationsResult:
+    """Aggregate over a fixed-budget repeated-activation experiment."""
+
+    records: list[ActivationRecord] = field(default_factory=list)
+    total_cycles_on: int = 0
+    total_cycles_off: int = 0
+
+    @property
+    def completed_runs(self) -> int:
+        return sum(1 for r in self.records if r.completed)
+
+    @property
+    def violating_runs(self) -> int:
+        return sum(1 for r in self.records if r.completed and r.violating)
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of *complete* runs containing a violation (Table 2b)."""
+        completed = self.completed_runs
+        if completed == 0:
+            return 0.0
+        return self.violating_runs / completed
+
+
+def run_activations(
+    compiled: CompiledProgram,
+    env: Environment,
+    supply: PowerSupply,
+    budget_cycles: int,
+    costs: CostModel = DEFAULT_COSTS,
+    plan: Optional[DetectorPlan] = None,
+    max_activations: int = 100_000,
+    config: Optional[MachineConfig] = None,
+) -> ActivationsResult:
+    """Loop ``main`` until the logical-time budget runs out.
+
+    Nonvolatile memory and the supply persist across activations, like an
+    embedded ``while (1) main();`` deployment; the saved execution contexts
+    reset per activation (each iteration is a fresh program entry).
+    """
+    detector = _plan_for(compiled, plan)
+    nv = NVState.initial(compiled.module)
+    result = ActivationsResult()
+    tau = 0
+    for index in range(max_activations):
+        if tau >= budget_cycles:
+            break
+        machine = Machine(
+            compiled.module,
+            env,
+            supply,
+            costs=costs,
+            plan=detector,
+            nv=nv,
+            start_tau=tau,
+            config=config,
+        )
+        run = machine.run()
+        tau = machine.tau
+        result.records.append(
+            ActivationRecord(
+                index=index,
+                completed=run.stats.completed,
+                violations=run.stats.violations,
+                cycles_on=run.stats.cycles_on,
+                cycles_off=run.stats.cycles_off,
+                reboots=run.stats.reboots,
+            )
+        )
+        result.total_cycles_on += run.stats.cycles_on
+        result.total_cycles_off += run.stats.cycles_off
+        if not run.stats.completed:
+            break  # stuck activation: a region larger than the budget
+    return result

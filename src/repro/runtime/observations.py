@@ -1,0 +1,186 @@
+"""Observations and execution traces.
+
+The operational semantics emits observations (Appendix B): input
+operations, annotation declarations (``fresh``/``cnst``), uses of fresh
+variables, and externally visible outputs.  We add the runtime events the
+intermittent semantics introduces -- checkpoints, power failures, reboots,
+region entry/exit -- plus detector verdicts, so a single trace object
+supports the formal property predicates *and* the empirical Table 2
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.ir.instructions import InstrId
+from repro.runtime.values import Taint
+
+
+@dataclass(frozen=True)
+class Obs:
+    """Base class: every observation happens at a logical time ``tau``."""
+
+    tau: int
+
+
+@dataclass(frozen=True)
+class InputObs(Obs):
+    """``x := IN()`` executed: channel sampled, value observed."""
+
+    uid: InstrId
+    channel: str
+    value: int
+
+
+@dataclass(frozen=True)
+class FreshDeclObs(Obs):
+    """``fresh(f, l, I)``: a freshness policy declared over input set I."""
+
+    uid: InstrId
+    pid: str
+    inputs: Taint
+
+
+@dataclass(frozen=True)
+class ConsistentDeclObs(Obs):
+    """``cnst(f, l, n, I)``: a consistency declaration for set ``n``."""
+
+    uid: InstrId
+    pid: str
+    set_id: int
+    inputs: Taint
+
+
+@dataclass(frozen=True)
+class UseObs(Obs):
+    """``use(f, l, tau_decl)``: a fresh variable used."""
+
+    uid: InstrId
+    pid: str
+
+
+@dataclass(frozen=True)
+class OutputObs(Obs):
+    """``log`` / ``send`` / ``alarm`` with evaluated arguments."""
+
+    uid: InstrId
+    op: str
+    values: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class RegionEnterObs(Obs):
+    """Outermost atomic region entered (``startatom``)."""
+
+    uid: InstrId
+    region: str
+
+
+@dataclass(frozen=True)
+class RegionExitObs(Obs):
+    """Outermost atomic region committed (``endatom``)."""
+
+    uid: InstrId
+    region: str
+
+
+@dataclass(frozen=True)
+class PowerFailObs(Obs):
+    """Power failed; ``mode`` records jit/atomic at the time."""
+
+    mode: str
+
+
+@dataclass(frozen=True)
+class RebootObs(Obs):
+    """System rebooted after ``off_cycles`` of charging."""
+
+    off_cycles: int
+    mode: str
+
+
+@dataclass(frozen=True)
+class CheckpointObs(Obs):
+    """A JIT checkpoint was taken (volatile state saved)."""
+
+    saved_words: int
+
+
+@dataclass(frozen=True)
+class ViolationObs(Obs):
+    """The bit-vector detector flagged a timing violation (Section 7.3)."""
+
+    uid: InstrId
+    pid: str
+    kind: str  # 'fresh' or 'consistent'
+    missing: tuple[InstrId, ...]  # input operations whose bits were clear
+
+
+@dataclass
+class Trace:
+    """An append-only observation sequence with convenience queries."""
+
+    events: list[Obs] = field(default_factory=list)
+
+    def emit(self, obs: Obs) -> None:
+        self.events.append(obs)
+
+    def of_type(self, kind: type) -> list:
+        return [e for e in self.events if isinstance(e, kind)]
+
+    @property
+    def violations(self) -> list[ViolationObs]:
+        return self.of_type(ViolationObs)
+
+    @property
+    def outputs(self) -> list[OutputObs]:
+        return self.of_type(OutputObs)
+
+    @property
+    def inputs(self) -> list[InputObs]:
+        return self.of_type(InputObs)
+
+    @property
+    def reboots(self) -> list[RebootObs]:
+        return self.of_type(RebootObs)
+
+    def __iter__(self) -> Iterator[Obs]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def segment(self, start_tau: int, end_tau: int) -> list[Obs]:
+        """Events with ``start_tau <= tau <= end_tau`` in emission order."""
+        return [e for e in self.events if start_tau <= e.tau <= end_tau]
+
+
+@dataclass
+class RunStats:
+    """Aggregate counters for one execution."""
+
+    cycles_on: int = 0
+    cycles_off: int = 0
+    instructions: int = 0
+    jit_checkpoints: int = 0
+    region_entries: int = 0
+    region_commits: int = 0
+    region_restarts: int = 0
+    reboots: int = 0
+    violations: int = 0
+    completed: bool = False
+
+    @property
+    def total_cycles(self) -> int:
+        return self.cycles_on + self.cycles_off
+
+
+@dataclass
+class RunResult:
+    """Trace plus stats plus the final return value of ``main``."""
+
+    trace: Trace
+    stats: RunStats
+    ret: Optional[int] = None

@@ -1,0 +1,179 @@
+"""Dynamic counterparts of the formal definitions (Appendix C).
+
+The paper defines freshness and temporal consistency as predicates over
+taint-augmented traces (Definitions 2 and 3).  These functions check the
+equivalent conditions on our machine's observation stream:
+
+* **Freshness** (Definition 2): for every use of a fresh variable, the
+  segment from the earliest input operation the value depends on to the
+  use must contain no reboot -- in a continuous execution it trivially
+  holds; in an intermittent execution it holds exactly when the span
+  executed without an interleaving power failure, which is what atomic
+  nesting guarantees.
+
+* **Temporal consistency** (Definition 3): as the members of a consistent
+  set are (re-)declared, the span from the earliest to the latest of the
+  *currently live* input operations of the set must contain no reboot.
+  Region re-execution re-collects every member after a failure, so the
+  final assembled set is reboot-free; a JIT resume mid-set leaves a stale
+  member behind the reboot, which this predicate flags.
+
+Because values carry their dynamic input events (Appendix B taint), the
+predicates need no static information beyond the set membership: the trace
+is self-describing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.policies import PolicyDecls
+from repro.ir.instructions import InstrId
+from repro.runtime import observations as obs
+
+
+@dataclass(frozen=True)
+class PropertyViolation:
+    """One detected violation of a formal property on a trace."""
+
+    pid: str
+    kind: str  # 'fresh' | 'consistent'
+    at_tau: int
+    detail: str
+
+
+def _reboot_taus(trace: obs.Trace) -> list[int]:
+    return [e.tau for e in trace.of_type(obs.RebootObs)]
+
+
+def _reboot_between(reboots: list[int], start: int, end: int) -> Optional[int]:
+    """First reboot with ``start < tau <= end`` (None if the span is clean)."""
+    for tau in reboots:
+        if start < tau <= end:
+            return tau
+    return None
+
+
+def check_freshness(trace: obs.Trace) -> list[PropertyViolation]:
+    """Definition 2 on an execution trace.
+
+    For every ``UseObs``: take the latest preceding ``FreshDeclObs`` of the
+    same policy; the span from its earliest dependent input event to the
+    use must be reboot-free.
+    """
+    reboots = _reboot_taus(trace)
+    violations: list[PropertyViolation] = []
+    latest_decl: dict[str, obs.FreshDeclObs] = {}
+    for event in trace:
+        if isinstance(event, obs.FreshDeclObs):
+            latest_decl[event.pid] = event
+        elif isinstance(event, obs.UseObs):
+            decl = latest_decl.get(event.pid)
+            if decl is None or not decl.inputs:
+                continue
+            first_input = min(inp.tau for inp in decl.inputs)
+            reboot = _reboot_between(reboots, first_input, event.tau)
+            if reboot is not None:
+                violations.append(
+                    PropertyViolation(
+                        pid=event.pid,
+                        kind="fresh",
+                        at_tau=event.tau,
+                        detail=(
+                            f"use at tau={event.tau} depends on input at "
+                            f"tau={first_input} with a reboot at tau={reboot} "
+                            "in between"
+                        ),
+                    )
+                )
+    return violations
+
+
+def check_consistency(
+    trace: obs.Trace, policies: Optional[PolicyDecls] = None
+) -> list[PropertyViolation]:
+    """Definition 3 on an execution trace.
+
+    At each ``ConsistentDeclObs``, assemble the live set: the latest
+    declaration per declaration site of the same policy.  The union of
+    their dependent input events must span no reboot.
+    """
+    reboots = _reboot_taus(trace)
+    violations: list[PropertyViolation] = []
+    #: pid -> decl uid -> latest declaration observation
+    live: dict[str, dict[InstrId, obs.ConsistentDeclObs]] = {}
+    for event in trace:
+        if not isinstance(event, obs.ConsistentDeclObs):
+            continue
+        members = live.setdefault(event.pid, {})
+        if event.uid in members:
+            # The same declaration site executing again means the
+            # collection round restarted (an atomic region rolled back and
+            # re-executed).  Definition 3 constrains one collection: the
+            # aborted attempt's members are superseded, not mixed in.
+            members.clear()
+        members[event.uid] = event
+        input_taus = [
+            inp.tau for decl in members.values() for inp in decl.inputs
+        ]
+        if len(input_taus) < 2:
+            continue
+        earliest, latest = min(input_taus), max(input_taus)
+        reboot = _reboot_between(reboots, earliest, latest)
+        if reboot is not None:
+            violations.append(
+                PropertyViolation(
+                    pid=event.pid,
+                    kind="consistent",
+                    at_tau=event.tau,
+                    detail=(
+                        f"set inputs span tau=[{earliest}, {latest}] across "
+                        f"a reboot at tau={reboot}"
+                    ),
+                )
+            )
+    return violations
+
+
+def check_all_properties(
+    trace: obs.Trace, policies: Optional[PolicyDecls] = None
+) -> list[PropertyViolation]:
+    """Both formal properties; empty list means the trace is correct."""
+    return check_freshness(trace) + check_consistency(trace, policies)
+
+
+@dataclass
+class RegionNesting:
+    """Definition 2/3 also require proper region nesting; this verifies the
+    trace's region events bracket correctly (enter/exit alternate and every
+    restart re-enters the same region)."""
+
+    errors: list[str] = field(default_factory=list)
+
+
+def check_region_bracketing(trace: obs.Trace) -> RegionNesting:
+    result = RegionNesting()
+    open_region: Optional[str] = None
+    for event in trace:
+        if isinstance(event, obs.RegionEnterObs):
+            if open_region is not None:
+                result.errors.append(
+                    f"region '{event.region}' entered while '{open_region}' open"
+                )
+            open_region = event.region
+        elif isinstance(event, obs.RegionExitObs):
+            if open_region is None:
+                result.errors.append(f"region '{event.region}' exited while closed")
+            elif event.region != open_region:
+                result.errors.append(
+                    f"region '{event.region}' exited but '{open_region}' was open"
+                )
+            open_region = None
+        elif isinstance(event, obs.RebootObs) and event.mode == "jit":
+            # A jit-mode reboot cannot happen inside an open region.
+            if open_region is not None:
+                result.errors.append(
+                    f"jit reboot at tau={event.tau} inside region '{open_region}'"
+                )
+    return result

@@ -1,0 +1,211 @@
+"""Power supplies: when does power fail, and for how long.
+
+Three implementations cover the paper's three experimental regimes:
+
+* :class:`ContinuousPower` -- never fails (Figure 7),
+* :class:`ScheduledFailures` -- pathological injection at chosen dynamic
+  instruction occurrences (Table 2a: "immediately before the use of a
+  fresh variable and between input operations in a consistent set"),
+* :class:`EnergyDrivenSupply` -- capacitor + harvester + comparator
+  (Figure 8 and Table 2b).
+
+The executor consults ``fail_before`` ahead of each instruction (simulated
+failure points) and ``consume`` after each instruction (energy-driven low
+signal); both deliver the low-power interrupt of Section 6.3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.analysis.provenance import Chain
+from repro.energy.capacitor import Capacitor
+from repro.ir.instructions import InstrId
+
+
+class PowerSupply(Protocol):
+    """What the executor needs from a power model."""
+
+    def fail_before(self, uid: InstrId, chain: Chain | None = None) -> bool:
+        """Force a power failure just before executing ``uid``?
+
+        ``chain`` is the dynamic provenance of the instruction, supplied
+        by the executor when the instruction is one of the supply's
+        ``watched_uids`` (scheduled injection); energy-driven supplies
+        ignore it.
+        """
+        ...
+
+    def consume(self, energy: int) -> bool:
+        """Account for ``energy``; True when the low-power comparator trips."""
+        ...
+
+    def would_trip(self, energy: int) -> bool:
+        """Would spending ``energy`` cross the comparator point?
+
+        The hardware comparator is asynchronous: it fires *during* a long
+        operation.  The executor asks before each instruction and takes
+        the low-power interrupt first, so the reserve band is never
+        consumed by regular execution.
+        """
+        ...
+
+    def checkpoint_energy(self, energy: int) -> None:
+        """Spend checkpoint energy from the post-interrupt reserve."""
+        ...
+
+    def off_and_recharge(self) -> int:
+        """Power off; return the off-time (cycles) until reboot."""
+        ...
+
+
+@dataclass
+class ContinuousPower:
+    """Wall power: never fails."""
+
+    def fail_before(self, uid: InstrId, chain: Chain | None = None) -> bool:
+        return False
+
+    def consume(self, energy: int) -> bool:
+        return False
+
+    def would_trip(self, energy: int) -> bool:
+        return False
+
+    def checkpoint_energy(self, energy: int) -> None:  # pragma: no cover
+        raise AssertionError("continuous power never checkpoints")
+
+    def off_and_recharge(self) -> int:  # pragma: no cover
+        raise AssertionError("continuous power never reboots")
+
+
+@dataclass(frozen=True)
+class FailurePoint:
+    """Fail immediately before a chosen dynamic execution point.
+
+    Either an ``occurrence`` of a static instruction ``uid`` (1-based,
+    counted across the whole run including post-reboot re-executions), or
+    a context-qualified ``chain`` (fails the first time that exact dynamic
+    site executes -- the natural unit for detector check sites).  A point
+    that has fired is never re-armed; otherwise a JIT resume at the same
+    instruction would fail forever.
+    """
+
+    uid: InstrId | None = None
+    occurrence: int = 1
+    chain: Chain | None = None
+
+    def __post_init__(self) -> None:
+        if (self.uid is None) == (self.chain is None):
+            raise ValueError("exactly one of uid / chain must be given")
+
+    @property
+    def trigger_uid(self) -> InstrId:
+        return self.uid if self.uid is not None else self.chain.op
+
+
+@dataclass
+class ScheduledFailures:
+    """Deterministic failure injection at specific dynamic points."""
+
+    points: list[FailurePoint]
+    off_cycles: int = 10_000
+    _counts: dict[InstrId, int] = field(default_factory=dict)
+    _fired: set[FailurePoint] = field(default_factory=set)
+
+    def watched_uids(self) -> frozenset[InstrId]:
+        """Instructions the executor should report chains for."""
+        return frozenset(p.trigger_uid for p in self.points)
+
+    def fail_before(self, uid: InstrId, chain: Chain | None = None) -> bool:
+        relevant = [
+            p
+            for p in self.points
+            if p.trigger_uid == uid and p not in self._fired
+        ]
+        if not relevant:
+            return False
+        count = self._counts.get(uid, 0) + 1
+        self._counts[uid] = count
+        for point in relevant:
+            if point.chain is not None:
+                if chain is not None and chain == point.chain:
+                    self._fired.add(point)
+                    return True
+            elif point.occurrence == count:
+                self._fired.add(point)
+                return True
+        return False
+
+    def consume(self, energy: int) -> bool:
+        return False
+
+    def would_trip(self, energy: int) -> bool:
+        return False
+
+    def checkpoint_energy(self, energy: int) -> None:
+        pass  # simulated failures have ideal reserve
+
+    def off_and_recharge(self) -> int:
+        return self.off_cycles
+
+    @property
+    def all_fired(self) -> bool:
+        return len(self._fired) == len(set(self.points))
+
+
+class Harvester(Protocol):
+    def off_cycles(self, deficit: int) -> int: ...
+
+
+@dataclass
+class EnergyDrivenSupply:
+    """Capacitor drained by execution, refilled by a harvester while off.
+
+    ``boot_fraction`` randomizes the storage level at which the node boots
+    after an off period: bursty ambient energy means the firmware's boot
+    comparator fires anywhere between a floor and a full capacitor.  This
+    de-correlates power-failure phase from program phase, which matters
+    for the Table 2b violation-rate experiment (a deterministic refill
+    makes failures land at a fixed program offset forever).  The floor is
+    clamped so the post-boot usable window still fits the largest atomic
+    region (the Section 5.3 feasibility requirement).
+    """
+
+    capacitor: Capacitor
+    harvester: Harvester
+    boot_fraction: tuple[float, float] = (1.0, 1.0)
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        lo, hi = self.boot_fraction
+        if not 0.0 < lo <= hi <= 1.0:
+            raise ValueError("boot_fraction must satisfy 0 < lo <= hi <= 1")
+        self._rng = random.Random(self.seed)
+
+    def fail_before(self, uid: InstrId, chain: Chain | None = None) -> bool:
+        return False
+
+    def consume(self, energy: int) -> bool:
+        return self.capacitor.drain(energy)
+
+    def would_trip(self, energy: int) -> bool:
+        return self.capacitor.level - energy <= self.capacitor.low_threshold
+
+    def checkpoint_energy(self, energy: int) -> None:
+        self.capacitor.drain_reserve(energy)
+
+    def off_and_recharge(self) -> int:
+        before = max(0, self.capacitor.level)
+        deficit = self.capacitor.refill()
+        lo, hi = self.boot_fraction
+        if hi > lo:
+            fraction = self._rng.uniform(lo, hi)
+            usable_span = self.capacitor.capacity - self.capacitor.low_threshold
+            target = self.capacitor.low_threshold + int(fraction * usable_span)
+            self.capacitor.level = max(target, self.capacitor.low_threshold + 1)
+            deficit = max(1, self.capacitor.level - before)
+        return self.harvester.off_cycles(deficit)

@@ -1,0 +1,78 @@
+"""Runtime values with input-dependence taint (Appendix B).
+
+The taint-augmented semantics stores, with every memory cell, the set of
+input operations the value depends on: ``N^t, x -> (v, I)``.  We carry the
+same information at run time as a frozenset of :class:`InputEvent`, which
+the trace predicates of Definitions 2/3 consume.
+
+Cells are immutable; assignment replaces the cell.  A by-reference
+parameter binds to a :class:`RefValue` naming the owning stack depth and
+variable, which stays valid across checkpoint copies because checkpoints
+copy whole stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.instructions import InstrId
+
+
+@dataclass(frozen=True)
+class InputEvent:
+    """One dynamic input operation: which instruction, when, which channel."""
+
+    uid: InstrId
+    channel: str
+    tau: int
+
+    def __str__(self) -> str:
+        return f"{self.channel}@{self.tau}{self.uid}"
+
+
+Taint = frozenset[InputEvent]
+NO_TAINT: Taint = frozenset()
+
+
+@dataclass(frozen=True)
+class TVal:
+    """A tainted value: the integer/boolean payload plus its input set."""
+
+    value: int
+    taint: Taint = NO_TAINT
+
+    @staticmethod
+    def of(value: int | bool) -> "TVal":
+        return TVal(value=int(value))
+
+    def with_taint(self, taint: Taint) -> "TVal":
+        return TVal(value=self.value, taint=taint)
+
+    @property
+    def as_bool(self) -> bool:
+        return bool(self.value)
+
+
+ZERO = TVal(0)
+
+
+@dataclass(frozen=True)
+class RefValue:
+    """A reference into the volatile stack: ``(frame depth, variable)``."""
+
+    depth: int
+    name: str
+
+    def __str__(self) -> str:
+        return f"&[{self.depth}]{self.name}"
+
+
+Cell = TVal | RefValue
+
+
+def merge_taint(*taints: Taint) -> Taint:
+    result: Taint = NO_TAINT
+    for taint in taints:
+        if taint:
+            result = result | taint
+    return result

@@ -1,0 +1,23 @@
+"""Simulated sensing environment for the benchmark applications."""
+
+from repro.sensors.environment import (
+    Environment,
+    Signal,
+    burst,
+    constant,
+    ramp,
+    random_walk,
+    sine,
+    steps,
+)
+
+__all__ = [
+    "Environment",
+    "Signal",
+    "burst",
+    "constant",
+    "ramp",
+    "random_walk",
+    "sine",
+    "steps",
+]

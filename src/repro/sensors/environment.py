@@ -1,0 +1,141 @@
+"""Simulated sensing environment.
+
+The paper runs on real hardware with real (or simulated) sensors; the
+essential property its correctness experiments need is that *a sensor's
+value changes while the device is powered off*, so that a stale or
+torn reading is observably different from a fresh one.  We model the
+environment as a set of named, time-varying integer signals sampled at
+logical time ``tau``.
+
+Signals are deterministic functions of time and a seed, so every
+experiment is reproducible; the provided generators cover the benchmark
+scenarios (weather fronts for Greenhouse, motion episodes for Activity,
+pressure drop events for Tire, light levels for Photo).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+Signal = Callable[[int], int]
+
+
+def constant(value: int) -> Signal:
+    """A signal that never changes (useful in unit tests)."""
+    return lambda tau: value
+
+
+def ramp(start: int, slope_per_kilocycle: int) -> Signal:
+    """Linear drift: ``start + slope * tau / 1000``."""
+
+    def signal(tau: int) -> int:
+        return start + (slope_per_kilocycle * tau) // 1000
+
+    return signal
+
+
+def sine(mean: int, amplitude: int, period: int) -> Signal:
+    """Smooth oscillation around ``mean`` -- diurnal temperature, etc."""
+    if period <= 0:
+        raise ValueError("period must be positive")
+
+    def signal(tau: int) -> int:
+        return mean + round(amplitude * math.sin(2.0 * math.pi * tau / period))
+
+    return signal
+
+
+def steps(levels: list[int], dwell: int) -> Signal:
+    """Piecewise-constant signal cycling through ``levels`` every ``dwell``.
+
+    Step changes are what expose freshness violations: a power failure that
+    straddles a step boundary makes the pre-failure reading stale.
+    """
+    if not levels:
+        raise ValueError("need at least one level")
+    if dwell <= 0:
+        raise ValueError("dwell must be positive")
+
+    def signal(tau: int) -> int:
+        return levels[(tau // dwell) % len(levels)]
+
+    return signal
+
+
+def random_walk(start: int, step: int, seed: int, interval: int = 200) -> Signal:
+    """A seeded random walk, changing every ``interval`` cycles.
+
+    Values are generated lazily but memoized per segment, so the signal is
+    a pure function of ``tau`` -- repeated reads at the same time agree,
+    which the temporal-consistency experiments rely on.
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    cache: dict[int, int] = {0: start}
+
+    def value_at_segment(segment: int) -> int:
+        if segment in cache:
+            return cache[segment]
+        # Fill forward deterministically; each segment's step is a pure
+        # function of (seed, segment index).
+        known = max(k for k in cache if k <= segment)
+        value = cache[known]
+        for idx in range(known + 1, segment + 1):
+            rng = random.Random(f"{seed}:{idx}")
+            value += rng.choice((-step, 0, step))
+            cache[idx] = value
+        return cache[segment]
+
+    def signal(tau: int) -> int:
+        return value_at_segment(max(0, tau) // interval)
+
+    return signal
+
+
+def burst(base: int, spike: int, period: int, width: int, offset: int = 0) -> Signal:
+    """Mostly ``base``, spiking to ``spike`` for ``width`` cycles each period.
+
+    Models episodic events: a tire burst, a motion episode, a hot spell.
+    """
+    if period <= 0 or width <= 0:
+        raise ValueError("period and width must be positive")
+
+    def signal(tau: int) -> int:
+        phase = (tau + offset) % period
+        return spike if phase < width else base
+
+    return signal
+
+
+@dataclass
+class Environment:
+    """Named signals sampled by ``input(channel)`` operations.
+
+    ``read`` is the single entry point the runtime uses.  Reads are pure:
+    the environment holds no mutable state, so continuous and intermittent
+    executions observing the same logical times see the same world -- the
+    property the paper's correctness definitions quantify over.
+    """
+
+    signals: dict[str, Signal] = field(default_factory=dict)
+
+    def bind(self, channel: str, signal: Signal) -> "Environment":
+        self.signals[channel] = signal
+        return self
+
+    def read(self, channel: str, tau: int) -> int:
+        try:
+            signal = self.signals[channel]
+        except KeyError:
+            raise KeyError(
+                f"environment has no signal for channel '{channel}'"
+            ) from None
+        return signal(tau)
+
+    @staticmethod
+    def constant_for(channels: list[str], value: int = 0) -> "Environment":
+        """An environment answering ``value`` on every listed channel."""
+        return Environment({ch: constant(value) for ch in channels})

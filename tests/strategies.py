@@ -1,0 +1,239 @@
+"""Hypothesis strategies generating valid annotated programs.
+
+Programs are built as ASTs (valid by construction) and printed to source,
+so every generated program parses, validates, and compiles.  The generator
+covers the constructs the analyses care about: input operations behind
+call chains, fresh/consistent annotations, branches on annotated data,
+nonvolatile writes, bounded loops, and by-reference parameters.
+
+Annotated variables never read nonvolatile globals: values surviving a
+reboot in memory legitimately carry old input events, which the *dynamic*
+trace predicates would (correctly, but unhelpfully for these tests) flag.
+The static system handles such programs; the property tests target the
+paper's setting where annotated data derives from current-activation
+sensing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from hypothesis import strategies as st
+
+from repro.lang import ast
+
+CHANNELS = ["alpha", "beta", "gamma"]
+
+
+@dataclass
+class _GenState:
+    """Bookkeeping while assembling one random program."""
+
+    counter: int = 0
+    consistent_sets: int = 0
+    globals: list[str] = field(default_factory=list)
+
+    def fresh_name(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+
+def _int_expr(draw, vars_in_scope: list[str]) -> ast.Expr:
+    """A small pure expression over in-scope locals and literals."""
+    choices = ["lit"]
+    if vars_in_scope:
+        choices += ["var", "binop"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "lit":
+        return ast.IntLit(value=draw(st.integers(-20, 20)))
+    if kind == "var":
+        return ast.Var(name=draw(st.sampled_from(vars_in_scope)))
+    lhs = ast.Var(name=draw(st.sampled_from(vars_in_scope)))
+    rhs = ast.IntLit(value=draw(st.integers(1, 9)))
+    op = draw(st.sampled_from(["+", "-", "*", "/", "%"]))
+    return ast.Binary(op=op, lhs=lhs, rhs=rhs)
+
+
+@st.composite
+def programs(draw) -> ast.Program:
+    """A random valid annotated program."""
+    state = _GenState()
+    channels = CHANNELS[: draw(st.integers(1, 3))]
+
+    # Optional nonvolatile globals (written, never feeding annotations).
+    globals_: dict[str, ast.GlobalDecl] = {}
+    for _ in range(draw(st.integers(0, 2))):
+        name = state.fresh_name("g")
+        globals_[name] = ast.GlobalDecl(name=name, init=draw(st.integers(0, 5)))
+        state.globals.append(name)
+
+    functions: dict[str, ast.FuncDecl] = {}
+
+    # Input wrapper functions (exercise provenance through call chains).
+    wrappers: list[str] = []
+    for _ in range(draw(st.integers(0, 2))):
+        name = state.fresh_name("get")
+        channel = draw(st.sampled_from(channels))
+        body: list[ast.Stmt] = [
+            ast.Let(name="raw", expr=ast.Input(channel=channel)),
+        ]
+        if draw(st.booleans()):
+            body.append(
+                ast.Let(
+                    name="cooked",
+                    expr=ast.Binary(
+                        op=draw(st.sampled_from(["+", "*"])),
+                        lhs=ast.Var(name="raw"),
+                        rhs=ast.IntLit(value=draw(st.integers(1, 4))),
+                    ),
+                )
+            )
+            body.append(ast.Return(expr=ast.Var(name="cooked")))
+        else:
+            body.append(ast.Return(expr=ast.Var(name="raw")))
+        functions[name] = ast.FuncDecl(name=name, params=[], body=body)
+        wrappers.append(name)
+
+    # Main body: a sequence of sensing, annotation, branching, and output.
+    main_body: list[ast.Stmt] = []
+    scope: list[str] = []
+    annotated: list[str] = []
+    statements = draw(st.integers(2, 8))
+    for _ in range(statements):
+        kind = draw(
+            st.sampled_from(
+                ["sense", "sense", "derive", "branch", "nvwrite", "work", "output"]
+            )
+        )
+        if kind == "sense":
+            name = state.fresh_name("v")
+            if wrappers and draw(st.booleans()):
+                expr: ast.Expr = ast.Call(
+                    func=draw(st.sampled_from(wrappers)), args=[]
+                )
+            else:
+                expr = ast.Input(channel=draw(st.sampled_from(channels)))
+            annot = draw(
+                st.sampled_from(
+                    [None, "fresh", "fresh", "consistent", "consistent", "plain"]
+                )
+            )
+            if annot == "fresh":
+                main_body.append(ast.Let(name=name, expr=expr))
+                main_body.append(ast.AnnotStmt(kind=ast.AnnotKind.FRESH, var=name))
+                annotated.append(name)
+                # Guarantee at least one use so the policy is non-trivial.
+                if draw(st.booleans()):
+                    main_body.append(
+                        ast.If(
+                            cond=ast.Binary(
+                                op=">",
+                                lhs=ast.Var(name=name),
+                                rhs=ast.IntLit(value=draw(st.integers(0, 10))),
+                            ),
+                            then_body=[
+                                ast.ExprStmt(expr=ast.Call(func="alarm", args=[]))
+                            ],
+                            else_body=[],
+                        )
+                    )
+                else:
+                    main_body.append(
+                        ast.ExprStmt(
+                            expr=ast.Call(func="log", args=[ast.Var(name=name)])
+                        )
+                    )
+            elif annot == "consistent":
+                # Bias toward set 1 so sets usually reach two members.
+                set_id = draw(st.sampled_from([1, 1, 1, 2]))
+                state.consistent_sets = max(state.consistent_sets, set_id)
+                main_body.append(
+                    ast.Let(
+                        name=name,
+                        expr=expr,
+                        annot=ast.AnnotKind.CONSISTENT,
+                        set_id=set_id,
+                    )
+                )
+                annotated.append(name)
+            else:
+                main_body.append(ast.Let(name=name, expr=expr))
+            scope.append(name)
+        elif kind == "derive" and scope:
+            name = state.fresh_name("d")
+            main_body.append(ast.Let(name=name, expr=_int_expr(draw, scope)))
+            scope.append(name)
+        elif kind == "branch" and scope:
+            cond_var = draw(st.sampled_from(scope))
+            threshold = draw(st.integers(-5, 15))
+            then_body: list[ast.Stmt] = [
+                ast.ExprStmt(expr=ast.Call(func="alarm", args=[]))
+            ]
+            if state.globals and draw(st.booleans()):
+                g = draw(st.sampled_from(state.globals))
+                then_body.append(
+                    ast.Assign(
+                        name=g,
+                        expr=ast.Binary(
+                            op="+", lhs=ast.Var(name=g), rhs=ast.IntLit(value=1)
+                        ),
+                    )
+                )
+            main_body.append(
+                ast.If(
+                    cond=ast.Binary(
+                        op=">",
+                        lhs=ast.Var(name=cond_var),
+                        rhs=ast.IntLit(value=threshold),
+                    ),
+                    then_body=then_body,
+                    else_body=[],
+                )
+            )
+        elif kind == "nvwrite" and state.globals and scope:
+            g = draw(st.sampled_from(state.globals))
+            main_body.append(
+                ast.Assign(
+                    name=g,
+                    expr=ast.Binary(
+                        op="+",
+                        lhs=ast.Var(name=g),
+                        rhs=ast.Var(name=draw(st.sampled_from(scope))),
+                    ),
+                )
+            )
+        elif kind == "work":
+            main_body.append(
+                ast.ExprStmt(
+                    expr=ast.Call(
+                        func="work",
+                        args=[ast.IntLit(value=draw(st.integers(5, 60)))],
+                    )
+                )
+            )
+        elif kind == "output" and scope:
+            main_body.append(
+                ast.ExprStmt(
+                    expr=ast.Call(
+                        func="log",
+                        args=[ast.Var(name=draw(st.sampled_from(scope)))],
+                    )
+                )
+            )
+    if not main_body:
+        main_body.append(ast.Skip())
+
+    functions["main"] = ast.FuncDecl(name="main", params=[], body=main_body)
+    program = ast.Program(
+        functions=functions, globals=globals_, arrays={}, channels=channels
+    )
+    ast.assign_labels(program)
+    return program
+
+
+@st.composite
+def program_sources(draw) -> str:
+    """Source text of a random valid program."""
+    from repro.lang.printer import print_program
+
+    return print_program(draw(programs()))

@@ -1,0 +1,143 @@
+"""Baseline transform and effort-model tests."""
+
+import pytest
+
+from repro.apps import BENCHMARKS
+from repro.baselines.atomics_only import atomics_only_transform
+from repro.baselines.effort import (
+    STRATEGY_TABLE,
+    atomics_effort,
+    jit_effort,
+    ocelot_effort,
+    samoyed_effort,
+    tics_effort,
+)
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.printer import print_program
+
+
+class TestAtomicsOnlyTransform:
+    SRC = """
+    inputs ch;
+    fn helper() { let v = input(ch); return v; }
+    fn main() {
+      let a = helper();
+      let b = a + 1;
+      if b > 3 { alarm(); }
+      let c = 5;
+      log(c);
+    }
+    """
+
+    def test_main_fully_covered(self):
+        program = atomics_only_transform(parse_program(self.SRC))
+        for stmt in program.functions["main"].body:
+            assert isinstance(stmt, (ast.Atomic, ast.Return))
+
+    def test_consecutive_simple_statements_chunked_together(self):
+        program = atomics_only_transform(parse_program(self.SRC))
+        first = program.functions["main"].body[0]
+        assert isinstance(first, ast.Atomic)
+        assert len(first.body) == 2  # let a; let b;
+
+    def test_compound_statement_gets_own_region(self):
+        program = atomics_only_transform(parse_program(self.SRC))
+        regions = program.functions["main"].body
+        if_region = regions[1]
+        assert isinstance(if_region, ast.Atomic)
+        assert isinstance(if_region.body[0], ast.If)
+
+    def test_helpers_left_untouched(self):
+        program = atomics_only_transform(parse_program(self.SRC))
+        assert not any(
+            isinstance(s, ast.Atomic) for s in program.functions["helper"].body
+        )
+
+    def test_original_program_unmodified(self):
+        original = parse_program(self.SRC)
+        before = print_program(original)
+        atomics_only_transform(original)
+        assert print_program(original) == before
+
+    def test_existing_atomic_kept_as_is(self):
+        src = "fn main() { atomic { skip; } work(5); }"
+        program = atomics_only_transform(parse_program(src))
+        body = program.functions["main"].body
+        assert isinstance(body[0], ast.Atomic)
+        assert isinstance(body[0].body[0], ast.Skip)
+
+    def test_returns_stay_outside_regions(self):
+        src = "fn main() { let x = 1; return; }"
+        program = atomics_only_transform(parse_program(src))
+        body = program.functions["main"].body
+        assert isinstance(body[-1], ast.Return)
+
+
+class TestEffortModels:
+    def test_jit_is_free_and_wrong(self):
+        for meta in BENCHMARKS.values():
+            assert jit_effort(meta) == 0
+
+    def test_ocelot_formula(self):
+        meta = BENCHMARKS["tire"]
+        assert ocelot_effort(meta) == meta.input_sites + meta.annotation_lines
+
+    def test_tics_counts_freshcon_twice(self):
+        meta = BENCHMARKS["tire"]
+        expected = (
+            8 * (meta.fresh_lines + meta.freshcon_lines)
+            + 2 * (meta.consistent_lines + meta.freshcon_lines)
+            + 6 * meta.consistent_sets
+        )
+        assert tics_effort(meta) == expected
+
+    def test_samoyed_loop_penalty(self):
+        meta = BENCHMARKS["photo"]
+        assert samoyed_effort(meta) == 3 * 1 + 1 + 8
+
+    def test_atomics_effort_scales_with_regions(self):
+        meta = BENCHMARKS["cem"]
+        assert atomics_effort(meta, regions=4) == meta.input_sites + 8
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_ocelot_never_beaten_by_tics(self, name):
+        meta = BENCHMARKS[name]
+        assert ocelot_effort(meta) <= tics_effort(meta)
+
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_ocelot_vs_samoyed_matches_paper_ordering(self, name):
+        # The paper's own Table 4 has one exception: greenhouse needs 7
+        # Ocelot lines vs Samoyed's 6 (many inputs, one atomic function).
+        meta = BENCHMARKS[name]
+        if name == "greenhouse":
+            assert ocelot_effort(meta) > samoyed_effort(meta)
+        else:
+            assert ocelot_effort(meta) <= samoyed_effort(meta)
+
+    @pytest.mark.parametrize(
+        "name", ["activity", "cem", "greenhouse", "photo", "tire"]
+    )
+    def test_matches_paper_exactly_where_modeled(self, name):
+        meta = BENCHMARKS[name]
+        assert ocelot_effort(meta) == meta.paper_effort["ocelot"], name
+        assert tics_effort(meta) == meta.paper_effort["tics"], name
+        assert samoyed_effort(meta) == meta.paper_effort["samoyed"], name
+
+    def test_send_photo_known_delta(self):
+        # Our SendPhoto models one input function + one annotation (2);
+        # the paper reports 4 -- documented in EXPERIMENTS.md.
+        meta = BENCHMARKS["send_photo"]
+        assert ocelot_effort(meta) == 2
+        assert meta.paper_effort["ocelot"] == 4
+
+
+class TestStrategyTable:
+    def test_five_systems(self):
+        assert [r.system for r in STRATEGY_TABLE] == [
+            "Ocelot", "JIT", "Atomics", "TICS", "Samoyed",
+        ]
+
+    def test_only_ocelot_is_unconditionally_correct(self):
+        correct = [r for r in STRATEGY_TABLE if r.upholds.startswith("Correct")]
+        assert len(correct) == 1 and correct[0].system == "Ocelot"

@@ -1,0 +1,177 @@
+"""Checker tests: the Section 5.2 judgments as executable checks."""
+
+from repro.analysis.policies import build_policies
+from repro.analysis.taint import analyze_module
+from repro.core.checker import (
+    check_atomic_regions,
+    check_policy_declarations,
+    check_program,
+    check_summaries,
+)
+from repro.core.inference import infer_atomic
+from repro.ir.lowering import lower_program
+from repro.lang.parser import parse_program
+
+
+def prepare(source: str):
+    module = lower_program(parse_program(source))
+    taint = analyze_module(module)
+    return module, taint, build_policies(taint)
+
+
+FRESH_SRC = (
+    "inputs temp;\n"
+    "fn main() { let x = input(temp); Fresh(x); if x < 5 { alarm(); } }"
+)
+
+CONSISTENT_SRC = (
+    "inputs a, b;\n"
+    "fn main() { let consistent(1) x = input(a); "
+    "let consistent(1) y = input(b); log(x, y); }"
+)
+
+
+class TestAtomicRegionCheck:
+    def test_uninstrumented_fresh_program_fails(self):
+        module, taint, policies = prepare(FRESH_SRC)
+        report = check_atomic_regions(module, policies)
+        assert not report.ok
+        assert any("outside any region" in f for f in report.failures)
+
+    def test_inferred_regions_pass(self):
+        module, taint, policies = prepare(FRESH_SRC)
+        pm, _ = infer_atomic(module, policies)
+        report = check_atomic_regions(module, policies, pm)
+        assert report.ok, report.failures
+
+    def test_manual_region_covering_policy_passes(self):
+        src = (
+            "inputs temp;\n"
+            "fn main() { atomic { let x = input(temp); Fresh(x); "
+            "if x < 5 { alarm(); } } }"
+        )
+        module, taint, policies = prepare(src)
+        report = check_atomic_regions(module, policies)
+        assert report.ok, report.failures
+
+    def test_manual_region_missing_use_fails(self):
+        src = (
+            "inputs temp;\n"
+            "fn main() { atomic { let x = input(temp); Fresh(x); } "
+            "if x < 5 { alarm(); } }"
+        )
+        # NOTE: atomic blocks are scope-transparent, so x is visible after.
+        module, taint, policies = prepare(src)
+        report = check_atomic_regions(module, policies)
+        assert not report.ok
+
+    def test_split_consistent_set_fails(self):
+        src = (
+            "inputs a, b;\n"
+            "fn main() { atomic { let consistent(1) x = input(a); } "
+            "atomic { let consistent(1) y = input(b); } log(x, y); }"
+        )
+        module, taint, policies = prepare(src)
+        report = check_atomic_regions(module, policies)
+        assert not report.ok
+        assert any("distinct atomic extents" in f for f in report.failures)
+
+    def test_one_region_covering_set_passes(self):
+        src = (
+            "inputs a, b;\n"
+            "fn main() { atomic { let consistent(1) x = input(a); "
+            "let consistent(1) y = input(b); } log(x, y); }"
+        )
+        module, taint, policies = prepare(src)
+        report = check_atomic_regions(module, policies)
+        assert report.ok, report.failures
+
+    def test_policy_extent_discovered(self):
+        module, taint, policies = prepare(CONSISTENT_SRC)
+        pm, regions = infer_atomic(module, policies)
+        report = check_atomic_regions(module, policies, pm)
+        pid = regions[0].pid
+        assert pid in report.policy_extents
+
+
+class TestCheckerMode:
+    """Section 8: validating manually-placed regions (no inference)."""
+
+    def test_checker_mode_accepts_good_placement(self):
+        src = (
+            "inputs a, b;\n"
+            "fn sample() { atomic { let consistent(1) x = input(a); "
+            "let consistent(1) y = input(b); log(x, y); } }\n"
+            "fn main() { sample(); }"
+        )
+        module, taint, policies = prepare(src)
+        report = check_atomic_regions(module, policies)
+        assert report.ok
+
+    def test_checker_mode_rejects_uncovered_call_chain(self):
+        src = (
+            "inputs a;\n"
+            "fn get() { let v = input(a); return v; }\n"
+            "fn main() { let x = get(); atomic { Fresh(x); } log(x); }"
+        )
+        module, taint, policies = prepare(src)
+        report = check_atomic_regions(module, policies)
+        assert not report.ok
+
+
+class TestPolicyDeclarationCheck:
+    def test_built_policies_pass_their_own_check(self):
+        module, taint, policies = prepare(FRESH_SRC)
+        report = check_policy_declarations(module, policies, taint)
+        assert report.ok
+
+    def test_missing_input_detected(self):
+        module, taint, policies = prepare(FRESH_SRC)
+        fresh = policies.fresh_policies()[0]
+        fresh.inputs.clear()  # corrupt PD: drop the recorded input
+        report = check_policy_declarations(module, policies, taint)
+        assert not report.ok
+        assert any("Let-fresh" in f for f in report.failures)
+
+    def test_missing_use_detected(self):
+        module, taint, policies = prepare(FRESH_SRC)
+        fresh = policies.fresh_policies()[0]
+        fresh.uses.clear()
+        report = check_policy_declarations(module, policies, taint)
+        assert not report.ok
+        assert any("checkUse" in f for f in report.failures)
+
+    def test_missing_consistent_input_detected(self):
+        module, taint, policies = prepare(CONSISTENT_SRC)
+        policy = policies.consistent_policies()[0]
+        policy.inputs.pop()
+        report = check_policy_declarations(module, policies, taint)
+        assert not report.ok
+
+
+class TestSummaryCheck:
+    def test_summaries_consistent(self):
+        module, taint, policies = prepare(
+            "inputs ch;\n"
+            "fn get() { let r = input(ch); return r; }\n"
+            "fn main() { let x = get(); Fresh(x); log(x); }"
+        )
+        report = check_summaries(taint)
+        assert report.ok, report.failures
+
+
+class TestTheoremHypothesis:
+    def test_full_check_passes_on_ocelot_builds(
+        self, weather_ocelot, calls_ocelot, nv_ocelot, weather_atomics
+    ):
+        for compiled in (weather_ocelot, calls_ocelot, nv_ocelot, weather_atomics):
+            assert compiled.check.ok, compiled.check.failures
+
+    def test_full_check_fails_on_jit_builds(self, weather_jit):
+        assert not weather_jit.check.ok
+
+    def test_check_program_combines_all_parts(self):
+        module, taint, policies = prepare(FRESH_SRC)
+        pm, _ = infer_atomic(module, policies)
+        report = check_program(module, policies, taint, pm)
+        assert report.ok, report.failures

@@ -1,0 +1,137 @@
+"""CLI tests (`python -m repro`)."""
+
+import pytest
+
+from repro.cli import main
+
+GOOD_MANUAL = """\
+inputs a, b;
+
+fn main() {
+  atomic {
+    let consistent(1) x = input(a);
+    let consistent(1) y = input(b);
+  }
+  log(x, y);
+}
+"""
+
+ANNOTATED = """\
+inputs temp;
+
+fn main() {
+  let t = input(temp);
+  Fresh(t);
+  if t > 10 { alarm(); }
+  log(t);
+}
+"""
+
+HEAVY_REGION = """\
+fn main() {
+  atomic { work(999999); }
+}
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    def write(text: str):
+        path = tmp_path / "prog.ocl"
+        path.write_text(text)
+        return str(path)
+
+    return write
+
+
+class TestCompile:
+    def test_compile_default_ocelot(self, source_file, capsys):
+        assert main(["compile", source_file(ANNOTATED)]) == 0
+        out = capsys.readouterr().out
+        assert "checker     : PASS" in out
+        assert "region " in out
+
+    def test_compile_jit_reports_failures_but_exits_zero(
+        self, source_file, capsys
+    ):
+        assert main(["compile", source_file(ANNOTATED), "--config", "jit"]) == 0
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_compile_ir_dump(self, source_file, capsys):
+        main(["compile", source_file(ANNOTATED), "--ir"])
+        out = capsys.readouterr().out
+        assert "atomic_start" in out
+        assert "annot fresh(t)" in out
+
+    def test_compile_policies_dump(self, source_file, capsys):
+        main(["compile", source_file(ANNOTATED), "--policies"])
+        out = capsys.readouterr().out
+        assert "policy fresh@" in out
+
+
+class TestCheck:
+    def test_good_manual_regions_pass(self, source_file, capsys):
+        assert main(["check", source_file(GOOD_MANUAL)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_uncovered_annotation_fails(self, source_file, capsys):
+        assert main(["check", source_file(ANNOTATED)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_with_constant_bindings(self, source_file, capsys):
+        code = main(
+            ["run", source_file(ANNOTATED), "--set", "temp=42"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alarm()" in out
+        assert "log(42)" in out
+
+    def test_run_with_stepping_signal(self, source_file, capsys):
+        code = main(
+            ["run", source_file(ANNOTATED), "--set", "temp=1,99:50"]
+        )
+        assert code == 0
+
+    def test_run_defaults_unbound_channels_to_zero(self, source_file, capsys):
+        assert main(["run", source_file(ANNOTATED)]) == 0
+        out = capsys.readouterr().out
+        assert "log(0)" in out
+
+    def test_run_intermittent(self, source_file, capsys):
+        code = main(
+            [
+                "run",
+                source_file(ANNOTATED),
+                "--set",
+                "temp=42",
+                "--intermittent",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+
+    def test_bad_set_spec(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["run", source_file(ANNOTATED), "--set", "oops"])
+
+
+class TestFeasibility:
+    def test_feasible_program(self, source_file, capsys):
+        assert main(["feasibility", source_file(ANNOTATED)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_infeasible_region(self, source_file, capsys):
+        assert main(["feasibility", source_file(HEAVY_REGION)]) == 1
+        out = capsys.readouterr().out
+        assert "INFEASIBLE" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

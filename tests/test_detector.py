@@ -1,0 +1,112 @@
+"""Detector plan and bit-vector tests (Section 7.3)."""
+
+from repro.analysis.provenance import Chain
+from repro.core.pipeline import compile_source
+from repro.ir import instructions as ir
+from repro.runtime.detector import BitVector, build_detector_plan
+
+
+def plan_for(source: str, config: str = "jit"):
+    compiled = compile_source(source, config)
+    return compiled, build_detector_plan(compiled.policies)
+
+
+class TestPlanConstruction:
+    def test_fresh_policy_checks_at_uses(self):
+        compiled, plan = plan_for(
+            "inputs ch;\n"
+            "fn main() { let x = input(ch); Fresh(x); if x > 5 { alarm(); } }"
+        )
+        fresh_checks = [
+            c for checks in plan.checks.values() for c in checks
+            if c.kind == "fresh"
+        ]
+        assert fresh_checks
+        for check in fresh_checks:
+            assert all(ch in plan.bit_chains for ch in check.required)
+
+    def test_consistent_checks_ordered_by_member(self):
+        compiled, plan = plan_for(
+            "inputs a, b, c;\n"
+            "fn main() { let consistent(1) x = input(a); "
+            "let consistent(1) y = input(b); "
+            "let consistent(1) z = input(c); log(x, y, z); }"
+        )
+        consistent = [
+            c for checks in plan.checks.values() for c in checks
+            if c.kind == "consistent"
+        ]
+        sizes = sorted(len(c.required) for c in consistent)
+        # Second member requires 1 input, third requires 2.
+        assert sizes == [1, 2]
+
+    def test_first_member_input_has_no_check(self):
+        compiled, plan = plan_for(
+            "inputs a, b;\n"
+            "fn main() { let consistent(1) x = input(a); "
+            "let consistent(1) y = input(b); log(x, y); }"
+        )
+        inputs = sorted(
+            i.uid for i in compiled.module.all_instrs()
+            if isinstance(i, ir.InputInstr)
+        )
+        sites = {chain.op for chain in plan.checks}
+        assert inputs[0] not in sites  # first input of the set: no check
+        assert inputs[1] in sites  # second input checks the first
+
+    def test_trivial_policies_produce_no_checks(self):
+        compiled, plan = plan_for(
+            "fn main() { let x = 1; Fresh(x); log(x); }"
+        )
+        assert plan.total_checks == 0
+
+    def test_shared_driver_chains_are_distinct(self):
+        """Two contexts through one driver get distinct bit positions."""
+        compiled, plan = plan_for(
+            "inputs ch;\n"
+            "fn read() { let v = input(ch); return v; }\n"
+            "fn main() { let consistent(1) a = read(); "
+            "let consistent(1) b = read(); log(a, b); }"
+        )
+        assert len(plan.bit_chains) == 2
+        ops = {chain.op for chain in plan.bit_chains}
+        assert len(ops) == 1  # same static op, two chains
+
+    def test_trigger_uids_cover_check_sites(self):
+        compiled, plan = plan_for(
+            "inputs ch;\n"
+            "fn main() { let x = input(ch); Fresh(x); log(x); }"
+        )
+        for chain in plan.checks:
+            assert chain.op in plan.trigger_uids
+
+
+class TestBitVector:
+    def _chain(self, label: int) -> Chain:
+        return Chain(ids=(ir.InstrId("main", label),))
+
+    def test_set_and_missing(self):
+        bits = BitVector()
+        c1, c2 = self._chain(1), self._chain(2)
+        bits.set(c1)
+        assert bits.missing((c1, c2)) == (c2,)
+
+    def test_clear_resets_everything(self):
+        bits = BitVector()
+        bits.set(self._chain(1))
+        bits.clear()
+        assert bits.missing((self._chain(1),)) == (self._chain(1),)
+
+    def test_missing_empty_requirements(self):
+        assert BitVector().missing(()) == ()
+
+
+class TestSamePlanAcrossConfigs:
+    def test_plan_is_config_independent(self, weather_ocelot, weather_jit):
+        # Policies come from the same annotated source; both plans must
+        # check the same policy ids.
+        plan_a = weather_ocelot.detector_plan()
+        plan_b = weather_jit.detector_plan()
+        pids_a = {c.pid for checks in plan_a.checks.values() for c in checks}
+        pids_b = {c.pid for checks in plan_b.checks.values() for c in checks}
+        assert pids_a == pids_b

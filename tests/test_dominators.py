@@ -1,0 +1,205 @@
+"""Dominator / post-dominator / control-dependence tests.
+
+Includes a naive set-based dominator computation as an oracle: the CHK
+iterative algorithm must agree with it on every generated CFG.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.dominators import (
+    DomTree,
+    control_dependence,
+    dominator_tree,
+    postdominator_tree,
+)
+from repro.ir.lowering import LoweringOptions, lower_program
+from repro.lang.parser import parse_program
+
+
+def lower(source: str, unroll: bool = True):
+    return lower_program(
+        parse_program(source), options=LoweringOptions(unroll_loops=unroll)
+    )
+
+
+DIAMOND = """
+fn main() {
+  let x = 1;
+  if x < 2 {
+    alarm();
+  } else {
+    work(5);
+  }
+  log(x);
+}
+"""
+
+LOOPY = """
+inputs ch;
+fn main() {
+  repeat 3 {
+    let x = input(ch);
+    if x > 4 {
+      alarm();
+    }
+  }
+  log(1);
+}
+"""
+
+
+def naive_dominators(succ: dict[str, list[str]], root: str) -> dict[str, set[str]]:
+    """Textbook iterative set-intersection dominators (the oracle)."""
+    nodes = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node in nodes:
+            continue
+        nodes.add(node)
+        stack.extend(succ.get(node, []))
+    preds: dict[str, list[str]] = {n: [] for n in nodes}
+    for node in nodes:
+        for child in succ.get(node, []):
+            preds[child].append(node)
+    dom = {n: set(nodes) for n in nodes}
+    dom[root] = {root}
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes - {root}:
+            incoming = [dom[p] for p in preds[node]]
+            new = set.intersection(*incoming) | {node} if incoming else {node}
+            if new != dom[node]:
+                dom[node] = new
+                changed = True
+    return dom
+
+
+def assert_tree_matches_naive(func) -> None:
+    succ = {name: block.successors() for name, block in func.blocks.items()}
+    tree = dominator_tree(func)
+    oracle = naive_dominators(succ, func.entry)
+    for node in oracle:
+        assert set(tree.dominators_of(node)) == oracle[node], node
+
+
+class TestDominators:
+    def test_diamond(self):
+        func = lower(DIAMOND).function("main")
+        tree = dominator_tree(func)
+        # The entry dominates everything.
+        for name in func.blocks:
+            assert tree.dominates(func.entry, name)
+        assert_tree_matches_naive(func)
+
+    def test_loop_cfg_matches_naive(self):
+        func = lower(LOOPY, unroll=False).function("main")
+        assert_tree_matches_naive(func)
+
+    def test_branch_arms_do_not_dominate_join(self):
+        func = lower(DIAMOND).function("main")
+        tree = dominator_tree(func)
+        joins = [n for n in func.blocks if n.startswith("join")]
+        thens = [n for n in func.blocks if n.startswith("then")]
+        assert joins and thens
+        assert not tree.dominates(thens[0], joins[0])
+
+    def test_lca_properties(self):
+        func = lower(DIAMOND).function("main")
+        tree = dominator_tree(func)
+        names = list(func.blocks)
+        for a in names:
+            for b in names:
+                lca = tree.lca(a, b)
+                assert tree.dominates(lca, a)
+                assert tree.dominates(lca, b)
+                assert tree.lca(a, b) == tree.lca(b, a)
+        for a in names:
+            assert tree.lca(a, a) == a
+
+    def test_common_ancestor_of_all_blocks_is_entry_or_dominator(self):
+        func = lower(DIAMOND).function("main")
+        tree = dominator_tree(func)
+        common = tree.common_ancestor(list(func.blocks))
+        for name in func.blocks:
+            assert tree.dominates(common, name)
+
+
+class TestPostDominators:
+    def test_exit_postdominates_everything(self):
+        func = lower(DIAMOND).function("main")
+        tree = postdominator_tree(func)
+        for name in func.blocks:
+            assert tree.dominates(func.exit, name)
+
+    def test_join_postdominates_arms(self):
+        func = lower(DIAMOND).function("main")
+        tree = postdominator_tree(func)
+        joins = [n for n in func.blocks if n.startswith("join")]
+        thens = [n for n in func.blocks if n.startswith("then")]
+        assert tree.dominates(joins[0], thens[0])
+
+    def test_loop_postdominators(self):
+        func = lower(LOOPY, unroll=False).function("main")
+        tree = postdominator_tree(func)
+        for name in func.blocks:
+            assert tree.dominates(func.exit, name)
+
+
+class TestControlDependence:
+    def test_then_block_depends_on_branch_block(self):
+        func = lower(DIAMOND).function("main")
+        deps = control_dependence(func)
+        thens = [n for n in func.blocks if n.startswith("then")]
+        elses = [n for n in func.blocks if n.startswith("else")]
+        assert deps[thens[0]] == {func.entry}
+        assert deps[elses[0]] == {func.entry}
+
+    def test_join_is_not_control_dependent(self):
+        func = lower(DIAMOND).function("main")
+        deps = control_dependence(func)
+        joins = [n for n in func.blocks if n.startswith("join")]
+        assert deps[joins[0]] == set()
+
+    def test_nested_if_dependence(self):
+        src = """
+        fn main() {
+          let x = 1;
+          if x < 5 {
+            if x < 2 {
+              alarm();
+            }
+          }
+        }
+        """
+        func = lower(src).function("main")
+        deps = control_dependence(func)
+        inner_thens = sorted(n for n in func.blocks if n.startswith("then"))
+        # The innermost then-block is control dependent on the inner branch,
+        # which itself is control dependent on the entry.
+        innermost = inner_thens[-1]
+        assert deps[innermost]
+        controller = next(iter(deps[innermost]))
+        assert deps[controller] or controller == func.entry
+
+
+class TestHypothesisAgainstNaive:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_chk_matches_naive_on_random_programs(self, data):
+        from tests.strategies import program_sources
+
+        source = data.draw(program_sources())
+        module = lower(source)
+        for func in module.functions.values():
+            assert_tree_matches_naive(func)
+
+
+class TestDomTreeValidation:
+    def test_bad_idom_map_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            DomTree(root="a", idom={"a": "a", "b": "c", "c": "b"})

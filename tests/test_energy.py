@@ -1,0 +1,131 @@
+"""Energy substrate tests: capacitor, harvesters, cost model."""
+
+import pytest
+
+from repro.energy.capacitor import Capacitor, EnergyError
+from repro.energy.costs import CostModel
+from repro.energy.harvester import ConstantHarvester, NoisyHarvester, TraceHarvester
+from repro.ir import instructions as ir
+from repro.lang import ast
+
+
+class TestCapacitor:
+    def test_starts_full(self):
+        cap = Capacitor(1000, 200)
+        assert cap.level == 1000
+        assert cap.usable == 800
+
+    def test_drain_trips_at_threshold(self):
+        cap = Capacitor(1000, 200)
+        assert not cap.drain(799)
+        assert cap.drain(1)  # exactly at threshold trips
+
+    def test_reserve_accounting(self):
+        cap = Capacitor(1000, 200)
+        cap.drain(800)
+        cap.drain_reserve(150)
+        assert cap.level == 50
+
+    def test_reserve_exhaustion_raises(self):
+        cap = Capacitor(1000, 200)
+        cap.drain(800)
+        with pytest.raises(EnergyError):
+            cap.drain_reserve(300)
+
+    def test_refill_returns_deficit(self):
+        cap = Capacitor(1000, 200)
+        cap.drain(600)
+        assert cap.refill() == 600
+        assert cap.level == 1000
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            Capacitor(100, 100)
+        with pytest.raises(ValueError):
+            Capacitor(100, -1)
+
+    def test_negative_drain_rejected(self):
+        with pytest.raises(ValueError):
+            Capacitor(100, 10).drain(-5)
+
+
+class TestHarvesters:
+    def test_constant_rate(self):
+        h = ConstantHarvester(rate_per_kilocycle=500)
+        assert h.off_cycles(500) == 1000
+
+    def test_constant_minimum_one(self):
+        h = ConstantHarvester(rate_per_kilocycle=10**9)
+        assert h.off_cycles(1) >= 1
+
+    def test_noisy_is_deterministic_per_seed(self):
+        a = NoisyHarvester(300, seed=5)
+        b = NoisyHarvester(300, seed=5)
+        assert [a.off_cycles(1000) for _ in range(5)] == [
+            b.off_cycles(1000) for _ in range(5)
+        ]
+
+    def test_noisy_differs_across_seeds(self):
+        a = [NoisyHarvester(300, seed=1).off_cycles(1000) for _ in range(4)]
+        b = [NoisyHarvester(300, seed=2).off_cycles(1000) for _ in range(4)]
+        assert a != b
+
+    def test_noisy_spread_bounds(self):
+        h = NoisyHarvester(1000, seed=3, spread=2.0)
+        base = 1000  # deficit 1000 at rate 1000/kc -> nominal 1000 cycles
+        for _ in range(50):
+            off = h.off_cycles(base)
+            assert base / 2.5 <= off <= base * 2.5
+
+    def test_trace_harvester_replays(self):
+        h = TraceHarvester([100, 200, 300])
+        assert [h.off_cycles(1) for _ in range(4)] == [100, 200, 300, 100]
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            ConstantHarvester(0).off_cycles(10)
+        with pytest.raises(ValueError):
+            NoisyHarvester(0)
+        with pytest.raises(ValueError):
+            NoisyHarvester(10, spread=0.5)
+        with pytest.raises(ValueError):
+            TraceHarvester([]).off_cycles(1)
+
+
+class TestCostModel:
+    def test_input_default_and_override(self):
+        costs = CostModel(input_costs={"photo": 120})
+        photo = ir.InputInstr(dest="%t", channel="photo")
+        temp = ir.InputInstr(dest="%t", channel="temp")
+        assert costs.instr_cycles(photo) == 120
+        assert costs.instr_cycles(temp) == costs.input_op
+
+    def test_work_uses_value(self):
+        costs = CostModel()
+        work = ir.WorkInstr(cycles=ast.IntLit(value=77))
+        assert costs.instr_cycles(work, work_value=77) == 77
+
+    def test_negative_work_clamped(self):
+        costs = CostModel()
+        work = ir.WorkInstr(cycles=ast.IntLit(value=-5))
+        assert costs.instr_cycles(work, work_value=-5) == 0
+
+    def test_region_entry_scales_with_omega(self):
+        costs = CostModel()
+        small = costs.region_entry_cycles(10, 1)
+        big = costs.region_entry_cycles(10, 100)
+        assert big - small == costs.region_per_nv_word * 99
+
+    def test_checkpoint_scales_with_stack(self):
+        costs = CostModel()
+        assert costs.checkpoint_cycles(50) > costs.checkpoint_cycles(5)
+
+    def test_annotations_are_free(self):
+        costs = CostModel()
+        annot = ir.AnnotInstr(kind="fresh", var="x")
+        assert costs.instr_cycles(annot) == 0
+
+    def test_region_markers_charged_separately(self):
+        costs = CostModel()
+        start = ir.AtomicStart(region="r")
+        assert costs.instr_cycles(start) == 0

@@ -1,0 +1,218 @@
+"""Executor tests: evaluation, calls, references, arrays, observations."""
+
+import pytest
+
+from repro.core.pipeline import PipelineOptions, compile_source
+from repro.runtime import observations as obs
+from repro.runtime.executor import ExecError, Machine
+from repro.runtime.supply import ContinuousPower
+from repro.sensors.environment import Environment, ramp
+
+
+def run(source: str, env: Environment | None = None, config: str = "ocelot"):
+    compiled = compile_source(source, config)
+    env = env or Environment.constant_for(compiled.module.channels, 5)
+    machine = Machine(compiled.module, env, ContinuousPower(), plan=compiled.detector_plan())
+    result = machine.run()
+    assert result.stats.completed
+    return machine, result
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("(1 + 2) * 3", 9),
+            ("10 / 3", 3),
+            ("-10 / 3", -3),  # C-style truncation toward zero
+            ("10 % 3", 1),
+            ("-10 % 3", -1),
+            ("7 / 0", 0),  # MCU guard: division by zero yields 0
+            ("7 % 0", 0),
+            ("3 < 4", 1),
+            ("4 <= 4", 1),
+            ("5 == 5", 1),
+            ("5 != 5", 0),
+            ("1 && 0", 0),
+            ("0 || 2", 1),
+            ("!0", 1),
+            ("-(3 + 4)", -7),
+            ("min(3, 9)", 3),
+            ("max(3, 9)", 9),
+            ("abs(0 - 8)", 8),
+        ],
+    )
+    def test_expression(self, expr, expected):
+        machine, result = run(f"fn main() {{ let x = {expr}; log(x); }}")
+        assert result.trace.outputs[0].values == (expected,)
+
+
+class TestCallsAndReturns:
+    def test_return_value_flows_to_caller(self):
+        machine, result = run(
+            "fn add(a, b) { return a + b; }\n"
+            "fn main() { let x = add(3, 4); log(x); }"
+        )
+        assert result.trace.outputs[0].values == (7,)
+
+    def test_void_function(self):
+        machine, result = run(
+            "fn noisy() { alarm(); }\nfn main() { noisy(); log(1); }"
+        )
+        ops = [o.op for o in result.trace.outputs]
+        assert ops == ["alarm", "log"]
+
+    def test_missing_return_defaults_to_zero(self):
+        machine, result = run(
+            "fn f(a) { if a > 10 { return 1; } }\n"
+            "fn main() { let x = f(1); log(x); }"
+        )
+        assert result.trace.outputs[0].values == (0,)
+
+    def test_nested_calls(self):
+        machine, result = run(
+            "fn inc(v) { return v + 1; }\n"
+            "fn twice(v) { let a = inc(v); let b = inc(a); return b; }\n"
+            "fn main() { let x = twice(5); log(x); }"
+        )
+        assert result.trace.outputs[0].values == (7,)
+
+
+class TestReferences:
+    def test_store_through_reference(self):
+        machine, result = run(
+            "fn put(&out, v) { *out = v * 10; }\n"
+            "fn main() { let x = 1; put(&x, 7); log(x); }"
+        )
+        assert result.trace.outputs[0].values == (70,)
+
+    def test_reference_forwarding(self):
+        machine, result = run(
+            "fn inner(&p) { *p = 42; }\n"
+            "fn outer(&q) { inner(&q); }\n"
+            "fn main() { let x = 0; outer(&x); log(x); }"
+        )
+        assert result.trace.outputs[0].values == (42,)
+
+    def test_reading_through_reference(self):
+        machine, result = run(
+            "fn bump(&p) { *p = p + 1; }\n"
+            "fn main() { let x = 9; bump(&x); log(x); }"
+        )
+        assert result.trace.outputs[0].values == (10,)
+
+
+class TestNonvolatileMemory:
+    def test_global_read_write(self):
+        machine, result = run(
+            "nonvolatile g = 5;\nfn main() { g = g + 1; log(g); }"
+        )
+        assert result.trace.outputs[0].values == (6,)
+        assert machine.nv.globals["g"].value == 6
+
+    def test_array_read_write(self):
+        machine, result = run(
+            "nonvolatile a[3] = [10, 20, 30];\n"
+            "fn main() { a[1] = a[1] + 1; log(a[1]); }"
+        )
+        assert result.trace.outputs[0].values == (21,)
+
+    def test_out_of_bounds_raises(self):
+        compiled = compile_source(
+            "nonvolatile a[2];\nfn main() { a[5] = 1; }", "jit",
+            options=PipelineOptions(strict=False),
+        )
+        env = Environment.constant_for([], 0)
+        machine = Machine(compiled.module, env, ContinuousPower())
+        with pytest.raises(ExecError, match="out of bounds"):
+            machine.run()
+
+
+class TestInputsAndTaint:
+    def test_input_reads_environment_at_tau(self):
+        env = Environment({"ch": ramp(start=0, slope_per_kilocycle=1000)})
+        machine, result = run(
+            "inputs ch;\nfn main() { work(500); let x = input(ch); log(x); }",
+            env=env,
+        )
+        (out,) = result.trace.outputs
+        # work(500) advanced tau past 500 cycles, so the ramp reads >= 0.
+        assert out.values[0] >= 0
+        (inp,) = result.trace.inputs
+        assert inp.value == out.values[0]
+
+    def test_taint_propagates_to_annotation_observation(self):
+        machine, result = run(
+            "inputs ch;\nfn main() { let x = input(ch); let y = x + 1; Fresh(y); }"
+        )
+        (decl,) = result.trace.of_type(obs.FreshDeclObs)
+        assert len(decl.inputs) == 1
+        event = next(iter(decl.inputs))
+        assert event.channel == "ch"
+
+    def test_consistent_observation_carries_set_id(self):
+        machine, result = run(
+            "inputs a, b;\n"
+            "fn main() { let consistent(7) x = input(a); "
+            "let consistent(7) y = input(b); log(x, y); }"
+        )
+        decls = result.trace.of_type(obs.ConsistentDeclObs)
+        assert [d.set_id for d in decls] == [7, 7]
+
+
+class TestAtomicRegions:
+    def test_region_events_bracket(self):
+        machine, result = run(
+            "inputs a, b;\n"
+            "fn main() { let consistent(1) x = input(a); "
+            "let consistent(1) y = input(b); log(x, y); }"
+        )
+        enters = result.trace.of_type(obs.RegionEnterObs)
+        exits = result.trace.of_type(obs.RegionExitObs)
+        assert len(enters) == len(exits) >= 1
+
+    def test_nested_regions_flatten(self):
+        machine, result = run(
+            "fn main() { atomic { atomic { skip; } skip; } }",
+        )
+        enters = result.trace.of_type(obs.RegionEnterObs)
+        exits = result.trace.of_type(obs.RegionExitObs)
+        assert len(enters) == 1 and len(exits) == 1
+
+    def test_stray_end_is_noop(self):
+        # Overlap: end of an inner region after the outer committed is
+        # impossible from lowering, but the runtime must tolerate marker
+        # patterns produced by overlapping inferred regions.
+        machine, result = run(
+            "inputs a;\n"
+            "fn main() { let x = input(a); Fresh(x); if x > 1 { alarm(); } }"
+        )
+        assert result.stats.completed
+
+    def test_region_stats_counted(self):
+        machine, result = run("fn main() { atomic { skip; } atomic { skip; } }")
+        assert result.stats.region_entries == 2
+        assert result.stats.region_commits == 2
+
+
+class TestReturnValue:
+    def test_main_return_value_surfaces(self):
+        machine, result = run("fn main() { return 99; }")
+        assert result.ret == 99
+
+    def test_main_without_return(self):
+        machine, result = run("fn main() { skip; }")
+        assert result.ret is None
+
+
+class TestCycleAccounting:
+    def test_work_costs_cycles(self):
+        machine_a, result_a = run("fn main() { work(1000); }")
+        machine_b, result_b = run("fn main() { work(10); }")
+        assert result_a.stats.cycles_on > result_b.stats.cycles_on + 900
+
+    def test_tau_advances_monotonically(self):
+        machine, result = run("fn main() { work(5); log(1); work(5); log(2); }")
+        taus = [o.tau for o in result.trace.outputs]
+        assert taus == sorted(taus)

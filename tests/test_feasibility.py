@@ -1,0 +1,125 @@
+"""Energy-feasibility analysis tests (Section 5.3)."""
+
+import pytest
+
+from repro.apps import BENCHMARK_NAMES, BENCHMARKS
+from repro.core.feasibility import (
+    bound_regions,
+    check_feasibility,
+    profile_usable_energy,
+)
+from repro.core.pipeline import compile_source
+from repro.energy.capacitor import Capacitor
+from repro.energy.harvester import ConstantHarvester
+from repro.eval.profiles import STANDARD_PROFILE
+from repro.runtime.executor import Machine, MachineConfig
+from repro.runtime.supply import EnergyDrivenSupply
+from repro.sensors.environment import Environment
+
+
+def compile_(source: str):
+    return compile_source(source, "ocelot")
+
+
+class TestBounds:
+    def test_bound_covers_actual_cost(self):
+        compiled = compile_(
+            "inputs ch;\nnonvolatile g = 0;\n"
+            "fn main() { atomic { let v = input(ch); g = g + v; work(100); } }"
+        )
+        (bound,) = [
+            b for b in bound_regions(compiled.module) if b.omega_words
+        ]
+        assert bound.bounded
+        # Run it and compare: the bound must dominate the measured cost.
+        env = Environment.constant_for(["ch"], 1)
+        machine = Machine(compiled.module, env)
+        result = machine.run()
+        assert bound.cycles >= result.stats.cycles_on - 5
+
+    def test_non_constant_work_is_unknown(self):
+        compiled = compile_(
+            "inputs ch;\n"
+            "fn main() { let n = input(ch); atomic { work(n); } log(n); }"
+        )
+        bounds = bound_regions(compiled.module)
+        unknown = [b for b in bounds if not b.bounded]
+        assert unknown
+        assert "non-constant" in (unknown[0].reason or "")
+
+    def test_callee_costs_included(self):
+        src_inline = "fn main() { atomic { work(300); } }"
+        src_call = (
+            "fn heavy() { work(300); }\n"
+            "fn main() { atomic { heavy(); } }"
+        )
+        inline_bound = bound_regions(compile_(src_inline).module)
+        call_bound = bound_regions(compile_(src_call).module)
+        assert call_bound[0].cycles >= inline_bound[0].cycles
+
+    def test_omega_words_reflected_in_entry(self):
+        src = (
+            "nonvolatile big[32];\n"
+            "fn main() { atomic { big[0] = 1; } }"
+        )
+        (bound,) = bound_regions(compile_(src).module)
+        assert bound.omega_words == 32
+        assert bound.entry_cycles > 32 * 2
+
+
+class TestVerdicts:
+    def test_feasible_program(self):
+        compiled = compile_(
+            "inputs ch;\nfn main() { atomic { let v = input(ch); log(v); } }"
+        )
+        report = check_feasibility(compiled.module, usable_energy=100_000)
+        assert report.ok
+
+    def test_infeasible_region_reported(self):
+        compiled = compile_("fn main() { atomic { work(5000); } }")
+        report = check_feasibility(compiled.module, usable_energy=1000)
+        assert not report.ok
+        assert report.infeasible
+        assert report.worst() is not None
+
+    def test_infeasible_region_actually_livelocks(self):
+        """The static verdict predicts the dynamic livelock."""
+        compiled = compile_("fn main() { atomic { work(800); } }")
+        report = check_feasibility(compiled.module, usable_energy=500)
+        assert report.infeasible
+        supply = EnergyDrivenSupply(Capacitor(700, 200), ConstantHarvester(1000))
+        machine = Machine(
+            compiled.module,
+            Environment(),
+            supply,
+            config=MachineConfig(max_region_restarts=20),
+        )
+        with pytest.raises(Exception, match="cannot complete"):
+            machine.run()
+
+    def test_profile_usable_energy(self):
+        value = profile_usable_energy(STANDARD_PROFILE)
+        lo = STANDARD_PROFILE.boot_fraction[0]
+        span = STANDARD_PROFILE.capacity - STANDARD_PROFILE.low_threshold
+        assert value == int(lo * span)
+
+
+class TestBenchmarksAreFeasible:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_every_app_region_fits_standard_profile(self, name):
+        """The Section 5.3 requirement, checked for the whole evaluation:
+        every inferred/manual region of every build fits the guaranteed
+        post-boot window of the standard profile."""
+        meta = BENCHMARKS[name]
+        usable = profile_usable_energy(STANDARD_PROFILE)
+        for config in ("ocelot", "atomics"):
+            compiled = compile_source(meta.source, config)
+            report = check_feasibility(
+                compiled.module, usable, costs=meta.cost_model()
+            )
+            assert not report.unknown, (name, config, report.unknown)
+            assert not report.infeasible, (
+                name,
+                config,
+                [(b.region, b.cycles) for b in report.infeasible],
+            )

@@ -1,0 +1,91 @@
+"""Front-end robustness: arbitrary input must fail cleanly, never crash.
+
+Any byte soup fed to the parser must either parse or raise a
+:class:`~repro.lang.errors.LangError` subclass with a position -- no bare
+``IndexError`` / ``RecursionError`` / ``AttributeError`` escapes.  Mutated
+valid programs exercise the error paths near real syntax.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.errors import LangError
+from repro.lang.parser import parse_program
+
+from tests.strategies import program_sources
+
+
+class TestArbitraryInput:
+    @given(st.text(max_size=200))
+    @settings(max_examples=150, deadline=None)
+    def test_random_text_never_crashes(self, text):
+        try:
+            parse_program(text)
+        except LangError:
+            pass  # clean rejection
+
+    @given(
+        st.text(
+            alphabet="fnletihs(){};=<>&|!+-*/%0123456789abct ,\n",
+            max_size=120,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_keyword_soup_never_crashes(self, text):
+        try:
+            parse_program(text)
+        except LangError:
+            pass
+
+
+class TestMutatedPrograms:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_single_character_deletion(self, data):
+        source = data.draw(program_sources())
+        if len(source) < 2:
+            return
+        idx = data.draw(st.integers(0, len(source) - 1))
+        mutated = source[:idx] + source[idx + 1 :]
+        try:
+            parse_program(mutated)
+        except LangError:
+            pass
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_single_character_substitution(self, data):
+        source = data.draw(program_sources())
+        idx = data.draw(st.integers(0, len(source) - 1))
+        junk = data.draw(st.sampled_from("{}();=,&|<>"))
+        mutated = source[:idx] + junk + source[idx + 1 :]
+        try:
+            parse_program(mutated)
+        except LangError:
+            pass
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_truncation(self, data):
+        source = data.draw(program_sources())
+        cut = data.draw(st.integers(0, len(source)))
+        try:
+            parse_program(source[:cut])
+        except LangError:
+            pass
+
+
+class TestErrorPositions:
+    @pytest.mark.parametrize(
+        "source,line",
+        [
+            ("fn main() {\n  let = 1;\n}", 2),
+            ("fn main() {\n  skip;\n  if {\n}", 3),
+            ("inputs a;\nfn main() { let x = input(); }", 2),
+        ],
+    )
+    def test_errors_carry_line_numbers(self, source, line):
+        with pytest.raises(LangError) as excinfo:
+            parse_program(source)
+        assert excinfo.value.span.line == line

@@ -1,0 +1,122 @@
+"""Idempotence of atomic region re-execution.
+
+A partially executed region's updates must never become visible: after any
+number of mid-region power failures, committed nonvolatile state must be
+exactly what a failure-free execution produces (for the same sensed
+values).  This is the memory-consistency half of correctness the undo log
+provides (Sections 2.1, 3.1).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import compile_source
+from repro.ir import instructions as ir
+from repro.runtime.executor import Machine
+from repro.runtime.supply import ContinuousPower, FailurePoint, ScheduledFailures
+from repro.sensors.environment import Environment
+
+SRC = """\
+inputs ch;
+nonvolatile total = 0;
+nonvolatile count = 0;
+nonvolatile ring[4];
+
+fn main() {
+  atomic {
+    let v = input(ch);
+    total = total + v;
+    count = count + 1;
+    ring[count % 4] = v;
+    work(30);
+  }
+  log(total, count);
+}
+"""
+
+
+def nv_after(compiled, env, supply):
+    machine = Machine(
+        compiled.module, env, supply, plan=compiled.detector_plan()
+    )
+    result = machine.run()
+    assert result.stats.completed
+    return machine.nv.snapshot_values(), result
+
+
+def region_instr_uids(compiled):
+    """All instruction uids lexically between the region markers of main."""
+    func = compiled.module.function("main")
+    uids = []
+    inside = False
+    for block in func.blocks.values():
+        for instr in block.all_instrs():
+            if isinstance(instr, ir.AtomicStart):
+                inside = True
+            elif isinstance(instr, ir.AtomicEnd):
+                inside = False
+            elif inside:
+                uids.append(instr.uid)
+    return uids
+
+
+class TestSingleFailure:
+    def test_each_failure_point_preserves_final_state(self):
+        compiled = compile_source(SRC, "ocelot")
+        env = Environment.constant_for(["ch"], 9)
+        baseline, _ = nv_after(compiled, env, ContinuousPower())
+        for uid in region_instr_uids(compiled):
+            state, result = nv_after(
+                compiled,
+                Environment.constant_for(["ch"], 9),
+                ScheduledFailures([FailurePoint(uid)], off_cycles=500),
+            )
+            assert state == baseline, uid
+            assert result.stats.region_restarts >= 1 or result.stats.reboots >= 1
+
+
+class TestRepeatedFailures:
+    @given(
+        offsets=st.lists(st.integers(0, 6), min_size=1, max_size=4, unique=True)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_multiple_failures_still_idempotent(self, offsets):
+        compiled = compile_source(SRC, "ocelot")
+        env = Environment.constant_for(["ch"], 9)
+        baseline, _ = nv_after(compiled, env, ContinuousPower())
+        uids = region_instr_uids(compiled)
+        points = [
+            FailurePoint(uids[o % len(uids)], occurrence=i + 1)
+            for i, o in enumerate(sorted(offsets))
+        ]
+        state, result = nv_after(
+            compiled,
+            Environment.constant_for(["ch"], 9),
+            ScheduledFailures(points, off_cycles=300),
+        )
+        assert state == baseline
+
+
+class TestTimeVaryingEnvironment:
+    def test_committed_values_are_post_restart_samples(self):
+        """After a region restart, committed NV state reflects re-collected
+        inputs, not the aborted attempt's."""
+        from repro.sensors.environment import steps
+
+        compiled = compile_source(SRC, "ocelot")
+        env = Environment({"ch": steps([5, 50], 200)})
+        # Fail at the work instruction inside the region: the input was
+        # already collected, the off-time pushes tau into the next step
+        # level, so re-collection reads 50 instead of 5.
+        work_uid = next(
+            i.uid
+            for i in compiled.module.all_instrs()
+            if isinstance(i, ir.WorkInstr)
+        )
+        state, result = nv_after(
+            compiled,
+            env,
+            ScheduledFailures([FailurePoint(work_uid)], off_cycles=1000),
+        )
+        assert state["globals"]["total"] == 50
+        assert state["globals"]["count"] == 1

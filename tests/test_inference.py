@@ -1,0 +1,206 @@
+"""Region inference tests (Algorithm 1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.policies import build_policies
+from repro.analysis.provenance import common_context
+from repro.analysis.taint import analyze_module
+from repro.core.inference import find_candidate, infer_atomic
+from repro.ir import instructions as ir
+from repro.ir.lowering import lower_program
+from repro.ir.verify import verify_module
+from repro.lang.parser import parse_program
+
+
+def prepare(source: str):
+    module = lower_program(parse_program(source))
+    taint = analyze_module(module)
+    policies = build_policies(taint)
+    return module, taint, policies
+
+
+def infer(source: str):
+    module, taint, policies = prepare(source)
+    pm, regions = infer_atomic(module, policies)
+    verify_module(module)
+    return module, policies, pm, regions
+
+
+def region_markers(module, region: str):
+    start = end = None
+    for instr in module.all_instrs():
+        if isinstance(instr, ir.AtomicStart) and instr.region == region:
+            start = instr
+        elif isinstance(instr, ir.AtomicEnd) and instr.region == region:
+            end = instr
+    return start, end
+
+
+class TestFigure3Placement:
+    """The paper's running example: Fresh(x) with a branch and alarm."""
+
+    SRC = (
+        "inputs temp;\n"
+        "fn main() { let x = input(temp); Fresh(x); "
+        "if x < 5 { alarm(); } log(7); }"
+    )
+
+    def test_one_region_inferred(self):
+        module, policies, pm, regions = infer(self.SRC)
+        assert len(regions) == 1
+
+    def test_region_starts_before_input_ends_at_join(self):
+        module, policies, pm, regions = infer(self.SRC)
+        region = regions[0]
+        assert region.start_block == "entry"
+        assert region.start_index == 0  # before the hoisted input
+        assert region.end_block.startswith("join")
+
+    def test_unrelated_log_outside_region(self):
+        module, policies, pm, regions = infer(self.SRC)
+        func = module.function("main")
+        join = func.blocks[regions[0].end_block]
+        end_idx = regions[0].end_index
+        # The trailing log's uart guard comes after the inferred end.
+        tail = join.instrs[end_idx + 1 :]
+        assert any(isinstance(i, ir.OutputInstr) for i in tail)
+
+
+class TestFigure6Placement:
+    """Inputs behind call chains; two calls to the same sensor function."""
+
+    def test_fresh_region_placed_in_caller(self):
+        src = (
+            "inputs s;\n"
+            "fn tmp() { let t = input(s); return t; }\n"
+            "fn main() { let x = tmp(); Fresh(x); log(x); }"
+        )
+        module, policies, pm, regions = infer(src)
+        (region,) = regions
+        assert region.func == "main"
+
+    def test_consistent_region_placed_in_confirm(self, calls_ocelot):
+        regions = {r.pid: r for r in calls_ocelot.regions}
+        consistent = [r for pid, r in regions.items() if "consistent" in pid]
+        assert consistent and consistent[0].func == "confirm"
+
+    def test_candidate_equals_common_context(self, calls_ocelot):
+        module = calls_ocelot.module
+        for policy in calls_ocelot.policies.all_policies():
+            chains = sorted(policy.ops())
+            if not chains:
+                continue
+            assert find_candidate(module, chains) == common_context(chains)
+
+
+class TestConsistentSets:
+    def test_region_covers_both_inputs(self):
+        src = (
+            "inputs a, b;\n"
+            "fn main() { let consistent(1) x = input(a); work(50); "
+            "let consistent(1) y = input(b); log(x, y); }"
+        )
+        module, policies, pm, regions = infer(src)
+        (region,) = regions
+        start, end = region_markers(module, region.region)
+        func = module.function("main")
+        s_pos = func.position_of(start.uid)
+        e_pos = func.position_of(end.uid)
+        input_positions = [
+            func.position_of(i.uid)
+            for i in func.all_instrs()
+            if isinstance(i, ir.InputInstr)
+        ]
+        for pos in input_positions:
+            assert s_pos <= pos <= e_pos
+
+    def test_unrolled_loop_set_covered_by_one_region(self):
+        src = (
+            "inputs ch;\n"
+            "fn main() { let s = 0; repeat 3 { "
+            "let consistent(1) r = input(ch); s = s + r; } log(s); }"
+        )
+        module, policies, pm, regions = infer(src)
+        (region,) = regions
+        # All three unrolled inputs must be inside the one region.
+        start, end = region_markers(module, region.region)
+        func = module.function("main")
+        s_pos = func.position_of(start.uid)
+        e_pos = func.position_of(end.uid)
+        inputs = [i for i in func.all_instrs() if isinstance(i, ir.InputInstr)]
+        assert len(inputs) == 3
+        for i in inputs:
+            assert s_pos <= func.position_of(i.uid) <= e_pos
+
+
+class TestTrivialPolicies:
+    def test_no_region_for_pure_fresh(self):
+        src = "fn main() { let x = 1; Fresh(x); log(x); }"
+        module, policies, pm, regions = infer(src)
+        assert regions == []
+
+    def test_include_trivial_materializes_region(self):
+        src = "fn main() { let x = 1; Fresh(x); log(x); }"
+        module, taint, policies = prepare(src)
+        pm, regions = infer_atomic(module, policies, include_trivial=True)
+        assert len(regions) == 1
+
+    def test_single_input_consistent_is_trivial(self):
+        src = "inputs ch;\nfn main() { let consistent(1) x = input(ch); log(x); }"
+        module, policies, pm, regions = infer(src)
+        assert regions == []
+
+
+class TestPolicyMap:
+    def test_pm_maps_regions_to_pids(self):
+        src = (
+            "inputs a, b;\n"
+            "fn main() { let consistent(1) x = input(a); "
+            "let consistent(1) y = input(b); log(x, y); }"
+        )
+        module, policies, pm, regions = infer(src)
+        (region,) = regions
+        assert pm.policies_of(region.region) == [region.pid]
+        assert pm.region_of(region.pid) == region.region
+
+
+class TestOverlappingRegions:
+    def test_two_policies_can_overlap_without_breaking_verifier(self):
+        src = (
+            "inputs a, b;\n"
+            "fn main() {\n"
+            "  let x = input(a);\n"
+            "  Fresh(x);\n"
+            "  let consistent(1) y = input(b);\n"
+            "  let consistent(1) z = input(a);\n"
+            "  if x > 1 { alarm(); }\n"
+            "  log(y, z);\n"
+            "}"
+        )
+        module, policies, pm, regions = infer(src)
+        assert len(regions) == 2  # overlap allowed; verifier accepted it
+
+
+class TestHypothesisInference:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_inference_always_verifies(self, data):
+        from tests.strategies import program_sources
+
+        source = data.draw(program_sources())
+        module, taint, policies = prepare(source)
+        infer_atomic(module, policies)
+        verify_module(module)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_find_candidate_equals_lcp(self, data):
+        from tests.strategies import program_sources
+
+        source = data.draw(program_sources())
+        module, taint, policies = prepare(source)
+        for policy in policies.all_policies():
+            chains = sorted(policy.ops())
+            if chains:
+                assert find_candidate(module, chains) == common_context(chains)

@@ -1,0 +1,227 @@
+"""Intermittent execution tests: the Appendix H semantics under failures."""
+
+import pytest
+
+from repro.core.pipeline import compile_source
+from repro.energy.capacitor import Capacitor
+from repro.energy.harvester import ConstantHarvester
+from repro.ir import instructions as ir
+from repro.runtime.executor import ExecError, Machine, MachineConfig
+from repro.runtime.supply import (
+    EnergyDrivenSupply,
+    FailurePoint,
+    ScheduledFailures,
+)
+from repro.sensors.environment import Environment, steps
+
+
+def find_uid(module, predicate):
+    for instr in module.all_instrs():
+        if predicate(instr):
+            return instr.uid
+    raise AssertionError("no instruction matched")
+
+
+class TestJitCheckpointing:
+    SRC = "inputs ch;\nfn main() { let x = input(ch); work(50); log(x); }"
+
+    def test_jit_resumes_after_failure(self):
+        compiled = compile_source(self.SRC, "jit")
+        env = Environment({"ch": steps([1, 100], 1000)})
+        # Fail at the work instruction: outside the uart guard region, so
+        # the ISR takes a JIT checkpoint (inside a region it would not).
+        work_uid = find_uid(
+            compiled.module, lambda i: isinstance(i, ir.WorkInstr)
+        )
+        supply = ScheduledFailures([FailurePoint(work_uid)], off_cycles=5000)
+        machine = Machine(compiled.module, env, supply, plan=compiled.detector_plan())
+        result = machine.run()
+        assert result.stats.completed
+        assert result.stats.reboots == 1
+        assert result.stats.jit_checkpoints == 1
+        # JIT never re-collects: the logged value is the pre-failure input.
+        (inp,) = result.trace.inputs
+        (out,) = result.trace.outputs
+        assert out.values == (inp.value,)
+
+    def test_jit_checkpoint_preserves_locals(self):
+        src = "fn main() { let a = 11; let b = 22; work(5); log(a + b); }"
+        compiled = compile_source(src, "jit")
+        env = Environment.constant_for([], 0)
+        out_uid = find_uid(
+            compiled.module, lambda i: isinstance(i, ir.OutputInstr)
+        )
+        supply = ScheduledFailures([FailurePoint(out_uid)], off_cycles=100)
+        machine = Machine(compiled.module, env, supply)
+        result = machine.run()
+        assert result.trace.outputs[0].values == (33,)
+
+    def test_failure_before_any_checkpoint_restarts_program(self):
+        src = "inputs ch;\nfn main() { let x = input(ch); log(x); }"
+        compiled = compile_source(src, "jit")
+        env = Environment.constant_for(["ch"], 3)
+        input_uid = find_uid(
+            compiled.module, lambda i: isinstance(i, ir.InputInstr)
+        )
+        supply = ScheduledFailures([FailurePoint(input_uid)], off_cycles=100)
+        machine = Machine(compiled.module, env, supply)
+        result = machine.run()
+        assert result.stats.completed
+        assert len(result.trace.inputs) == 1  # restarted, then sampled once
+
+
+class TestAtomicRegionSemantics:
+    SRC = (
+        "inputs a, b;\nnonvolatile total = 0;\n"
+        "fn main() {\n"
+        "  let consistent(1) x = input(a);\n"
+        "  let consistent(1) y = input(b);\n"
+        "  total = total + x + y;\n"
+        "  log(total);\n"
+        "}"
+    )
+
+    def _input_uids(self, compiled):
+        return [
+            i.uid
+            for i in compiled.module.all_instrs()
+            if isinstance(i, ir.InputInstr)
+        ]
+
+    def test_region_restart_recollects_inputs(self):
+        compiled = compile_source(self.SRC, "ocelot")
+        env = Environment({"a": steps([1, 50], 1000), "b": steps([2, 60], 1000)})
+        second_input = sorted(self._input_uids(compiled), key=str)[1]
+        supply = ScheduledFailures([FailurePoint(second_input)], off_cycles=5000)
+        machine = Machine(compiled.module, env, supply, plan=compiled.detector_plan())
+        result = machine.run()
+        assert result.stats.completed
+        assert result.stats.region_restarts == 1
+        # Both inputs were collected twice: aborted attempt + committed one.
+        a_samples = [i for i in result.trace.inputs if i.channel == "a"]
+        assert len(a_samples) == 2
+
+    def test_undo_log_restores_nonvolatile(self):
+        src = (
+            "inputs ch;\nnonvolatile acc = 0;\n"
+            "fn main() { atomic { let v = input(ch); acc = acc + v; work(40); } "
+            "log(acc); }"
+        )
+        compiled = compile_source(src, "ocelot")
+        env = Environment.constant_for(["ch"], 5)
+        work_uid = find_uid(
+            compiled.module, lambda i: isinstance(i, ir.WorkInstr)
+        )
+        supply = ScheduledFailures([FailurePoint(work_uid)], off_cycles=100)
+        machine = Machine(compiled.module, env, supply, plan=compiled.detector_plan())
+        result = machine.run()
+        assert result.stats.completed
+        # acc was incremented, rolled back, incremented again: exactly once.
+        assert machine.nv.globals["acc"].value == 5
+        assert result.trace.outputs[-1].values == (5,)
+
+    def test_region_restart_counts(self):
+        compiled = compile_source(self.SRC, "ocelot")
+        env = Environment.constant_for(["a", "b"], 1)
+        second_input = sorted(self._input_uids(compiled), key=str)[1]
+        supply = ScheduledFailures(
+            [FailurePoint(second_input, occurrence=1)], off_cycles=50
+        )
+        machine = Machine(compiled.module, env, supply, plan=compiled.detector_plan())
+        result = machine.run()
+        assert result.stats.region_restarts == 1
+
+    def test_stuck_region_raises(self):
+        src = "fn main() { atomic { work(500); } }"
+        compiled = compile_source(src, "ocelot")
+        env = Environment.constant_for([], 0)
+        # Usable window smaller than the region: can never complete.
+        supply = EnergyDrivenSupply(
+            Capacitor(400, 100), ConstantHarvester(1000)
+        )
+        machine = Machine(
+            compiled.module,
+            env,
+            supply,
+            config=MachineConfig(max_region_restarts=10),
+        )
+        with pytest.raises(ExecError, match="cannot complete"):
+            machine.run()
+
+
+class TestEnergyDrivenExecution:
+    def test_failures_occur_and_program_completes(self):
+        src = "fn main() { repeat 8 { work(100); } log(1); }"
+        compiled = compile_source(src, "jit")
+        env = Environment.constant_for([], 0)
+        supply = EnergyDrivenSupply(Capacitor(500, 100), ConstantHarvester(500))
+        machine = Machine(compiled.module, env, supply)
+        result = machine.run()
+        assert result.stats.completed
+        assert result.stats.reboots >= 1
+        assert result.stats.cycles_off > 0
+
+    def test_off_time_advances_tau(self):
+        src = "fn main() { work(300); work(300); log(1); }"
+        compiled = compile_source(src, "jit")
+        env = Environment.constant_for([], 0)
+        supply = EnergyDrivenSupply(Capacitor(500, 100), ConstantHarvester(100))
+        machine = Machine(compiled.module, env, supply)
+        result = machine.run()
+        assert machine.tau >= result.stats.cycles_on + result.stats.cycles_off
+
+    def test_reboot_observation_records_off_time(self):
+        src = "fn main() { work(900); log(1); }"
+        compiled = compile_source(src, "jit")
+        env = Environment.constant_for([], 0)
+        supply = EnergyDrivenSupply(Capacitor(600, 100), ConstantHarvester(250))
+        machine = Machine(compiled.module, env, supply)
+        result = machine.run()
+        reboots = result.trace.reboots
+        assert reboots and all(r.off_cycles > 0 for r in reboots)
+
+
+class TestDetectorUnderFailures:
+    def test_jit_violates_freshness(self, weather_jit, weather_env):
+        plan = weather_jit.detector_plan()
+        branch_uid = find_uid(
+            weather_jit.module,
+            lambda i: isinstance(i, ir.Branch) and i.uid.func == "main",
+        )
+        supply = ScheduledFailures([FailurePoint(branch_uid)], off_cycles=8000)
+        machine = Machine(weather_jit.module, weather_env, supply, plan=plan)
+        result = machine.run()
+        assert result.stats.violations >= 1
+        kinds = {v.kind for v in result.trace.violations}
+        assert "fresh" in kinds
+
+    def test_ocelot_never_violates(self, weather_ocelot, weather_env):
+        plan = weather_ocelot.detector_plan()
+        sites = sorted({c.op for c in plan.checks}, key=str)
+        for site in sites:
+            supply = ScheduledFailures([FailurePoint(site)], off_cycles=8000)
+            machine = Machine(
+                weather_ocelot.module, weather_env, supply, plan=plan
+            )
+            result = machine.run()
+            assert result.stats.completed
+            assert result.stats.violations == 0, site
+
+    def test_jit_violates_consistency_between_inputs(
+        self, weather_jit, weather_env
+    ):
+        inputs = [
+            i
+            for i in weather_jit.module.all_instrs()
+            if isinstance(i, ir.InputInstr) and i.channel == "hum"
+        ]
+        supply = ScheduledFailures(
+            [FailurePoint(inputs[0].uid)], off_cycles=8000
+        )
+        machine = Machine(
+            weather_jit.module, weather_env, supply,
+            plan=weather_jit.detector_plan(),
+        )
+        result = machine.run()
+        kinds = {v.kind for v in result.trace.violations}
+        assert "consistent" in kinds

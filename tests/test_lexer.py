@@ -1,0 +1,105 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import TokenKind, tokenize
+
+
+def kinds(source: str) -> list[str]:
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source: str) -> list[str]:
+    return [t.text for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == TokenKind.EOF
+
+    def test_integer(self):
+        tokens = tokenize("12345")
+        assert tokens[0].kind == TokenKind.INT
+        assert tokens[0].text == "12345"
+
+    def test_identifier(self):
+        tokens = tokenize("foo_bar9")
+        assert tokens[0].kind == TokenKind.IDENT
+        assert tokens[0].text == "foo_bar9"
+
+    def test_keywords_are_not_identifiers(self):
+        for word in ("fn", "let", "fresh", "consistent", "if", "else",
+                     "repeat", "atomic", "return", "nonvolatile", "inputs",
+                     "input", "skip", "true", "false"):
+            token = tokenize(word)[0]
+            assert token.kind == TokenKind.KEYWORD, word
+
+    def test_capitalized_fresh_is_identifier(self):
+        # Annotation markers are capitalized (Fresh/Consistent), which the
+        # parser distinguishes from the binding keywords.
+        token = tokenize("Fresh")[0]
+        assert token.kind == TokenKind.IDENT
+
+    def test_two_char_operators_max_munch(self):
+        assert texts("== != <= >= && ||") == ["==", "!=", "<=", ">=", "&&", "||"]
+
+    def test_adjacent_equals_tokenize_as_eq_then_assign(self):
+        assert texts("===") == ["==", "="]
+
+    def test_one_char_operators(self):
+        # Spaced out so adjacent '!' '=' don't max-munch into '!='.
+        assert texts("+ - * / % < > ! = &") == list("+-*/%<>!=&")
+
+    def test_punctuation(self):
+        assert texts("(){}[];,") == list("(){}[];,")
+
+
+class TestTrivia:
+    def test_comments_are_skipped(self):
+        assert texts("a // comment here\n b") == ["a", "b"]
+
+    def test_comment_at_eof_without_newline(self):
+        assert texts("a // trailing") == ["a"]
+
+    def test_whitespace_variants(self):
+        assert texts("a\tb\r\nc  d") == ["a", "b", "c", "d"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert tokens[0].span.line == 1 and tokens[0].span.col == 1
+        assert tokens[1].span.line == 2 and tokens[1].span.col == 3
+
+    def test_span_covers_token_text(self):
+        token = tokenize("hello")[0]
+        assert token.span.end_col == token.span.col + len("hello")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("ab\n#")
+        assert excinfo.value.span.line == 2
+
+
+class TestTokenHelpers:
+    def test_is_kw(self):
+        token = tokenize("let")[0]
+        assert token.is_kw("let")
+        assert not token.is_kw("fn")
+
+    def test_is_op_and_is_punct(self):
+        op, punct = tokenize("+ ;")[:2]
+        assert op.is_op("+")
+        assert punct.is_punct(";")
+
+    def test_str_smoke(self):
+        assert "let" in str(tokenize("let")[0])

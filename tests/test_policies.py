@@ -1,0 +1,115 @@
+"""Policy construction tests (PD / PM, Section 5.1)."""
+
+from repro.analysis.policies import (
+    PolicyMap,
+    build_policies,
+    policy_channels,
+)
+from repro.analysis.taint import analyze_module
+from repro.ir.lowering import lower_program
+from repro.lang.parser import parse_program
+
+
+def policies_of(source: str):
+    module = lower_program(parse_program(source))
+    taint = analyze_module(module)
+    return module, taint, build_policies(taint)
+
+
+class TestFreshPolicies:
+    def test_one_policy_per_static_annotation(self):
+        module, taint, pd = policies_of(
+            "inputs ch;\n"
+            "fn main() { let x = input(ch); Fresh(x); "
+            "let y = input(ch); Fresh(y); log(x); log(y); }"
+        )
+        assert len(pd.fresh_policies()) == 2
+
+    def test_unrolled_annotation_makes_distinct_policies(self):
+        module, taint, pd = policies_of(
+            "inputs ch;\n"
+            "fn main() { repeat 3 { let x = input(ch); Fresh(x); log(x); } }"
+        )
+        assert len(pd.fresh_policies()) == 3
+
+    def test_policy_records_decl_inputs_uses(self):
+        module, taint, pd = policies_of(
+            "inputs ch;\n"
+            "fn main() { let x = input(ch); Fresh(x); if x > 2 { alarm(); } }"
+        )
+        (policy,) = pd.fresh_policies()
+        assert policy.decl_chains
+        assert policy.inputs
+        assert policy.uses
+        assert policy.ops() >= policy.inputs | policy.uses
+
+    def test_trivial_when_no_inputs(self):
+        module, taint, pd = policies_of(
+            "fn main() { let x = 3; Fresh(x); log(x); }"
+        )
+        (policy,) = pd.fresh_policies()
+        assert policy.is_trivial()
+
+
+class TestConsistentPolicies:
+    def test_members_merge_by_set_id(self):
+        module, taint, pd = policies_of(
+            "inputs a, b;\n"
+            "fn main() { let consistent(1) x = input(a); "
+            "let consistent(1) y = input(b); log(x, y); }"
+        )
+        (policy,) = pd.consistent_policies()
+        assert len(policy.decls) == 2
+        assert len(policy.inputs) == 2
+        assert not policy.is_trivial()
+
+    def test_distinct_ids_distinct_policies(self):
+        module, taint, pd = policies_of(
+            "inputs a, b;\n"
+            "fn main() { let consistent(1) x = input(a); "
+            "let consistent(2) y = input(b); log(x, y); }"
+        )
+        assert len(pd.consistent_policies()) == 2
+        assert all(p.is_trivial() for p in pd.consistent_policies())
+
+    def test_per_decl_inputs_tracked(self):
+        module, taint, pd = policies_of(
+            "inputs a, b;\n"
+            "fn main() { let consistent(1) x = input(a); "
+            "let consistent(1) y = input(b); log(x, y); }"
+        )
+        (policy,) = pd.consistent_policies()
+        per_decl = [sorted(v)[0] for v in policy.decl_inputs.values()]
+        assert len(per_decl) == 2
+        assert per_decl[0] != per_decl[1]
+
+    def test_unrolled_loop_single_policy_many_members(self):
+        module, taint, pd = policies_of(
+            "inputs ch;\n"
+            "fn main() { let s = 0; repeat 4 { "
+            "let consistent(1) r = input(ch); s = s + r; } log(s); }"
+        )
+        (policy,) = pd.consistent_policies()
+        assert len(policy.decls) == 4
+        assert len(policy.inputs) == 4
+
+
+class TestPolicyChannels:
+    def test_channels_resolved(self):
+        module, taint, pd = policies_of(
+            "inputs pres, hum;\n"
+            "fn main() { let consistent(1) y = input(pres); "
+            "let consistent(1) z = input(hum); log(y, z); }"
+        )
+        (policy,) = pd.consistent_policies()
+        assert policy_channels(taint, policy) == ["hum", "pres"]
+
+
+class TestPolicyMap:
+    def test_round_trips(self):
+        pm = PolicyMap()
+        pm.assign("r1", "fresh@main:4")
+        pm.assign("r1", "consistent#1")
+        assert pm.policies_of("r1") == ["fresh@main:4", "consistent#1"]
+        assert pm.region_of("consistent#1") == "r1"
+        assert pm.region_of("nope") is None

@@ -1,0 +1,76 @@
+"""Pretty-printer tests: fixed cases plus hypothesis round-trips."""
+
+from hypothesis import given, settings
+
+from repro.lang.parser import parse_program
+from repro.lang.printer import print_program
+
+from tests.strategies import programs
+
+
+def normalize(source: str) -> str:
+    return print_program(parse_program(source))
+
+
+class TestFixedRoundTrips:
+    def test_simple_program(self):
+        source = (
+            "inputs ch;\n\nfn main() {\n  let x = input(ch);\n  Fresh(x);\n"
+            "  log(x);\n}\n"
+        )
+        assert normalize(source) == source
+
+    def test_idempotent_normalization(self):
+        source = """
+        inputs a,b;
+        nonvolatile g = 3;
+        nonvolatile arr[2] = [4, 5];
+        fn helper(&out) { *out = input(a); }
+        fn main() {
+          let consistent(1) x = input(a);
+          let consistent(1) y = input(b);
+          if x > y { alarm(); } else { log(x, y); }
+          repeat 2 { work(10); }
+          atomic { g = g + 1; }
+          arr[0] = x;
+        }
+        """
+        once = normalize(source)
+        assert normalize(once) == once
+
+    def test_freshconsistent_round_trip(self):
+        source = "fn main() {\n  let x = 1;\n  FreshConsistent(x, 2);\n}\n"
+        assert normalize(source) == source
+
+
+class TestExprPrinting:
+    def test_minimal_parentheses(self):
+        src = "fn main() { let x = (1 + 2) * 3; }"
+        out = normalize(src)
+        assert "(1 + 2) * 3" in out
+
+    def test_no_redundant_parentheses(self):
+        src = "fn main() { let x = 1 + 2 * 3; }"
+        out = normalize(src)
+        assert "1 + 2 * 3" in out
+        assert "(" not in out.splitlines()[1].replace("main()", "")
+
+    def test_nested_unary(self):
+        src = "fn main() { let x = !true; let y = -(1 + 2); }"
+        out = normalize(src)
+        assert "!true" in out
+        assert "-(1 + 2)" in out
+
+    def test_left_assoc_subtraction_keeps_meaning(self):
+        src = "fn main() { let x = 10 - (3 - 2); }"
+        out = normalize(src)
+        assert "10 - (3 - 2)" in out
+
+
+class TestHypothesisRoundTrip:
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_print_parse_print_fixpoint(self, program):
+        text = print_program(program)
+        reparsed = parse_program(text)
+        assert print_program(reparsed) == text

@@ -1,0 +1,175 @@
+"""Tests for the formal trace predicates (Definitions 2 and 3)."""
+
+from repro.core.pipeline import compile_source
+from repro.ir import instructions as ir
+from repro.runtime.executor import Machine
+from repro.runtime.properties import (
+    check_consistency,
+    check_freshness,
+    check_region_bracketing,
+)
+from repro.runtime.supply import ContinuousPower, FailurePoint, ScheduledFailures
+from repro.sensors.environment import Environment, steps
+
+
+def run_machine(compiled, env, supply=None):
+    machine = Machine(
+        compiled.module, env, supply or ContinuousPower(),
+        plan=compiled.detector_plan(),
+    )
+    result = machine.run()
+    assert result.stats.completed
+    return result
+
+
+def branch_uid(module):
+    for instr in module.all_instrs():
+        if isinstance(instr, ir.Branch) and instr.uid.func == "main":
+            return instr.uid
+    raise AssertionError("no branch in main")
+
+
+def input_uids(module, channel=None):
+    return [
+        i.uid
+        for i in module.all_instrs()
+        if isinstance(i, ir.InputInstr)
+        and (channel is None or i.channel == channel)
+    ]
+
+
+class TestFreshnessPredicate:
+    def test_continuous_trace_is_fresh(self, weather_ocelot, weather_env):
+        result = run_machine(weather_ocelot, weather_env)
+        assert check_freshness(result.trace) == []
+
+    def test_jit_failure_between_input_and_use_violates(
+        self, weather_jit, weather_env
+    ):
+        supply = ScheduledFailures(
+            [FailurePoint(branch_uid(weather_jit.module))], off_cycles=9000
+        )
+        result = run_machine(weather_jit, weather_env, supply)
+        violations = check_freshness(result.trace)
+        assert violations
+        assert violations[0].kind == "fresh"
+
+    def test_ocelot_reexecution_stays_fresh(self, weather_ocelot, weather_env):
+        supply = ScheduledFailures(
+            [FailurePoint(branch_uid(weather_ocelot.module))], off_cycles=9000
+        )
+        result = run_machine(weather_ocelot, weather_env, supply)
+        assert check_freshness(result.trace) == []
+
+
+class TestConsistencyPredicate:
+    def test_continuous_trace_is_consistent(self, weather_ocelot, weather_env):
+        result = run_machine(weather_ocelot, weather_env)
+        assert check_consistency(result.trace) == []
+
+    def test_jit_failure_between_set_inputs_violates(
+        self, weather_jit, weather_env
+    ):
+        hum_uid = input_uids(weather_jit.module, "hum")[0]
+        supply = ScheduledFailures([FailurePoint(hum_uid)], off_cycles=9000)
+        result = run_machine(weather_jit, weather_env, supply)
+        violations = check_consistency(result.trace)
+        assert violations
+        assert violations[0].kind == "consistent"
+
+    def test_ocelot_reexecution_stays_consistent(
+        self, weather_ocelot, weather_env
+    ):
+        hum_uid = input_uids(weather_ocelot.module, "hum")[0]
+        supply = ScheduledFailures([FailurePoint(hum_uid)], off_cycles=9000)
+        result = run_machine(weather_ocelot, weather_env, supply)
+        assert check_consistency(result.trace) == []
+
+
+class TestPredicateAgreesWithDetector:
+    """The dynamic predicates and the bit-vector detector must agree on
+    whether a run violated its policies."""
+
+    def test_agreement_on_injected_failures(self, weather_jit, weather_env):
+        module = weather_jit.module
+        plan = weather_jit.detector_plan()
+        sites = sorted({c.op for c in plan.checks}, key=str)
+        for site in sites:
+            supply = ScheduledFailures([FailurePoint(site)], off_cycles=9000)
+            machine = Machine(module, weather_env, supply, plan=plan)
+            result = machine.run()
+            if not supply.all_fired:
+                continue
+            predicate_flags = bool(
+                check_freshness(result.trace) or check_consistency(result.trace)
+            )
+            detector_flags = result.stats.violations > 0
+            assert predicate_flags == detector_flags, site
+
+
+class TestRegionBracketing:
+    def test_clean_trace_brackets(self, weather_ocelot, weather_env):
+        result = run_machine(weather_ocelot, weather_env)
+        assert check_region_bracketing(result.trace).errors == []
+
+    def test_brackets_survive_region_restart(self, weather_ocelot, weather_env):
+        hum_uid = input_uids(weather_ocelot.module, "hum")[0]
+        supply = ScheduledFailures([FailurePoint(hum_uid)], off_cycles=9000)
+        result = run_machine(weather_ocelot, weather_env, supply)
+        # A restart re-enters the same region: enter, (fail), enter, exit
+        # still balances through the restart path.
+        nesting = check_region_bracketing(result.trace)
+        restart_errors = [
+            e for e in nesting.errors if "exited while closed" in e
+        ]
+        assert restart_errors == []
+
+
+class TestRegionRestartRounds:
+    """Regression: a region rollback re-declares the same sites; the
+    Definition 3 predicate must treat the re-declaration as a fresh
+    collection round, not mix it with the aborted attempt's members.
+    (Found by hypothesis; see test_theorem1.py.)"""
+
+    SRC = (
+        "inputs alpha;\n"
+        "fn main() {\n"
+        "  let consistent(1) v2 = input(alpha);\n"
+        "  let v3 = input(alpha);\n"
+        "  let consistent(1) v4 = input(alpha);\n"
+        "  let v5 = input(alpha);\n"
+        "  let consistent(1) v6 = input(alpha);\n"
+        "}"
+    )
+
+    def test_mid_set_restart_is_not_flagged(self):
+        from repro.core.pipeline import compile_source
+        from repro.sensors.environment import steps as steps_sig
+
+        compiled = compile_source(self.SRC, "ocelot")
+        plan = compiled.detector_plan()
+        env = Environment({"alpha": steps_sig([0, 40, 11], 700)})
+        # Fail before the last input of the set: the region restarts and
+        # re-collects everything.
+        site = sorted(plan.checks)[-1]
+        supply = ScheduledFailures([FailurePoint(chain=site)], off_cycles=5000)
+        machine = Machine(compiled.module, env, supply, plan=plan)
+        result = machine.run()
+        assert result.stats.completed
+        assert result.stats.region_restarts >= 1
+        assert result.stats.violations == 0
+        assert check_consistency(result.trace) == []
+
+    def test_jit_mid_set_failure_still_flagged(self):
+        from repro.core.pipeline import compile_source
+        from repro.sensors.environment import steps as steps_sig
+
+        compiled = compile_source(self.SRC, "jit")
+        plan = compiled.detector_plan()
+        env = Environment({"alpha": steps_sig([0, 40, 11], 700)})
+        site = sorted(plan.checks)[-1]
+        supply = ScheduledFailures([FailurePoint(chain=site)], off_cycles=5000)
+        machine = Machine(compiled.module, env, supply, plan=plan)
+        result = machine.run()
+        assert result.stats.violations >= 1
+        assert check_consistency(result.trace)

@@ -1,0 +1,105 @@
+"""Provenance chain tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.provenance import Chain, common_context, representative_op
+from repro.ir.instructions import InstrId
+
+
+def mk(*pairs) -> Chain:
+    return Chain(ids=tuple(InstrId(f, l) for f, l in pairs))
+
+
+class TestChainBasics:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            Chain(ids=())
+
+    def test_op_and_context(self):
+        chain = mk(("main", 1), ("get", 3))
+        assert chain.op == InstrId("get", 3)
+        assert chain.context == (InstrId("main", 1),)
+
+    def test_of_builds_from_context(self):
+        context = (InstrId("main", 1),)
+        chain = Chain.of(context, InstrId("get", 3))
+        assert chain == mk(("main", 1), ("get", 3))
+
+    def test_extends(self):
+        chain = mk(("main", 1), ("confirm", 2), ("pres", 1))
+        assert chain.extends(())
+        assert chain.extends((InstrId("main", 1),))
+        assert not chain.extends((InstrId("main", 9),))
+
+    def test_ordering_is_total(self):
+        a = mk(("main", 1), ("x", 1))
+        b = mk(("main", 2))
+        assert sorted([b, a]) == sorted([a, b])
+
+    def test_str_form(self):
+        assert str(mk(("main", 1), ("get", 3))) == "(main, 1)::(get, 3)"
+
+
+class TestCommonContext:
+    def test_figure6_example(self):
+        # (app,1)::(confirm,2)::(pres,1)::(sense,0) and
+        # (app,1)::(confirm,3)::(pres,1)::(sense,0) share (app,1): the
+        # candidate is confirm.
+        a = mk(("app", 1), ("confirm", 2), ("pres", 1), ("sense", 0))
+        b = mk(("app", 1), ("confirm", 3), ("pres", 1), ("sense", 0))
+        assert common_context([a, b]) == (InstrId("app", 1),)
+
+    def test_identical_chains_stop_before_op(self):
+        a = mk(("main", 1), ("get", 3))
+        assert common_context([a, a]) == (InstrId("main", 1),)
+
+    def test_disjoint_chains_give_root(self):
+        a = mk(("main", 1), ("f", 1))
+        b = mk(("main", 2), ("g", 1))
+        assert common_context([a, b]) == ()
+
+    def test_single_op_in_main(self):
+        assert common_context([mk(("main", 4))]) == ()
+
+    def test_empty_list(self):
+        assert common_context([]) == ()
+
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(st.sampled_from("fgh"), st.integers(1, 3)),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_result_is_prefix_of_every_chain(self, raw):
+        chains = [mk(*pairs) for pairs in raw]
+        prefix = common_context(chains)
+        for chain in chains:
+            assert chain.extends(prefix)
+            assert len(prefix) < len(chain)  # never swallows the op
+
+
+class TestRepresentativeOp:
+    def test_direct_op(self):
+        chain = mk(("main", 4))
+        assert representative_op(chain, ()) == InstrId("main", 4)
+
+    def test_hoisted_to_call_site(self):
+        chain = mk(("main", 1), ("get", 3))
+        assert representative_op(chain, ()) == InstrId("main", 1)
+
+    def test_within_context(self):
+        chain = mk(("app", 1), ("confirm", 2), ("pres", 1))
+        ctx = (InstrId("app", 1),)
+        assert representative_op(chain, ctx) == InstrId("confirm", 2)
+
+    def test_wrong_context_raises(self):
+        chain = mk(("main", 1), ("get", 3))
+        with pytest.raises(ValueError):
+            representative_op(chain, (InstrId("main", 9),))

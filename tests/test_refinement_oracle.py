@@ -1,0 +1,95 @@
+"""Refinement-oracle library tests (beyond the targeted Figure 2 tests)."""
+
+from repro.core.pipeline import compile_source
+from repro.runtime.executor import Machine
+from repro.runtime.refinement import (
+    candidate_start_times,
+    check_refinement,
+    committed_outputs,
+)
+from repro.runtime.supply import FailurePoint, ScheduledFailures, ContinuousPower
+from repro.sensors.environment import Environment, steps
+
+SRC = """\
+inputs a, b;
+
+fn main() {
+  let consistent(1) x = input(a);
+  let consistent(1) y = input(b);
+  log(x, y);
+}
+"""
+
+
+def env_factory():
+    return Environment({"a": steps([10, 70], 2500), "b": steps([5, 90], 2500)})
+
+
+def run_with(compiled, supply):
+    machine = Machine(
+        compiled.module, env_factory(), supply, plan=compiled.detector_plan()
+    )
+    result = machine.run()
+    assert result.stats.completed
+    return result
+
+
+class TestCommittedOutputs:
+    def test_consecutive_duplicates_collapse(self):
+        compiled = compile_source(SRC, "ocelot")
+        result = run_with(compiled, ContinuousPower())
+        outputs = committed_outputs(result.trace)
+        assert len(outputs) == 1
+        assert outputs[0].op == "log"
+
+    def test_candidate_times_include_reboots(self):
+        compiled = compile_source(SRC, "ocelot")
+        site = sorted(compiled.detector_plan().checks)[0]
+        result = run_with(
+            compiled, ScheduledFailures([FailurePoint(chain=site)], off_cycles=2500)
+        )
+        taus = candidate_start_times(result.trace)
+        reboot_taus = [r.tau for r in result.trace.reboots]
+        assert set(reboot_taus) <= set(taus)
+        assert 0 in taus
+
+
+class TestOracle:
+    def test_continuous_run_refines_itself(self):
+        compiled = compile_source(SRC, "ocelot")
+        result = run_with(compiled, ContinuousPower())
+        verdict = check_refinement(compiled, result.trace, env_factory)
+        assert verdict.refined
+        assert verdict.witness_tau == 0
+
+    def test_ocelot_run_with_failure_refines(self):
+        compiled = compile_source(SRC, "ocelot")
+        site = sorted(compiled.detector_plan().checks)[0]
+        result = run_with(
+            compiled,
+            ScheduledFailures([FailurePoint(chain=site)], off_cycles=2500),
+        )
+        verdict = check_refinement(compiled, result.trace, env_factory)
+        assert verdict.refined, verdict.target
+        assert verdict.witness_tau is not None and verdict.witness_tau > 0
+
+    def test_torn_jit_run_does_not_refine(self):
+        compiled = compile_source(SRC, "jit")
+        site = sorted(compiled.detector_plan().checks)[0]
+        result = run_with(
+            compiled,
+            ScheduledFailures([FailurePoint(chain=site)], off_cycles=2500),
+        )
+        assert result.stats.violations >= 1
+        verdict = check_refinement(compiled, result.trace, env_factory)
+        assert not verdict.refined
+        assert verdict.candidates_tried  # it genuinely searched
+
+    def test_suffix_restriction(self):
+        compiled = compile_source(SRC, "ocelot")
+        result = run_with(compiled, ContinuousPower())
+        verdict = check_refinement(
+            compiled, result.trace, env_factory, match_suffix_len=1
+        )
+        assert verdict.refined
+        assert len(verdict.target) == 1

@@ -1,0 +1,45 @@
+"""Region-size report tests (the Section 8 argument, quantified)."""
+
+import pytest
+
+from repro.core.feasibility import profile_usable_energy
+from repro.eval.profiles import STANDARD_PROFILE
+from repro.eval.regions_report import measure_regions_report, regions_report
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return measure_regions_report()
+
+
+class TestShape:
+    def test_covers_all_apps(self, rows):
+        assert {r.app for r in rows} == {
+            "activity", "cem", "greenhouse", "photo", "send_photo", "tire",
+        }
+
+    def test_naive_never_smaller(self, rows):
+        for row in rows:
+            assert row.naive_max_extent >= row.inferred_max_extent, row.app
+            assert row.naive_max_cycles >= row.inferred_max_cycles, row.app
+
+    def test_cem_shows_biggest_blowup(self, rows):
+        """CEM's constraint covers a few instructions inside a compute-heavy
+        program: naive wrapping inflates the region the most."""
+        by_app = {r.app: r for r in rows}
+        assert by_app["cem"].extent_ratio == max(r.extent_ratio for r in rows)
+        assert by_app["cem"].extent_ratio > 3
+
+    def test_figure10_infeasibility_scenario(self, rows):
+        """At least one naive region exceeds the guaranteed energy window
+        that every Ocelot region fits in -- the Figure 10 failure mode:
+        'the program with manually-added regions would fail to complete,
+        while the Ocelot program would not'."""
+        usable = profile_usable_energy(STANDARD_PROFILE)
+        assert all(r.inferred_max_cycles <= usable for r in rows)
+        assert any(r.naive_max_cycles > usable for r in rows)
+
+    def test_renders(self, rows):
+        table = regions_report(rows)
+        assert len(table.rows) == 6
+        assert "naive" in table.render_text()

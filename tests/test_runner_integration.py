@@ -1,0 +1,47 @@
+"""Whole-harness integration: ``python -m repro.eval`` end to end."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.eval.runner import main as eval_main, run_all
+
+
+@pytest.fixture(scope="module")
+def all_tables():
+    return run_all(seed=0)
+
+
+class TestRunAll:
+    def test_produces_seven_tables(self, all_tables):
+        titles = [t.title for t in all_tables]
+        assert len(all_tables) == 7
+        assert any("Table 1" in t for t in titles)
+        assert any("Figure 7" in t for t in titles)
+        assert any("Figure 8" in t for t in titles)
+        assert any("Table 2a" in t for t in titles)
+        assert any("Table 2b" in t for t in titles)
+        assert any("Table 3" in t for t in titles)
+        assert any("Table 4" in t for t in titles)
+
+    def test_every_table_renders_both_formats(self, all_tables):
+        for table in all_tables:
+            assert table.render_text()
+            assert table.render_markdown().startswith("###")
+
+    def test_headline_rows_present(self, all_tables):
+        table2a = next(t for t in all_tables if "Table 2a" in t.title)
+        for row in table2a.rows:
+            assert row[1] == "0%"  # Ocelot column
+            assert row[2] == "100%"  # JIT column
+
+
+class TestEntryPoints:
+    def test_eval_main_text(self, capsys):
+        assert eval_main(["--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2a" in out
+
+    def test_cli_eval_markdown(self, capsys):
+        assert cli_main(["eval", "--markdown", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "### Table 2b" in out

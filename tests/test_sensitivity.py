@@ -1,0 +1,54 @@
+"""Sensitivity-study tests."""
+
+import pytest
+
+from repro.eval.sensitivity import (
+    sensitivity_tables,
+    sweep_capacity,
+    sweep_harvest_rate,
+)
+
+
+@pytest.fixture(scope="module")
+def harvest_points():
+    return sweep_harvest_rate(rates=(150, 600), budget=80_000)
+
+
+@pytest.fixture(scope="module")
+def capacity_points():
+    return sweep_capacity(capacities=(2400, 4500), budget=100_000)
+
+
+class TestHarvestSweep:
+    def test_off_share_decreases_with_rate(self, harvest_points):
+        shares = [p.off_share("jit") for p in harvest_points]
+        assert shares[0] > shares[-1]
+
+    def test_charging_dominates_at_low_rates(self, harvest_points):
+        low = harvest_points[0]
+        assert low.off_share("jit") > 0.5
+        assert low.off_share("ocelot") > 0.5
+
+
+class TestCapacitySweep:
+    def test_ocelot_zero_at_every_size(self, capacity_points):
+        for point in capacity_points:
+            assert point.ocelot_violation_rate == 0.0
+
+    def test_jit_rate_decreases_with_capacity(self, capacity_points):
+        assert (
+            capacity_points[0].jit_violation_rate
+            >= capacity_points[-1].jit_violation_rate
+        )
+
+    def test_jit_violates_at_small_capacity(self, capacity_points):
+        assert capacity_points[0].jit_violation_rate > 0.0
+
+
+class TestTables:
+    def test_render(self):
+        tables = sensitivity_tables()
+        assert len(tables) == 2
+        for table in tables:
+            assert table.rows
+            assert "Sensitivity" in table.render_text()

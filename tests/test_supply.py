@@ -1,0 +1,110 @@
+"""Power supply tests."""
+
+import pytest
+
+from repro.analysis.provenance import Chain
+from repro.energy.capacitor import Capacitor
+from repro.energy.harvester import ConstantHarvester
+from repro.ir.instructions import InstrId
+from repro.runtime.supply import (
+    ContinuousPower,
+    EnergyDrivenSupply,
+    FailurePoint,
+    ScheduledFailures,
+)
+
+UID = InstrId("main", 3)
+OTHER = InstrId("main", 9)
+
+
+class TestContinuousPower:
+    def test_never_fails(self):
+        supply = ContinuousPower()
+        assert not supply.fail_before(UID)
+        assert not supply.consume(10**9)
+        assert not supply.would_trip(10**9)
+
+
+class TestScheduledFailures:
+    def test_fires_once_at_occurrence(self):
+        supply = ScheduledFailures([FailurePoint(UID, occurrence=2)])
+        assert not supply.fail_before(UID)  # occurrence 1
+        assert supply.fail_before(UID)  # occurrence 2: fire
+        assert not supply.fail_before(UID)  # never re-arms
+
+    def test_unrelated_uid_ignored(self):
+        supply = ScheduledFailures([FailurePoint(UID)])
+        assert not supply.fail_before(OTHER)
+
+    def test_chain_point_matches_exact_context(self):
+        site = Chain(ids=(InstrId("main", 1), UID))
+        wrong = Chain(ids=(InstrId("main", 2), UID))
+        supply = ScheduledFailures([FailurePoint(chain=site)])
+        assert not supply.fail_before(UID, wrong)
+        assert supply.fail_before(UID, site)
+        assert supply.all_fired
+
+    def test_watched_uids(self):
+        site = Chain(ids=(UID,))
+        supply = ScheduledFailures([FailurePoint(chain=site), FailurePoint(OTHER)])
+        assert supply.watched_uids() == frozenset({UID, OTHER})
+
+    def test_point_requires_exactly_one_target(self):
+        with pytest.raises(ValueError):
+            FailurePoint()
+        with pytest.raises(ValueError):
+            FailurePoint(uid=UID, chain=Chain(ids=(UID,)))
+
+    def test_off_cycles_configurable(self):
+        supply = ScheduledFailures([], off_cycles=123)
+        assert supply.off_and_recharge() == 123
+
+
+class TestEnergyDrivenSupply:
+    def make(self, boot=(1.0, 1.0), capacity=1000, low=200, rate=500):
+        return EnergyDrivenSupply(
+            Capacitor(capacity, low),
+            ConstantHarvester(rate),
+            boot_fraction=boot,
+            seed=11,
+        )
+
+    def test_consume_trips_at_threshold(self):
+        supply = self.make()
+        assert not supply.consume(700)
+        assert supply.consume(100)
+
+    def test_would_trip_previews_without_draining(self):
+        supply = self.make()
+        level = supply.capacitor.level
+        assert supply.would_trip(900)
+        assert supply.capacitor.level == level
+
+    def test_recharge_refills_fully_without_jitter(self):
+        supply = self.make()
+        supply.consume(800)
+        off = supply.off_and_recharge()
+        assert off > 0
+        assert supply.capacitor.level == 1000
+
+    def test_boot_jitter_randomizes_levels(self):
+        supply = self.make(boot=(0.3, 1.0))
+        levels = []
+        for _ in range(6):
+            supply.consume(supply.capacitor.usable)
+            supply.off_and_recharge()
+            levels.append(supply.capacitor.level)
+        assert len(set(levels)) > 1
+        assert all(lvl > 200 for lvl in levels)
+
+    def test_invalid_boot_fraction(self):
+        with pytest.raises(ValueError):
+            self.make(boot=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            self.make(boot=(0.9, 0.5))
+
+    def test_checkpoint_energy_uses_reserve(self):
+        supply = self.make()
+        supply.consume(800)  # at threshold
+        supply.checkpoint_energy(150)
+        assert supply.capacitor.level == 50

@@ -1,0 +1,134 @@
+"""Property tests of the paper's central results.
+
+**Theorem 1** (Section 5.3): programs passing the policy and region checks
+satisfy all their policies.  Ocelot's pipeline produces programs that pass
+the checks by construction, so for *any* annotated program and *any*
+failure pattern, an Ocelot build must never violate freshness or temporal
+consistency -- neither by the bit-vector detector nor by the formal trace
+predicates of Definitions 2/3.
+
+The JIT counterpart: there exist failure points that violate (that is what
+Table 2 shows); here we only assert the detector and predicates agree.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import PipelineOptions, compile_source
+from repro.runtime.executor import Machine, MachineConfig
+from repro.runtime.properties import check_consistency, check_freshness
+from repro.runtime.supply import FailurePoint, ScheduledFailures
+from repro.sensors.environment import Environment, steps
+
+from tests.strategies import program_sources
+
+
+def build_env(channels, seed: int) -> Environment:
+    """A stepping environment: every channel changes over time, so stale
+    reads are observably different."""
+    env = Environment()
+    for idx, channel in enumerate(channels):
+        env.bind(
+            channel,
+            steps(
+                levels=[seed + idx, seed + idx + 40, seed + idx + 11],
+                dwell=700 + 13 * idx,
+            ),
+        )
+    return env
+
+
+def run_with_failures(compiled, env, points, off_cycles=5000):
+    supply = ScheduledFailures(points, off_cycles=off_cycles)
+    machine = Machine(
+        compiled.module,
+        env,
+        supply,
+        plan=compiled.detector_plan(),
+        config=MachineConfig(max_cycles=2_000_000),
+    )
+    result = machine.run()
+    assert result.stats.completed, "activation did not complete"
+    return result
+
+
+class TestTheorem1:
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_ocelot_builds_pass_checks(self, data):
+        source = data.draw(program_sources())
+        compiled = compile_source(source, "ocelot")
+        assert compiled.check.ok, compiled.check.failures
+
+    @given(data=st.data(), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_ocelot_never_violates_under_injected_failures(self, data, seed):
+        source = data.draw(program_sources())
+        compiled = compile_source(source, "ocelot")
+        env = build_env(compiled.module.channels, seed)
+        plan = compiled.detector_plan()
+
+        # Inject one failure at every detector check site, one run each --
+        # the pathological points of Section 7.3.
+        for site in sorted(plan.checks):
+            result = run_with_failures(
+                compiled, env, [FailurePoint(chain=site)]
+            )
+            assert result.stats.violations == 0, (site, source)
+            assert check_freshness(result.trace) == [], (site, source)
+            assert check_consistency(result.trace) == [], (site, source)
+
+    @given(data=st.data(), seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_ocelot_handles_simultaneous_failures(self, data, seed):
+        source = data.draw(program_sources())
+        compiled = compile_source(source, "ocelot")
+        env = build_env(compiled.module.channels, seed)
+        plan = compiled.detector_plan()
+        points = [FailurePoint(chain=site) for site in sorted(plan.checks)]
+        if not points:
+            return
+        result = run_with_failures(compiled, env, points)
+        assert result.stats.violations == 0
+        assert check_freshness(result.trace) == []
+        assert check_consistency(result.trace) == []
+
+    @given(data=st.data(), seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_detector_and_predicates_agree_on_jit(self, data, seed):
+        source = data.draw(program_sources())
+        compiled = compile_source(
+            source, "jit", options=PipelineOptions(strict=False)
+        )
+        env = build_env(compiled.module.channels, seed)
+        plan = compiled.detector_plan()
+        for site in sorted(plan.checks):
+            supply = ScheduledFailures(
+                [FailurePoint(chain=site)], off_cycles=5000
+            )
+            machine = Machine(compiled.module, env, supply, plan=plan)
+            result = machine.run()
+            if not result.stats.completed or not supply.all_fired:
+                continue
+            predicate = bool(
+                check_freshness(result.trace)
+                or check_consistency(result.trace)
+            )
+            detector = result.stats.violations > 0
+            assert predicate == detector, (site, source)
+
+
+class TestAtomicsBuildsAlsoEnforce:
+    @given(data=st.data(), seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_atomics_only_never_violates(self, data, seed):
+        source = data.draw(program_sources())
+        compiled = compile_source(source, "atomics")
+        assert compiled.check.ok
+        env = build_env(compiled.module.channels, seed)
+        plan = compiled.detector_plan()
+        points = [FailurePoint(chain=site) for site in sorted(plan.checks)]
+        if not points:
+            return
+        result = run_with_failures(compiled, env, points)
+        assert result.stats.violations == 0

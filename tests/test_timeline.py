@@ -1,0 +1,86 @@
+"""Execution-timeline renderer tests."""
+
+import pytest
+
+from repro.core.pipeline import compile_source
+from repro.eval.timeline import build_timeline, render_timeline
+from repro.runtime.executor import Machine
+from repro.runtime.observations import Trace
+from repro.runtime.supply import ContinuousPower, FailurePoint, ScheduledFailures
+from repro.sensors.environment import Environment
+
+SRC = """\
+inputs a, b;
+
+fn main() {
+  let consistent(1) x = input(a);
+  work(50);
+  let consistent(1) y = input(b);
+  log(x, y);
+}
+"""
+
+
+def trace_for(config: str, with_failure: bool):
+    compiled = compile_source(SRC, config)
+    env = Environment.constant_for(["a", "b"], 3)
+    if with_failure:
+        site = sorted(compiled.detector_plan().checks)[0]
+        supply = ScheduledFailures([FailurePoint(chain=site)], off_cycles=500)
+    else:
+        supply = ContinuousPower()
+    machine = Machine(compiled.module, env, supply, plan=compiled.detector_plan())
+    result = machine.run()
+    assert result.stats.completed
+    return result.trace
+
+
+class TestBuild:
+    def test_tracks_have_requested_width(self):
+        timeline = build_timeline(trace_for("ocelot", False), width=40)
+        assert len(timeline.power) == 40
+        assert len(timeline.region) == 40
+        assert len(timeline.events) == 40
+
+    def test_continuous_power_is_all_on(self):
+        timeline = build_timeline(trace_for("ocelot", False), width=40)
+        assert "." not in timeline.power
+
+    def test_failure_produces_off_gap(self):
+        timeline = build_timeline(trace_for("jit", True), width=60)
+        assert "." in timeline.power
+        # The reboot mark may be displaced by a same-column violation
+        # (violations outrank reboots); one of the two must show.
+        assert "R" in timeline.events or "V" in timeline.events
+
+    def test_region_brackets_present(self):
+        timeline = build_timeline(trace_for("ocelot", False), width=60)
+        assert "[" in timeline.region
+        assert "]" in timeline.region
+
+    def test_inputs_and_outputs_marked(self):
+        timeline = build_timeline(trace_for("ocelot", False), width=60)
+        assert "I" in timeline.events
+        assert "O" in timeline.events
+
+    def test_violation_glyph_wins_collisions(self):
+        timeline = build_timeline(trace_for("jit", True), width=10)
+        # At width 10 many events collide; a violation must survive.
+        assert "V" in timeline.events
+
+    def test_empty_trace(self):
+        timeline = build_timeline(Trace(), width=20)
+        assert timeline.power == "." * 20
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            build_timeline(Trace(), width=0)
+
+
+class TestRender:
+    def test_render_contains_all_tracks_and_scale(self):
+        text = render_timeline(trace_for("ocelot", True), width=50)
+        assert "power   " in text
+        assert "region  " in text
+        assert "events  " in text
+        assert "cycles/column" in text

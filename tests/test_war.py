@@ -1,0 +1,131 @@
+"""WAR / EMW / omega analysis tests."""
+
+from repro.core.war import analyze_regions, annotate_omegas, function_effects
+from repro.ir import instructions as ir
+from repro.ir.lowering import LoweringOptions, lower_program
+from repro.lang.parser import parse_program
+
+
+def lower(source: str, guard: bool = False):
+    return lower_program(
+        parse_program(source), options=LoweringOptions(guard_outputs=guard)
+    )
+
+
+class TestFunctionEffects:
+    def test_direct_reads_and_writes(self):
+        module = lower(
+            "nonvolatile g = 0;\nfn main() { g = g + 1; }"
+        )
+        effects = function_effects(module)
+        assert effects["main"].reads == {"g"}
+        assert effects["main"].writes == {"g"}
+
+    def test_transitive_callee_effects(self):
+        module = lower(
+            "nonvolatile g = 0;\n"
+            "fn bump() { g = g + 1; }\n"
+            "fn main() { bump(); }"
+        )
+        effects = function_effects(module)
+        assert effects["main"].writes == {"g"}
+
+    def test_array_effects(self):
+        module = lower(
+            "nonvolatile a[3];\nfn main() { let x = a[0]; a[1] = x + 1; }"
+        )
+        effects = function_effects(module)
+        assert effects["main"].reads == {"a"}
+        assert effects["main"].writes == {"a"}
+
+    def test_locals_do_not_count(self):
+        module = lower("fn main() { let x = 1; let y = x + 1; log(y); }")
+        effects = function_effects(module)
+        assert not effects["main"].reads
+        assert not effects["main"].writes
+
+
+class TestRegionAnalysis:
+    def test_region_war_and_emw_split(self):
+        module = lower(
+            "nonvolatile counted = 0;\nnonvolatile flag = 0;\n"
+            "fn main() { atomic { counted = counted + 1; flag = 1; } }"
+        )
+        (info,) = analyze_regions(module)
+        assert info.war == {"counted"}  # read then written
+        assert info.emw == {"flag"}  # written only
+        assert info.omega == {"counted", "flag"}
+
+    def test_region_includes_callee_writes(self):
+        module = lower(
+            "nonvolatile g = 0;\n"
+            "fn bump() { g = g + 1; }\n"
+            "fn main() { atomic { bump(); } }"
+        )
+        (info,) = analyze_regions(module)
+        assert "g" in info.omega
+
+    def test_writes_outside_region_excluded(self):
+        module = lower(
+            "nonvolatile inside = 0;\nnonvolatile outside = 0;\n"
+            "fn main() { atomic { inside = 1; } outside = 1; }"
+        )
+        (info,) = analyze_regions(module)
+        assert info.omega == {"inside"}
+
+    def test_omega_words_counts_array_length(self):
+        module = lower(
+            "nonvolatile big[16];\nfn main() { atomic { big[0] = 1; } }"
+        )
+        (info,) = analyze_regions(module)
+        assert info.omega_words(module) == 16
+
+    def test_annotate_omegas_stamps_starts(self):
+        module = lower(
+            "nonvolatile g = 0;\nfn main() { atomic { g = 1; } }"
+        )
+        annotate_omegas(module)
+        (start,) = [
+            i for i in module.all_instrs() if isinstance(i, ir.AtomicStart)
+        ]
+        assert start.omega == frozenset({"g"})
+
+
+class TestFlattenedExtents:
+    def test_overlap_extends_outer_omega(self):
+        """start_A start_B end_A write end_B: the write is in A's extent."""
+        src = (
+            "nonvolatile late = 0;\n"
+            "fn main() {\n"
+            "  atomic {\n"
+            "    atomic {\n"
+            "      skip;\n"
+            "    }\n"
+            "    late = 1;\n"
+            "  }\n"
+            "}"
+        )
+        module = lower(src)
+        infos = analyze_regions(module)
+        outer = max(infos, key=lambda i: len(i.instrs))
+        assert "late" in outer.omega
+
+    def test_branchy_region_collects_both_arms(self):
+        src = (
+            "nonvolatile a = 0;\nnonvolatile b = 0;\n"
+            "fn main() { let x = 1; atomic { "
+            "if x > 0 { a = 1; } else { b = 1; } } }"
+        )
+        module = lower(src)
+        (info,) = analyze_regions(module)
+        assert info.omega == {"a", "b"}
+
+    def test_extent_stops_at_commit(self):
+        src = (
+            "nonvolatile early = 0;\nnonvolatile later = 0;\n"
+            "fn main() { atomic { early = 1; } later = 1; atomic { skip; } }"
+        )
+        module = lower(src)
+        infos = analyze_regions(module)
+        first = next(i for i in infos if "early" in i.omega)
+        assert "later" not in first.omega
