@@ -1,0 +1,145 @@
+"""Benchmark: campaign throughput, cold vs. cached builds.
+
+The campaign engine's pitch is that compilation happens once per
+(app, config) pair no matter how many grid cells reuse it.  This
+benchmark measures the same sweep twice -- once against an empty compile
+cache, once warm -- and, run as a script, records the numbers in
+``BENCH_campaign.json`` at the repo root so the perf trajectory is
+tracked alongside the code::
+
+    python benchmarks/bench_campaign.py          # write BENCH_campaign.json
+    pytest benchmarks/bench_campaign.py          # pytest-benchmark timings
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+try:  # only the pytest entry points need it; script mode runs without
+    import pytest
+except ModuleNotFoundError:  # pragma: no cover - exercised in CI smoke
+    pytest = None
+
+from repro.core.cache import GLOBAL_CACHE
+from repro.eval.campaign import (
+    CampaignSpec,
+    EnvironmentSpec,
+    MultiprocessExecutor,
+    SerialExecutor,
+    SupplySpec,
+    run_campaign,
+)
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+
+
+def bench_spec(budget: int = 60_000) -> CampaignSpec:
+    """A representative sweep: 3 apps x 3 configs x 2 envs x 2 seeds."""
+    return CampaignSpec(
+        name="bench-campaign",
+        apps=("greenhouse", "tire", "cem"),
+        configs=("ocelot", "jit", "atomics"),
+        environments=(
+            EnvironmentSpec("default", env_seed=0),
+            EnvironmentSpec("shifted", env_seed=7),
+        ),
+        supplies=(SupplySpec.from_profile(seed_offset=23),),
+        seeds=(0, 1),
+        budget_cycles=budget,
+    )
+
+
+def run_cold(spec: CampaignSpec):
+    GLOBAL_CACHE.clear()
+    return run_campaign(spec, SerialExecutor())
+
+
+def run_cached(spec: CampaignSpec):
+    return run_campaign(spec, SerialExecutor())
+
+
+def test_campaign_cold(benchmark):
+    spec = bench_spec()
+    result = benchmark(run_cold, spec)
+    assert result.compiles == len(spec.apps) * len(spec.configs)
+
+
+def test_campaign_cached(benchmark):
+    spec = bench_spec()
+    run_campaign(spec)  # warm the cache outside the timed body
+    result = benchmark(run_cached, spec)
+    assert result.compiles == 0
+
+
+def _slow(fn):
+    return pytest.mark.slow(fn) if pytest is not None else fn
+
+
+@_slow
+def test_campaign_multiprocess(benchmark):
+    spec = bench_spec(budget=120_000)
+    run_campaign(spec)  # warm so forked workers inherit builds
+    result = benchmark.pedantic(
+        run_campaign,
+        args=(spec, MultiprocessExecutor()),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result.jobs) == spec.size
+
+
+def measure(rounds: int = 3) -> dict:
+    """Cold vs. cached campaign throughput, best-of-``rounds``."""
+    spec = bench_spec()
+    jobs = spec.size
+
+    cold_times, cached_times, parallel_times = [], [], []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        cold = run_cold(spec)
+        cold_times.append(time.perf_counter() - started)
+        assert cold.compiles > 0
+
+        started = time.perf_counter()
+        cached = run_cached(spec)
+        cached_times.append(time.perf_counter() - started)
+        assert cached.compiles == 0
+
+        started = time.perf_counter()
+        run_campaign(spec, MultiprocessExecutor())
+        parallel_times.append(time.perf_counter() - started)
+
+    cold_s, cached_s = min(cold_times), min(cached_times)
+    parallel_s = min(parallel_times)
+    return {
+        "benchmark": "campaign-throughput",
+        "spec": {
+            "apps": len(spec.apps),
+            "configs": len(spec.configs),
+            "environments": len(spec.environments),
+            "seeds": len(spec.seeds),
+            "jobs": jobs,
+            "budget_cycles": spec.budget_cycles,
+        },
+        "rounds": rounds,
+        "cold_seconds": round(cold_s, 4),
+        "cached_seconds": round(cached_s, 4),
+        "cached_multiprocess_seconds": round(parallel_s, 4),
+        "cold_jobs_per_second": round(jobs / cold_s, 2),
+        "cached_jobs_per_second": round(jobs / cached_s, 2),
+        "cache_speedup": round(cold_s / cached_s, 3),
+    }
+
+
+def main() -> int:
+    record = measure()
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"record written to {RECORD_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,9 @@ Every benchmark regenerates one of the paper's tables or figures; the
 timed body is the actual experiment, and shape assertions run on the
 result afterwards.  Budgets are reduced relative to ``python -m
 repro.eval`` so the whole suite stays interactive.
+
+Builds come from the process-wide compile cache, so the compile cost is
+paid once per session no matter how many benchmarks run.
 """
 
 from __future__ import annotations
@@ -11,13 +14,17 @@ from __future__ import annotations
 import pytest
 
 from repro.apps import BENCHMARKS
-from repro.core.pipeline import CONFIGS, compile_source
+from repro.core.cache import GLOBAL_CACHE
+from repro.core.pipeline import CONFIGS
 
 
 @pytest.fixture(scope="session")
 def builds():
     """All six apps compiled in all three configurations, shared."""
     return {
-        name: {cfg: compile_source(meta.source, cfg) for cfg in CONFIGS}
+        name: {
+            cfg: GLOBAL_CACHE.get_or_compile(meta.source, cfg)
+            for cfg in CONFIGS
+        }
         for name, meta in BENCHMARKS.items()
     }

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro run FILE          # simulate an execution
     python -m repro feasibility FILE  # Section 5.3 energy-feasibility report
     python -m repro eval              # regenerate the paper's tables/figures
+    python -m repro campaign SPEC     # run a declarative evaluation campaign
 
 Programs are modeling-language source files (see ``examples/`` and
 ``src/repro/apps/`` for reference programs).
@@ -20,20 +21,28 @@ from pathlib import Path
 
 from repro.analysis.policies import build_policies
 from repro.analysis.taint import analyze_module
+from repro.core.cache import compile_cached
 from repro.core.checker import check_atomic_regions
 from repro.core.feasibility import check_feasibility, profile_usable_energy
-from repro.core.pipeline import CONFIGS, PipelineOptions, compile_source
+from repro.core.pipeline import CONFIGS, PipelineOptions
 from repro.eval.profiles import STANDARD_PROFILE
 from repro.ir.lowering import lower_program
 from repro.ir.printer import print_module
 from repro.lang.parser import parse_program
 from repro.runtime.harness import run_once
 from repro.runtime.supply import ContinuousPower
-from repro.sensors.environment import Environment, constant, steps
+from repro.sensors.environment import Environment, constant, parse_signal_spec
 
 
 def _read_source(path: str) -> str:
     return Path(path).read_text()
+
+
+def _compile(path: str, config: str):
+    """Compile a file through the process-wide compile cache."""
+    return compile_cached(
+        _read_source(path), config=config, options=PipelineOptions(strict=False)
+    )
 
 
 def _parse_env(module_channels: list[str], specs: list[str]) -> Environment:
@@ -42,15 +51,15 @@ def _parse_env(module_channels: list[str], specs: list[str]) -> Environment:
     bound: set[str] = set()
     for spec in specs:
         if "=" not in spec:
-            raise SystemExit(f"bad --set '{spec}': expected channel=value")
+            raise SystemExit(
+                f"bad --set '{spec}': expected CHANNEL=VALUE or "
+                "CHANNEL=L1,L2,...:DWELL"
+            )
         channel, _, value = spec.partition("=")
-        if ":" in value or "," in value:
-            levels_text, _, dwell_text = value.partition(":")
-            levels = [int(v) for v in levels_text.split(",")]
-            dwell = int(dwell_text) if dwell_text else 2000
-            env.bind(channel, steps(levels, dwell))
-        else:
-            env.bind(channel, constant(int(value)))
+        try:
+            env.bind(channel, parse_signal_spec(value))
+        except ValueError as exc:
+            raise SystemExit(f"bad --set '{spec}': {exc}") from None
         bound.add(channel)
     for channel in module_channels:
         if channel not in bound:
@@ -59,11 +68,7 @@ def _parse_env(module_channels: list[str], specs: list[str]) -> Environment:
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
-    compiled = compile_source(
-        _read_source(args.file),
-        config=args.config,
-        options=PipelineOptions(strict=False),
-    )
+    compiled = _compile(args.file, args.config)
     print(f"config      : {compiled.config}")
     print(f"functions   : {len(compiled.module.functions)}")
     print(f"policies    : {len(compiled.policies)}")
@@ -110,11 +115,7 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    compiled = compile_source(
-        _read_source(args.file),
-        config=args.config,
-        options=PipelineOptions(strict=False),
-    )
+    compiled = _compile(args.file, args.config)
     env = _parse_env(compiled.module.channels, args.set or [])
     if args.intermittent:
         supply = STANDARD_PROFILE.make_supply(seed=args.seed)
@@ -136,11 +137,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_feasibility(args: argparse.Namespace) -> int:
-    compiled = compile_source(
-        _read_source(args.file),
-        config=args.config,
-        options=PipelineOptions(strict=False),
-    )
+    compiled = _compile(args.file, args.config)
     usable = args.usable or profile_usable_energy(STANDARD_PROFILE)
     report = check_feasibility(compiled.module, usable)
     print(f"usable energy window: {usable}")
@@ -158,12 +155,42 @@ def cmd_feasibility(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.eval.campaign import CampaignError, CampaignSpec, run_campaign
+
+    if args.jobs is not None and args.jobs <= 0:
+        raise SystemExit(f"bad --jobs {args.jobs}: need a positive count")
+    try:
+        text = _read_source(args.spec)
+    except OSError as exc:
+        raise SystemExit(f"cannot read campaign spec: {exc}") from None
+    try:
+        spec = CampaignSpec.from_json(text)
+    except CampaignError as exc:
+        raise SystemExit(f"bad campaign spec '{args.spec}': {exc}") from None
+    executor = "multiprocess" if args.parallel else "serial"
+    result = run_campaign(spec, executor, processes=args.jobs)
+    report = result.to_json()
+    if args.output:
+        Path(args.output).write_text(report + "\n")
+        print(result.table().render_text())
+        print(f"report written to {args.output}", file=sys.stderr)
+    else:
+        print(result.table().render_text(), file=sys.stderr)
+        print(report)
+    return 0
+
+
 def cmd_eval(args: argparse.Namespace) -> int:
     from repro.eval.runner import main as eval_main
 
     forwarded = []
     if args.markdown:
         forwarded.append("--markdown")
+    if args.parallel:
+        forwarded.append("--parallel")
+    if args.jobs is not None:
+        forwarded.extend(["--jobs", str(args.jobs)])
     forwarded.extend(["--seed", str(args.seed)])
     return eval_main(forwarded)
 
@@ -210,7 +237,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval = sub.add_parser("eval", help="regenerate the paper's evaluation")
     p_eval.add_argument("--markdown", action="store_true")
     p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.add_argument("--parallel", action="store_true")
+    p_eval.add_argument("--jobs", type=int, default=None, metavar="N")
     p_eval.set_defaults(func=cmd_eval)
+
+    p_campaign = sub.add_parser(
+        "campaign", help="run a declarative evaluation campaign"
+    )
+    p_campaign.add_argument("spec", help="JSON campaign spec file")
+    p_campaign.add_argument(
+        "--parallel",
+        action="store_true",
+        help="use the multiprocessing executor",
+    )
+    p_campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --parallel (default: one per core)",
+    )
+    p_campaign.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the JSON report here (default: stdout)",
+    )
+    p_campaign.set_defaults(func=cmd_campaign)
 
     return parser
 

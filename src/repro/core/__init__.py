@@ -1,5 +1,12 @@
 """Ocelot's core: region inference, WAR/EMW analysis, checks, pipeline."""
 
+from repro.core.cache import (
+    GLOBAL_CACHE,
+    CacheKey,
+    CacheStats,
+    CompileCache,
+    compile_cached,
+)
 from repro.core.checker import (
     CheckReport,
     check_atomic_regions,
@@ -36,6 +43,11 @@ from repro.core.war import (
 )
 
 __all__ = [
+    "GLOBAL_CACHE",
+    "CacheKey",
+    "CacheStats",
+    "CompileCache",
+    "compile_cached",
     "CheckReport",
     "check_atomic_regions",
     "check_policy_declarations",

@@ -1,0 +1,167 @@
+"""Content-addressed cache of compiled programs.
+
+The evaluation sweeps the same six benchmark sources through the same
+three build configurations for every table and figure; compiling is by
+far the most expensive per-job step, so the campaign engine, the CLI,
+and the benchmarks all share one :class:`CompileCache`.
+
+Keys are content-addressed: the SHA-256 of the program text plus the
+build configuration plus every :class:`~repro.core.pipeline.PipelineOptions`
+field.  Editing one character of source, flipping one option, or picking
+a different configuration yields a different key, so stale builds can
+never be served; identical inputs always reuse the existing
+:class:`~repro.core.pipeline.CompiledProgram`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.pipeline import (
+    CONFIG_OCELOT,
+    CompiledProgram,
+    PipelineOptions,
+    compile_source,
+)
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Identity of one build: source digest x config x pipeline options."""
+
+    source_hash: str
+    config: str
+    options: tuple
+
+    @classmethod
+    def make(
+        cls,
+        source: str,
+        config: str,
+        options: Optional[PipelineOptions] = None,
+    ) -> "CacheKey":
+        options = options or PipelineOptions()
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        return cls(
+            source_hash=digest,
+            config=config,
+            options=dataclasses.astuple(options),
+        )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters; ``compiles`` counts actual pipeline runs."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def compiles(self) -> int:
+        return self.misses
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "compiles": self.compiles,
+            "evictions": self.evictions,
+        }
+
+
+class CompileCache:
+    """LRU cache of :class:`CompiledProgram` keyed by build identity.
+
+    Thread-safe for lookups; a compile miss runs outside the lock so
+    concurrent misses on *different* keys do not serialize (concurrent
+    misses on the same key may compile twice, last write wins -- the
+    pipeline is deterministic, so both results are identical).
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive (or None)")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[CacheKey, CompiledProgram] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: CacheKey) -> Optional[CompiledProgram]:
+        """The cached build for ``key``, or None; does not touch stats."""
+        with self._lock:
+            compiled = self._entries.get(key)
+            if compiled is not None:
+                self._entries.move_to_end(key)
+            return compiled
+
+    def get_or_compile(
+        self,
+        source: str,
+        config: str = CONFIG_OCELOT,
+        options: Optional[PipelineOptions] = None,
+    ) -> CompiledProgram:
+        compiled, _ = self.get_or_compile_with_info(source, config, options)
+        return compiled
+
+    def get_or_compile_with_info(
+        self,
+        source: str,
+        config: str = CONFIG_OCELOT,
+        options: Optional[PipelineOptions] = None,
+    ) -> tuple[CompiledProgram, bool]:
+        """The build for (source, config, options) plus a was-cached flag."""
+        key = CacheKey.make(source, config, options)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return cached, True
+            self.stats.misses += 1
+        compiled = compile_source(source, config=config, options=options)
+        self.put(key, compiled)
+        return compiled, False
+
+    def put(self, key: CacheKey, compiled: CompiledProgram) -> None:
+        with self._lock:
+            self._entries[key] = compiled
+            self._entries.move_to_end(key)
+            while self.max_entries is not None and len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (and reset the statistics)."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+
+#: Process-wide cache shared by the CLI, the evaluation, and benchmarks.
+GLOBAL_CACHE = CompileCache()
+
+
+def compile_cached(
+    source: str,
+    config: str = CONFIG_OCELOT,
+    options: Optional[PipelineOptions] = None,
+    cache: Optional[CompileCache] = None,
+) -> CompiledProgram:
+    """Compile through ``cache`` (default: the process-wide cache)."""
+    return (cache or GLOBAL_CACHE).get_or_compile(source, config, options)

@@ -3,6 +3,21 @@
 Run everything with ``python -m repro.eval``.
 """
 
+from repro.eval.campaign import (
+    AggregateRow,
+    CampaignError,
+    CampaignResult,
+    CampaignSpec,
+    EnvironmentSpec,
+    JobResult,
+    JobSpec,
+    MultiprocessExecutor,
+    SerialExecutor,
+    SupplySpec,
+    execute_job,
+    make_executor,
+    run_campaign,
+)
 from repro.eval.figure7 import figure7, measure_figure7
 from repro.eval.figure8 import figure8, measure_figure8
 from repro.eval.profiles import (
@@ -26,6 +41,19 @@ from repro.eval.sensitivity import (
 from repro.eval.timeline import Timeline, build_timeline, render_timeline
 
 __all__ = [
+    "AggregateRow",
+    "CampaignError",
+    "CampaignResult",
+    "CampaignSpec",
+    "EnvironmentSpec",
+    "JobResult",
+    "JobSpec",
+    "MultiprocessExecutor",
+    "SerialExecutor",
+    "SupplySpec",
+    "execute_job",
+    "make_executor",
+    "run_campaign",
     "figure7",
     "measure_figure7",
     "figure8",

@@ -1,17 +1,20 @@
-"""Shared, cached builds of the six benchmarks in all three configurations."""
+"""Shared builds of the six benchmarks in all three configurations.
+
+Builds come from the content-addressed :data:`repro.core.cache.GLOBAL_CACHE`,
+so the CLI, the campaign engine, the table/figure modules, and the
+benchmarks all reuse the same compiled programs within one process.
+"""
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from repro.apps import BENCHMARKS, BenchmarkMeta
-from repro.core.pipeline import CONFIGS, CompiledProgram, compile_source
+from repro.core.cache import GLOBAL_CACHE
+from repro.core.pipeline import CONFIGS, CompiledProgram
 
 
-@lru_cache(maxsize=None)
 def build(name: str, config: str) -> CompiledProgram:
     meta = BENCHMARKS[name]
-    return compile_source(meta.source, config=config)
+    return GLOBAL_CACHE.get_or_compile(meta.source, config)
 
 
 def all_builds(name: str) -> dict[str, CompiledProgram]:

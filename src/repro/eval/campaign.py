@@ -1,0 +1,809 @@
+"""Parallel evaluation campaigns: declarative sweeps over the job matrix.
+
+The paper's evaluation (Tables 1-4, Figures 7-8) is a grid: applications
+x build configurations x environments x power supplies x seeds.  A
+:class:`CampaignSpec` describes that grid declaratively; :func:`run_campaign`
+expands it into picklable :class:`JobSpec` entries, executes them through a
+pluggable executor (:class:`SerialExecutor` or :class:`MultiprocessExecutor`),
+and aggregates the per-job outcomes into a :class:`CampaignResult` with a
+stable JSON encoding.
+
+Every piece that crosses a process boundary -- job specs, job results --
+is built from primitives only (no closures, no IR objects), so the
+multiprocessing backend can fan jobs out with plain pickling.  Programs
+compile once per campaign through :data:`repro.core.cache.GLOBAL_CACHE`:
+the parent precompiles every (app, config) pair before forking, so worker
+processes inherit warm builds and report ``compile_cached=True``.
+
+Two job modes cover the paper's experimental regimes:
+
+* ``activations`` -- repeated activations for a logical-time budget
+  (Figures 7-8, Table 2b); continuous power is just a supply kind.
+* ``injection`` -- pathological power failures at every detector check
+  site (Table 2a).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import time
+from dataclasses import asdict, dataclass
+from typing import Optional, Protocol, Sequence
+
+from repro.apps import BENCHMARKS
+from repro.core.cache import GLOBAL_CACHE
+from repro.core.pipeline import CONFIGS
+from repro.eval.profiles import (
+    STANDARD_BUDGET_CYCLES,
+    STANDARD_PROFILE,
+    EnergyProfile,
+)
+from repro.eval.report import Table
+from repro.runtime.harness import run_activations, run_once
+from repro.runtime.supply import (
+    ContinuousPower,
+    FailurePoint,
+    PowerSupply,
+    ScheduledFailures,
+)
+from repro.sensors.environment import Environment, parse_signal_spec
+
+MODE_ACTIVATIONS = "activations"
+MODE_INJECTION = "injection"
+MODES = (MODE_ACTIVATIONS, MODE_INJECTION)
+
+SUPPLY_CONTINUOUS = "continuous"
+SUPPLY_HARVEST = "harvest"
+
+
+class CampaignError(ValueError):
+    """A malformed campaign spec (unknown app, config, mode, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Declarative axes
+
+
+@dataclass(frozen=True)
+class EnvironmentSpec:
+    """One sensed-world configuration, described by data only.
+
+    ``env_seed`` feeds the application's own environment factory;
+    ``overrides`` rebind individual channels with textual signal specs
+    (same grammar as the CLI's ``--set``: ``"42"`` or ``"1,5:200"``),
+    keeping the spec picklable and JSON-serializable.
+    """
+
+    name: str = "default"
+    env_seed: int = 0
+    overrides: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        # Validate override grammar up front: a bad spec string should
+        # fail the campaign at construction, not a worker mid-sweep.
+        for channel, spec in self.overrides:
+            try:
+                parse_signal_spec(spec)
+            except ValueError as exc:
+                raise CampaignError(
+                    f"environment '{self.name}' override '{channel}': {exc}"
+                ) from None
+
+    def build(self, app: str) -> Environment:
+        meta = BENCHMARKS[app]
+        env = meta.env_factory(self.env_seed)
+        for channel, spec in self.overrides:
+            env.bind(channel, parse_signal_spec(spec))
+        return env
+
+    def to_dict(self) -> dict:
+        data = {"name": self.name, "env_seed": self.env_seed}
+        if self.overrides:
+            data["overrides"] = dict(self.overrides)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnvironmentSpec":
+        overrides = tuple(sorted(dict(data.get("overrides", {})).items()))
+        return cls(
+            name=data.get("name", "default"),
+            env_seed=int(data.get("env_seed", 0)),
+            overrides=overrides,
+        )
+
+
+@dataclass(frozen=True)
+class SupplySpec:
+    """One power-supply configuration (continuous wall power or a
+    capacitor + harvester setup mirroring :class:`EnergyProfile`).
+
+    ``seed_offset`` decorrelates the supply's randomness from the
+    environment seed, matching how the table/figure modules historically
+    offset their supply seeds.
+    """
+
+    name: str = SUPPLY_HARVEST
+    kind: str = SUPPLY_HARVEST
+    capacity: int = 3000
+    low_threshold: int = 600
+    boot_fraction: tuple[float, float] = (0.65, 1.0)
+    harvest_rate: int = 300
+    harvest_spread: float = 3.0
+    seed_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (SUPPLY_CONTINUOUS, SUPPLY_HARVEST):
+            raise CampaignError(f"unknown supply kind '{self.kind}'")
+
+    @classmethod
+    def continuous(cls, name: str = SUPPLY_CONTINUOUS) -> "SupplySpec":
+        return cls(name=name, kind=SUPPLY_CONTINUOUS)
+
+    @classmethod
+    def from_profile(
+        cls,
+        profile: EnergyProfile = STANDARD_PROFILE,
+        name: str = SUPPLY_HARVEST,
+        seed_offset: int = 0,
+    ) -> "SupplySpec":
+        return cls(
+            name=name,
+            kind=SUPPLY_HARVEST,
+            capacity=profile.capacity,
+            low_threshold=profile.low_threshold,
+            boot_fraction=profile.boot_fraction,
+            harvest_rate=profile.harvest_rate,
+            harvest_spread=profile.harvest_spread,
+            seed_offset=seed_offset,
+        )
+
+    def profile(self) -> EnergyProfile:
+        return EnergyProfile(
+            capacity=self.capacity,
+            low_threshold=self.low_threshold,
+            boot_fraction=self.boot_fraction,
+            harvest_rate=self.harvest_rate,
+            harvest_spread=self.harvest_spread,
+        )
+
+    def build(self, seed: int) -> PowerSupply:
+        if self.kind == SUPPLY_CONTINUOUS:
+            return ContinuousPower()
+        return self.profile().make_supply(seed=seed + self.seed_offset)
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["boot_fraction"] = list(self.boot_fraction)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SupplySpec":
+        data = dict(data)
+        if "boot_fraction" in data:
+            data["boot_fraction"] = tuple(data["boot_fraction"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The declarative grid a campaign sweeps.
+
+    ``expand`` produces one :class:`JobSpec` per point of
+    apps x configs x environments x supplies x seeds.
+    """
+
+    apps: tuple[str, ...]
+    configs: tuple[str, ...] = CONFIGS
+    environments: tuple[EnvironmentSpec, ...] = (EnvironmentSpec(),)
+    supplies: tuple[SupplySpec, ...] = (SupplySpec(),)
+    seeds: tuple[int, ...] = (0,)
+    mode: str = MODE_ACTIVATIONS
+    budget_cycles: int = STANDARD_BUDGET_CYCLES
+    max_activations: int = 100_000
+    #: off-time per injected failure (``injection`` mode only)
+    off_cycles: int = 25_000
+    name: str = "campaign"
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            raise CampaignError("campaign needs at least one app")
+        for app in self.apps:
+            if app not in BENCHMARKS:
+                known = ", ".join(BENCHMARKS)
+                raise CampaignError(f"unknown app '{app}'; known: {known}")
+        for config in self.configs:
+            if config not in CONFIGS:
+                raise CampaignError(f"unknown build configuration '{config}'")
+        if self.mode not in MODES:
+            raise CampaignError(
+                f"unknown mode '{self.mode}'; known: {', '.join(MODES)}"
+            )
+        if self.mode == MODE_INJECTION and (
+            len(self.supplies) != 1 or len(self.seeds) != 1
+        ):
+            # Injection replaces the supply with scheduled failures and
+            # draws no randomness from the seed; extra axis points would
+            # run identical jobs and double-count every aggregate.
+            raise CampaignError(
+                "injection mode ignores the supply and seed axes; "
+                "specify exactly one supply and one seed"
+            )
+        names = [e.name for e in self.environments]
+        if len(set(names)) != len(names):
+            raise CampaignError(f"duplicate environment names: {names}")
+        names = [s.name for s in self.supplies]
+        if len(set(names)) != len(names):
+            raise CampaignError(f"duplicate supply names: {names}")
+
+    @property
+    def size(self) -> int:
+        return (
+            len(self.apps)
+            * len(self.configs)
+            * len(self.environments)
+            * len(self.supplies)
+            * len(self.seeds)
+        )
+
+    def expand(self) -> list["JobSpec"]:
+        """The full job matrix, in deterministic grid order."""
+        return [
+            JobSpec(
+                app=app,
+                config=config,
+                environment=env,
+                supply=supply,
+                seed=seed,
+                mode=self.mode,
+                budget_cycles=self.budget_cycles,
+                max_activations=self.max_activations,
+                off_cycles=self.off_cycles,
+            )
+            for app, config, env, supply, seed in itertools.product(
+                self.apps, self.configs, self.environments, self.supplies, self.seeds
+            )
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "apps": list(self.apps),
+            "configs": list(self.configs),
+            "environments": [e.to_dict() for e in self.environments],
+            "supplies": [s.to_dict() for s in self.supplies],
+            "seeds": list(self.seeds),
+            "mode": self.mode,
+            "budget_cycles": self.budget_cycles,
+            "max_activations": self.max_activations,
+            "off_cycles": self.off_cycles,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        apps = data.get("apps", "all")
+        if apps == "all":
+            apps = list(BENCHMARKS)
+        configs = data.get("configs", list(CONFIGS))
+        if configs == "all":
+            configs = list(CONFIGS)
+        environments = tuple(
+            EnvironmentSpec.from_dict(e)
+            for e in data.get("environments", [{"name": "default"}])
+        )
+        supplies = tuple(
+            SupplySpec.from_dict(s)
+            for s in data.get("supplies", [{"name": SUPPLY_HARVEST}])
+        )
+        return cls(
+            apps=tuple(apps),
+            configs=tuple(configs),
+            environments=environments,
+            supplies=supplies,
+            seeds=tuple(data.get("seeds", [0])),
+            mode=data.get("mode", MODE_ACTIVATIONS),
+            budget_cycles=int(data.get("budget_cycles", STANDARD_BUDGET_CYCLES)),
+            max_activations=int(data.get("max_activations", 100_000)),
+            off_cycles=int(data.get("off_cycles", 25_000)),
+            name=data.get("name", "campaign"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CampaignError(f"campaign spec is not valid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise CampaignError("campaign spec must be a JSON object")
+        try:
+            return cls.from_dict(data)
+        except CampaignError:
+            raise
+        except (TypeError, ValueError) as exc:
+            # Unknown keys, wrong types, non-integer numbers: surface them
+            # as spec errors, not tracebacks.
+            raise CampaignError(f"malformed campaign spec: {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# Jobs
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One cell of the campaign grid; pickles with primitives only."""
+
+    app: str
+    config: str
+    environment: EnvironmentSpec
+    supply: SupplySpec
+    seed: int
+    mode: str = MODE_ACTIVATIONS
+    budget_cycles: int = STANDARD_BUDGET_CYCLES
+    max_activations: int = 100_000
+    off_cycles: int = 25_000
+
+    @property
+    def job_id(self) -> str:
+        return (
+            f"{self.app}/{self.config}/{self.environment.name}"
+            f"/{self.supply.name}/s{self.seed}"
+        )
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Everything a finished job reports, as JSON-ready primitives."""
+
+    job_id: str
+    app: str
+    config: str
+    environment: str
+    supply: str
+    seed: int
+    mode: str
+    #: compile-side facts
+    region_count: int
+    compile_cached: bool
+    #: activations mode
+    activations: int = 0
+    completed_runs: int = 0
+    violating_runs: int = 0
+    violations: int = 0
+    fresh_violations: int = 0
+    consistent_violations: int = 0
+    cycles_on: int = 0
+    cycles_off: int = 0
+    completed_cycles_on: int = 0
+    completed_cycles_off: int = 0
+    reboots: int = 0
+    #: injection mode
+    injection_points: int = 0
+    injection_violating: int = 0
+    #: not part of the deterministic fingerprint
+    wall_time: float = 0.0
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of *complete* runs containing a violation."""
+        if self.completed_runs == 0:
+            return 0.0
+        return self.violating_runs / self.completed_runs
+
+    @property
+    def injection_rate(self) -> float:
+        """Fraction of fired injection points that produced a violation."""
+        if self.injection_points == 0:
+            return 0.0
+        return self.injection_violating / self.injection_points
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobResult":
+        return cls(**data)
+
+    def fingerprint(self) -> dict:
+        """Deterministic payload: drops wall time and cache incidentals."""
+        data = self.to_dict()
+        data.pop("wall_time")
+        data.pop("compile_cached")
+        return data
+
+
+def execute_job(job: JobSpec) -> JobResult:
+    """Run one job in the current process (the executor entry point).
+
+    Builds come from the process-wide compile cache; environments and
+    supplies are materialized from the job's declarative specs, so a job
+    is a pure function of its spec -- serial and multiprocess executors
+    produce identical results.
+    """
+    started = time.perf_counter()
+    meta = BENCHMARKS[job.app]
+    compiled, cached = GLOBAL_CACHE.get_or_compile_with_info(
+        meta.source, job.config
+    )
+    costs = meta.cost_model()
+    common = dict(
+        job_id=job.job_id,
+        app=job.app,
+        config=job.config,
+        environment=job.environment.name,
+        supply=job.supply.name,
+        seed=job.seed,
+        mode=job.mode,
+        region_count=len(compiled.regions),
+        compile_cached=cached,
+    )
+
+    if job.mode == MODE_INJECTION:
+        plan = compiled.detector_plan()
+        fired = violating = fresh = consistent = reboots = 0
+        for site in sorted(plan.checks):
+            env = job.environment.build(job.app)
+            supply = ScheduledFailures(
+                [FailurePoint(chain=site)], off_cycles=job.off_cycles
+            )
+            result = run_once(compiled, env, supply, costs=costs, plan=plan)
+            if not result.stats.completed:
+                raise RuntimeError(f"{job.job_id} stuck at site {site}")
+            if not supply.all_fired:
+                # The site sits on a path this environment never takes;
+                # no failure was injected, so the run says nothing.
+                continue
+            fired += 1
+            reboots += result.stats.reboots
+            kinds = [v.kind for v in result.trace.violations]
+            fresh += kinds.count("fresh")
+            consistent += kinds.count("consistent")
+            if result.stats.violations > 0:
+                violating += 1
+        return JobResult(
+            **common,
+            violations=fresh + consistent,
+            fresh_violations=fresh,
+            consistent_violations=consistent,
+            reboots=reboots,
+            injection_points=fired,
+            injection_violating=violating,
+            wall_time=time.perf_counter() - started,
+        )
+
+    env = job.environment.build(job.app)
+    supply = job.supply.build(job.seed)
+    outcome = run_activations(
+        compiled,
+        env,
+        supply,
+        budget_cycles=job.budget_cycles,
+        costs=costs,
+        max_activations=job.max_activations,
+    )
+    summary = outcome.summary()
+    return JobResult(
+        **common,
+        activations=summary.activations,
+        completed_runs=summary.completed_runs,
+        violating_runs=summary.violating_runs,
+        violations=summary.violations,
+        fresh_violations=summary.fresh_violations,
+        consistent_violations=summary.consistent_violations,
+        cycles_on=summary.cycles_on,
+        cycles_off=summary.cycles_off,
+        completed_cycles_on=summary.completed_cycles_on,
+        completed_cycles_off=summary.completed_cycles_off,
+        reboots=summary.reboots,
+        wall_time=time.perf_counter() - started,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Executors
+
+
+class Executor(Protocol):
+    """Anything that can run a batch of jobs and keep their order."""
+
+    name: str
+
+    def run(self, jobs: Sequence[JobSpec]) -> list[JobResult]: ...
+
+
+class SerialExecutor:
+    """In-process execution, one job at a time (deterministic baseline)."""
+
+    name = "serial"
+
+    def run(self, jobs: Sequence[JobSpec]) -> list[JobResult]:
+        return [execute_job(job) for job in jobs]
+
+
+class MultiprocessExecutor:
+    """Fan jobs out across worker processes with ``multiprocessing``.
+
+    Prefers the ``fork`` start method so workers inherit the parent's
+    warm compile cache; on platforms without ``fork`` each worker
+    compiles its own builds (correct, just slower).
+    """
+
+    name = "multiprocess"
+
+    def __init__(
+        self, processes: Optional[int] = None, chunksize: int = 1
+    ) -> None:
+        if processes is not None and processes <= 0:
+            raise ValueError("processes must be positive (or None for auto)")
+        self.processes = processes
+        self.chunksize = chunksize
+
+    def _context(self):
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return multiprocessing.get_context()
+
+    def run(self, jobs: Sequence[JobSpec]) -> list[JobResult]:
+        if len(jobs) <= 1:
+            return SerialExecutor().run(jobs)
+        ctx = self._context()
+        processes = self.processes or min(len(jobs), ctx.cpu_count() or 1)
+        with ctx.Pool(processes=processes) as pool:
+            return pool.map(execute_job, jobs, chunksize=self.chunksize)
+
+
+def make_executor(
+    name: str, processes: Optional[int] = None
+) -> SerialExecutor | MultiprocessExecutor:
+    if name == "serial":
+        return SerialExecutor()
+    if name in ("multiprocess", "parallel"):
+        return MultiprocessExecutor(processes=processes)
+    raise CampaignError(f"unknown executor '{name}' (serial | multiprocess)")
+
+
+# ---------------------------------------------------------------------------
+# Results
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """Sums over every job of one (app, config) cell."""
+
+    app: str
+    config: str
+    jobs: int
+    activations: int
+    completed_runs: int
+    violating_runs: int
+    violations: int
+    fresh_violations: int
+    consistent_violations: int
+    cycles_on: int
+    cycles_off: int
+    reboots: int
+    region_count: int
+    injection_points: int
+    injection_violating: int
+
+    @property
+    def violation_rate(self) -> float:
+        if self.completed_runs == 0:
+            return 0.0
+        return self.violating_runs / self.completed_runs
+
+
+@dataclass
+class CampaignResult:
+    """Every job result plus campaign-level bookkeeping."""
+
+    spec: CampaignSpec
+    jobs: list[JobResult]
+    executor: str = "serial"
+    wall_time: float = 0.0
+    compiles: int = 0
+    cache_hits: int = 0
+
+    def job(self, job_id: str) -> JobResult:
+        for result in self.jobs:
+            if result.job_id == job_id:
+                return result
+        raise KeyError(f"no job '{job_id}' in campaign '{self.spec.name}'")
+
+    def by_cell(self) -> dict[tuple[str, str], list[JobResult]]:
+        cells: dict[tuple[str, str], list[JobResult]] = {}
+        for result in self.jobs:
+            cells.setdefault((result.app, result.config), []).append(result)
+        return cells
+
+    def aggregate(self) -> list[AggregateRow]:
+        """Per-(app, config) sums, in the spec's grid order."""
+        cells = self.by_cell()
+        rows = []
+        for app in self.spec.apps:
+            for config in self.spec.configs:
+                members = cells.get((app, config), [])
+                if not members:
+                    continue
+                rows.append(
+                    AggregateRow(
+                        app=app,
+                        config=config,
+                        jobs=len(members),
+                        activations=sum(r.activations for r in members),
+                        completed_runs=sum(r.completed_runs for r in members),
+                        violating_runs=sum(r.violating_runs for r in members),
+                        violations=sum(r.violations for r in members),
+                        fresh_violations=sum(
+                            r.fresh_violations for r in members
+                        ),
+                        consistent_violations=sum(
+                            r.consistent_violations for r in members
+                        ),
+                        cycles_on=sum(r.cycles_on for r in members),
+                        cycles_off=sum(r.cycles_off for r in members),
+                        reboots=sum(r.reboots for r in members),
+                        region_count=members[0].region_count,
+                        injection_points=sum(
+                            r.injection_points for r in members
+                        ),
+                        injection_violating=sum(
+                            r.injection_violating for r in members
+                        ),
+                    )
+                )
+        return rows
+
+    def fingerprint(self) -> list[dict]:
+        """Deterministic view for executor-parity comparisons."""
+        return [job.fingerprint() for job in self.jobs]
+
+    def table(self) -> Table:
+        table = Table(
+            title=f"Campaign '{self.spec.name}' ({self.spec.mode} mode)",
+            headers=[
+                "App",
+                "Config",
+                "Jobs",
+                "Runs",
+                "Violating",
+                "Reboots",
+                "Regions",
+            ],
+        )
+        for row in self.aggregate():
+            runs = (
+                row.injection_points
+                if self.spec.mode == MODE_INJECTION
+                else row.completed_runs
+            )
+            violating = (
+                row.injection_violating
+                if self.spec.mode == MODE_INJECTION
+                else row.violating_runs
+            )
+            table.add_row(
+                row.app,
+                row.config,
+                row.jobs,
+                runs,
+                violating,
+                row.reboots,
+                row.region_count,
+            )
+        table.add_note(
+            f"{len(self.jobs)} jobs via {self.executor} executor in "
+            f"{self.wall_time:.2f}s; {self.compiles} compiles, "
+            f"{self.cache_hits} cache hits"
+        )
+        return table
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "executor": self.executor,
+            "wall_time": self.wall_time,
+            "compiles": self.compiles,
+            "cache_hits": self.cache_hits,
+            "jobs": [job.to_dict() for job in self.jobs],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignResult":
+        return cls(
+            spec=CampaignSpec.from_dict(data["spec"]),
+            jobs=[JobResult.from_dict(j) for j in data["jobs"]],
+            executor=data.get("executor", "serial"),
+            wall_time=float(data.get("wall_time", 0.0)),
+            compiles=int(data.get("compiles", 0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResult":
+        return cls.from_dict(json.loads(text))
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+
+def precompile(spec: CampaignSpec) -> int:
+    """Warm the global cache with every (app, config) build of ``spec``.
+
+    Returns the number of builds that actually compiled.  Running before
+    the executor guarantees each program compiles once per campaign: the
+    serial executor then hits on every job, and forked workers inherit
+    the warm cache.
+    """
+    compiled_now = 0
+    for app, config in itertools.product(spec.apps, spec.configs):
+        meta = BENCHMARKS[app]
+        _, cached = GLOBAL_CACHE.get_or_compile_with_info(meta.source, config)
+        if not cached:
+            compiled_now += 1
+    return compiled_now
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    executor: Executor | str | None = None,
+    processes: Optional[int] = None,
+) -> CampaignResult:
+    """Expand ``spec``, execute every job, and aggregate the results."""
+    if executor is None:
+        executor = SerialExecutor()
+    elif isinstance(executor, str):
+        executor = make_executor(executor, processes=processes)
+    started = time.perf_counter()
+    compiles = precompile(spec)
+    jobs = spec.expand()
+    results = executor.run(jobs)
+    cache_hits = sum(1 for r in results if r.compile_cached)
+    return CampaignResult(
+        spec=spec,
+        jobs=results,
+        executor=executor.name,
+        wall_time=time.perf_counter() - started,
+        compiles=compiles,
+        cache_hits=cache_hits,
+    )
+
+
+def cells(
+    result: CampaignResult,
+    environment: Optional[str] = None,
+    supply: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> dict[tuple[str, str], JobResult]:
+    """Index one (environment, supply, seed) slice by (app, config).
+
+    The table/figure modules sweep a single environment and supply, so
+    this is their bridge from a campaign back to per-cell rows.  Raises
+    if the filter leaves more than one job per cell.
+    """
+    picked: dict[tuple[str, str], JobResult] = {}
+    for job in result.jobs:
+        if environment is not None and job.environment != environment:
+            continue
+        if supply is not None and job.supply != supply:
+            continue
+        if seed is not None and job.seed != seed:
+            continue
+        key = (job.app, job.config)
+        if key in picked:
+            raise CampaignError(
+                f"ambiguous cell {key}: narrow the environment/supply/seed "
+                "filter"
+            )
+        picked[key] = job
+    return picked

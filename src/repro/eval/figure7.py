@@ -16,11 +16,16 @@ from dataclasses import dataclass
 
 from repro.apps import BENCHMARKS
 from repro.core.pipeline import CONFIGS
-from repro.eval.builds import all_builds
+from repro.eval.campaign import (
+    CampaignSpec,
+    EnvironmentSpec,
+    Executor,
+    SupplySpec,
+    cells,
+    run_campaign,
+)
 from repro.eval.profiles import CONTINUOUS_ACTIVATIONS
 from repro.eval.report import Table, geometric_mean
-from repro.runtime.harness import run_activations
-from repro.runtime.supply import ContinuousPower
 
 
 @dataclass
@@ -32,26 +37,36 @@ class Figure7Row:
         return self.cycles[config] / self.cycles["jit"]
 
 
-def measure_figure7(
+def continuous_spec(
     activations: int = CONTINUOUS_ACTIVATIONS, seed: int = 0
+) -> CampaignSpec:
+    """The Figure 7 grid: every app x config on wall power."""
+    return CampaignSpec(
+        name="figure7-continuous",
+        apps=tuple(BENCHMARKS),
+        configs=CONFIGS,
+        environments=(EnvironmentSpec(env_seed=seed),),
+        supplies=(SupplySpec.continuous(),),
+        seeds=(seed,),
+        budget_cycles=10**12,
+        max_activations=activations,
+    )
+
+
+def measure_figure7(
+    activations: int = CONTINUOUS_ACTIVATIONS,
+    seed: int = 0,
+    executor: Executor | str | None = None,
 ) -> list[Figure7Row]:
+    result = run_campaign(continuous_spec(activations, seed), executor)
+    by_cell = cells(result)
     rows: list[Figure7Row] = []
-    for name, meta in BENCHMARKS.items():
-        builds = all_builds(name)
-        costs = meta.cost_model()
+    for name in BENCHMARKS:
         cycles: dict[str, float] = {}
         for config in CONFIGS:
-            env = meta.env_factory(seed)
-            result = run_activations(
-                builds[config],
-                env,
-                ContinuousPower(),
-                budget_cycles=10**12,
-                costs=costs,
-                max_activations=activations,
-            )
-            assert result.records, f"{name}/{config} produced no activations"
-            cycles[config] = result.total_cycles_on / len(result.records)
+            job = by_cell[(name, config)]
+            assert job.activations, f"{name}/{config} produced no activations"
+            cycles[config] = job.cycles_on / job.activations
         rows.append(Figure7Row(app=name, cycles=cycles))
     return rows
 

@@ -13,11 +13,17 @@ from dataclasses import dataclass
 
 from repro.apps import BENCHMARKS
 from repro.core.pipeline import CONFIGS
-from repro.eval.builds import all_builds
+from repro.eval.campaign import (
+    CampaignSpec,
+    EnvironmentSpec,
+    Executor,
+    SupplySpec,
+    cells,
+    run_campaign,
+)
 from repro.eval.figure7 import Figure7Row, measure_figure7
 from repro.eval.profiles import STANDARD_BUDGET_CYCLES, STANDARD_PROFILE, EnergyProfile
 from repro.eval.report import Table, geometric_mean
-from repro.runtime.harness import run_activations
 
 
 @dataclass
@@ -35,30 +41,47 @@ class Figure8Row:
         return (on + off) / self.continuous_jit
 
 
+def intermittent_spec(
+    profile: EnergyProfile = STANDARD_PROFILE,
+    budget: int = STANDARD_BUDGET_CYCLES,
+    seed: int = 0,
+) -> CampaignSpec:
+    """The Figure 8 grid: every app x config on the harvesting testbed."""
+    return CampaignSpec(
+        name="figure8-intermittent",
+        apps=tuple(BENCHMARKS),
+        configs=CONFIGS,
+        environments=(EnvironmentSpec(env_seed=seed),),
+        supplies=(SupplySpec.from_profile(profile, seed_offset=17),),
+        seeds=(seed,),
+        budget_cycles=budget,
+    )
+
+
 def measure_figure8(
     profile: EnergyProfile = STANDARD_PROFILE,
     budget: int = STANDARD_BUDGET_CYCLES,
     seed: int = 0,
     continuous: list[Figure7Row] | None = None,
+    executor: Executor | str | None = None,
 ) -> list[Figure8Row]:
-    continuous = continuous if continuous is not None else measure_figure7(seed=seed)
+    continuous = (
+        continuous
+        if continuous is not None
+        else measure_figure7(seed=seed, executor=executor)
+    )
     jit_baseline = {row.app: row.cycles["jit"] for row in continuous}
+    result = run_campaign(intermittent_spec(profile, budget, seed), executor)
+    by_cell = cells(result)
     rows: list[Figure8Row] = []
-    for name, meta in BENCHMARKS.items():
-        builds = all_builds(name)
-        costs = meta.cost_model()
+    for name in BENCHMARKS:
         cycles: dict[str, tuple[float, float]] = {}
         for config in CONFIGS:
-            env = meta.env_factory(seed)
-            supply = profile.make_supply(seed=seed + 17)
-            result = run_activations(
-                builds[config], env, supply, budget_cycles=budget, costs=costs
-            )
-            completed = [r for r in result.records if r.completed]
-            assert completed, f"{name}/{config} completed no activations"
+            job = by_cell[(name, config)]
+            assert job.completed_runs, f"{name}/{config} completed no activations"
             cycles[config] = (
-                sum(r.cycles_on for r in completed) / len(completed),
-                sum(r.cycles_off for r in completed) / len(completed),
+                job.completed_cycles_on / job.completed_runs,
+                job.completed_cycles_off / job.completed_runs,
             )
         rows.append(
             Figure8Row(app=name, cycles=cycles, continuous_jit=jit_baseline[name])

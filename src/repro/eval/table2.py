@@ -19,11 +19,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.apps import BENCHMARKS
-from repro.eval.builds import all_builds
+from repro.eval.campaign import (
+    MODE_INJECTION,
+    CampaignSpec,
+    EnvironmentSpec,
+    Executor,
+    SupplySpec,
+    cells,
+    run_campaign,
+)
 from repro.eval.profiles import STANDARD_BUDGET_CYCLES, STANDARD_PROFILE, EnergyProfile
 from repro.eval.report import Table
-from repro.runtime.harness import run_activations, run_once
-from repro.runtime.supply import FailurePoint, ScheduledFailures
 
 #: Paper's Table 2b JIT percentages, for side-by-side reporting.
 PAPER_2B_JIT = {
@@ -47,40 +53,38 @@ class Table2aRow:
         return 100.0 * violating / total if total else 0.0
 
 
+def injection_spec(
+    configs: tuple[str, ...] = ("ocelot", "jit"),
+    off_cycles: int = 25_000,
+    seed: int = 0,
+) -> CampaignSpec:
+    """The Table 2a grid: a failure at every detector check site."""
+    return CampaignSpec(
+        name="table2a-injection",
+        apps=tuple(BENCHMARKS),
+        configs=configs,
+        environments=(EnvironmentSpec(env_seed=seed),),
+        supplies=(SupplySpec.continuous(),),
+        seeds=(seed,),
+        mode=MODE_INJECTION,
+        off_cycles=off_cycles,
+    )
+
+
 def measure_table2a(
     configs: tuple[str, ...] = ("ocelot", "jit"),
     off_cycles: int = 25_000,
     seed: int = 0,
+    executor: Executor | str | None = None,
 ) -> list[Table2aRow]:
+    result = run_campaign(injection_spec(configs, off_cycles, seed), executor)
+    by_cell = cells(result)
     rows: list[Table2aRow] = []
-    for name, meta in BENCHMARKS.items():
-        builds = all_builds(name)
-        costs = meta.cost_model()
+    for name in BENCHMARKS:
         results: dict[str, tuple[int, int]] = {}
         for config in configs:
-            compiled = builds[config]
-            plan = compiled.detector_plan()
-            sites = sorted(plan.checks)
-            violating = 0
-            fired = 0
-            for site in sites:
-                env = meta.env_factory(seed)
-                supply = ScheduledFailures(
-                    [FailurePoint(chain=site)], off_cycles=off_cycles
-                )
-                result = run_once(
-                    compiled, env, supply, costs=costs, plan=plan
-                )
-                assert result.stats.completed, f"{name}/{config} stuck at {site}"
-                if not supply.all_fired:
-                    # The site sits on a path this environment never takes
-                    # (e.g. an alarm branch); no failure was injected, so
-                    # the run says nothing about the policy.
-                    continue
-                fired += 1
-                if result.stats.violations > 0:
-                    violating += 1
-            results[config] = (violating, fired)
+            job = by_cell[(name, config)]
+            results[config] = (job.injection_violating, job.injection_points)
         rows.append(Table2aRow(app=name, results=results))
     return rows
 
@@ -109,24 +113,41 @@ class Table2bRow:
     results: dict[str, tuple[float, int]]
 
 
+def intermittent_spec(
+    configs: tuple[str, ...] = ("ocelot", "jit"),
+    profile: EnergyProfile = STANDARD_PROFILE,
+    budget: int = STANDARD_BUDGET_CYCLES,
+    seed: int = 0,
+) -> CampaignSpec:
+    """The Table 2b grid: intermittent power for a fixed budget."""
+    return CampaignSpec(
+        name="table2b-intermittent",
+        apps=tuple(BENCHMARKS),
+        configs=configs,
+        environments=(EnvironmentSpec(env_seed=seed),),
+        supplies=(SupplySpec.from_profile(profile, seed_offset=23),),
+        seeds=(seed,),
+        budget_cycles=budget,
+    )
+
+
 def measure_table2b(
     configs: tuple[str, ...] = ("ocelot", "jit"),
     profile: EnergyProfile = STANDARD_PROFILE,
     budget: int = STANDARD_BUDGET_CYCLES,
     seed: int = 0,
+    executor: Executor | str | None = None,
 ) -> list[Table2bRow]:
+    result = run_campaign(
+        intermittent_spec(configs, profile, budget, seed), executor
+    )
+    by_cell = cells(result)
     rows: list[Table2bRow] = []
-    for name, meta in BENCHMARKS.items():
-        builds = all_builds(name)
-        costs = meta.cost_model()
+    for name in BENCHMARKS:
         results: dict[str, tuple[float, int]] = {}
         for config in configs:
-            env = meta.env_factory(seed)
-            supply = profile.make_supply(seed=seed + 23)
-            outcome = run_activations(
-                builds[config], env, supply, budget_cycles=budget, costs=costs
-            )
-            results[config] = (outcome.violation_rate, outcome.completed_runs)
+            job = by_cell[(name, config)]
+            results[config] = (job.violation_rate, job.completed_runs)
         rows.append(Table2bRow(app=name, results=results))
     return rows
 

@@ -19,6 +19,7 @@ from repro.runtime.executor import (
 from repro.runtime.harness import (
     ActivationRecord,
     ActivationsResult,
+    ActivationsSummary,
     run_activations,
     run_continuous,
     run_once,
@@ -74,6 +75,7 @@ __all__ = [
     "NVState",
     "ActivationRecord",
     "ActivationsResult",
+    "ActivationsSummary",
     "run_activations",
     "run_continuous",
     "run_once",

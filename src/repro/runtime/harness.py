@@ -80,6 +80,8 @@ class ActivationRecord:
     cycles_on: int
     cycles_off: int
     reboots: int
+    fresh_violations: int = 0
+    consistent_violations: int = 0
 
     @property
     def violating(self) -> bool:
@@ -109,6 +111,56 @@ class ActivationsResult:
         if completed == 0:
             return 0.0
         return self.violating_runs / completed
+
+    def summary(self) -> "ActivationsSummary":
+        return ActivationsSummary.from_result(self)
+
+
+@dataclass(frozen=True)
+class ActivationsSummary:
+    """Picklable flat aggregate of an :class:`ActivationsResult`.
+
+    Campaign jobs run in worker processes and ship results back through
+    ``multiprocessing``; this summary carries only integers (no traces,
+    no closures), so it crosses process boundaries cheaply.
+    """
+
+    activations: int = 0
+    completed_runs: int = 0
+    violating_runs: int = 0
+    violations: int = 0
+    fresh_violations: int = 0
+    consistent_violations: int = 0
+    cycles_on: int = 0
+    cycles_off: int = 0
+    completed_cycles_on: int = 0
+    completed_cycles_off: int = 0
+    reboots: int = 0
+
+    @property
+    def violation_rate(self) -> float:
+        if self.completed_runs == 0:
+            return 0.0
+        return self.violating_runs / self.completed_runs
+
+    @classmethod
+    def from_result(cls, result: "ActivationsResult") -> "ActivationsSummary":
+        completed = [r for r in result.records if r.completed]
+        return cls(
+            activations=len(result.records),
+            completed_runs=len(completed),
+            violating_runs=sum(1 for r in completed if r.violating),
+            violations=sum(r.violations for r in result.records),
+            fresh_violations=sum(r.fresh_violations for r in result.records),
+            consistent_violations=sum(
+                r.consistent_violations for r in result.records
+            ),
+            cycles_on=result.total_cycles_on,
+            cycles_off=result.total_cycles_off,
+            completed_cycles_on=sum(r.cycles_on for r in completed),
+            completed_cycles_off=sum(r.cycles_off for r in completed),
+            reboots=sum(r.reboots for r in result.records),
+        )
 
 
 def run_activations(
@@ -146,6 +198,7 @@ def run_activations(
         )
         run = machine.run()
         tau = machine.tau
+        kinds = [v.kind for v in run.trace.violations]
         result.records.append(
             ActivationRecord(
                 index=index,
@@ -154,6 +207,8 @@ def run_activations(
                 cycles_on=run.stats.cycles_on,
                 cycles_off=run.stats.cycles_off,
                 reboots=run.stats.reboots,
+                fresh_violations=kinds.count("fresh"),
+                consistent_violations=kinds.count("consistent"),
             )
         )
         result.total_cycles_on += run.stats.cycles_on

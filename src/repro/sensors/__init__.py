@@ -5,6 +5,7 @@ from repro.sensors.environment import (
     Signal,
     burst,
     constant,
+    parse_signal_spec,
     ramp,
     random_walk,
     sine,
@@ -16,6 +17,7 @@ __all__ = [
     "Signal",
     "burst",
     "constant",
+    "parse_signal_spec",
     "ramp",
     "random_walk",
     "sine",

@@ -110,6 +110,42 @@ def burst(base: int, spike: int, period: int, width: int, offset: int = 0) -> Si
     return signal
 
 
+def parse_signal_spec(text: str, default_dwell: int = 2000) -> Signal:
+    """Parse a textual signal spec: ``"42"`` or ``"a,b,...[:dwell]"``.
+
+    The grammar backs both the CLI's ``--set ch=...`` flag and the
+    declarative environment overrides of campaign specs: a lone integer
+    is a constant signal; a comma-separated list (with an optional
+    ``:dwell`` suffix) is a stepping signal.  Raises :class:`ValueError`
+    with a human-readable message on malformed input.
+    """
+    text = text.strip()
+    if ":" in text or "," in text:
+        levels_text, _, dwell_text = text.partition(":")
+        try:
+            levels = [int(v) for v in levels_text.split(",")]
+        except ValueError:
+            raise ValueError(
+                f"bad signal levels '{levels_text}': expected "
+                "comma-separated integers"
+            ) from None
+        try:
+            dwell = int(dwell_text) if dwell_text else default_dwell
+        except ValueError:
+            raise ValueError(
+                f"bad signal dwell '{dwell_text}': expected an integer "
+                "cycle count"
+            ) from None
+        return steps(levels, dwell)
+    try:
+        return constant(int(text))
+    except ValueError:
+        raise ValueError(
+            f"bad signal value '{text}': expected an integer, "
+            "or levels 'a,b,...[:dwell]'"
+        ) from None
+
+
 @dataclass
 class Environment:
     """Named signals sampled by ``input(channel)`` operations.

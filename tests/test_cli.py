@@ -119,6 +119,27 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", source_file(ANNOTATED), "--set", "oops"])
 
+    def test_non_integer_value_reports_clear_error(self, source_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", source_file(ANNOTATED), "--set", "temp=warm"])
+        message = str(excinfo.value)
+        assert "bad --set 'temp=warm'" in message
+        assert "integer" in message
+
+    def test_non_integer_step_level_reports_clear_error(self, source_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", source_file(ANNOTATED), "--set", "temp=1,hot:50"])
+        message = str(excinfo.value)
+        assert "bad --set 'temp=1,hot:50'" in message
+        assert "comma-separated integers" in message
+
+    def test_non_integer_dwell_reports_clear_error(self, source_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", source_file(ANNOTATED), "--set", "temp=1,2:fast"])
+        message = str(excinfo.value)
+        assert "bad --set 'temp=1,2:fast'" in message
+        assert "dwell" in message
+
 
 class TestFeasibility:
     def test_feasible_program(self, source_file, capsys):
@@ -129,6 +150,50 @@ class TestFeasibility:
         assert main(["feasibility", source_file(HEAVY_REGION)]) == 1
         out = capsys.readouterr().out
         assert "INFEASIBLE" in out
+
+
+class TestCampaign:
+    SPEC = {
+        "name": "cli-smoke",
+        "apps": ["cem"],
+        "configs": ["ocelot", "jit"],
+        "environments": [{"name": "default", "env_seed": 0}],
+        "supplies": [{"name": "harvest", "kind": "harvest", "seed_offset": 23}],
+        "seeds": [0],
+        "budget_cycles": 30000,
+    }
+
+    @pytest.fixture()
+    def spec_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    def test_campaign_writes_json_report(self, spec_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "report.json"
+        assert main(["campaign", spec_file, "--output", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["spec"]["name"] == "cli-smoke"
+        assert len(report["jobs"]) == 2
+        assert "Campaign 'cli-smoke'" in capsys.readouterr().out
+
+    def test_campaign_defaults_to_stdout(self, spec_file, capsys):
+        import json
+
+        assert main(["campaign", spec_file]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert {job["config"] for job in report["jobs"]} == {"ocelot", "jit"}
+
+    def test_bad_spec_reports_clear_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", str(path)])
+        assert "bad campaign spec" in str(excinfo.value)
 
 
 class TestParser:

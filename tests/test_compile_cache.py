@@ -1,0 +1,131 @@
+"""Compile-cache tests: content-addressed keying, hits, invalidation."""
+
+import pytest
+
+from repro.core.cache import CacheKey, CompileCache, compile_cached
+from repro.core.pipeline import CONFIGS, PipelineOptions
+
+SOURCE = """\
+inputs temp;
+
+fn main() {
+  let t = input(temp);
+  Fresh(t);
+  log(t);
+}
+"""
+
+OTHER_SOURCE = SOURCE.replace("log(t)", "log(t + 1)")
+
+
+@pytest.fixture()
+def cache():
+    return CompileCache()
+
+
+class TestKeying:
+    def test_same_inputs_same_key(self):
+        assert CacheKey.make(SOURCE, "ocelot") == CacheKey.make(SOURCE, "ocelot")
+
+    def test_source_changes_key(self):
+        assert CacheKey.make(SOURCE, "ocelot") != CacheKey.make(
+            OTHER_SOURCE, "ocelot"
+        )
+
+    def test_config_changes_key(self):
+        keys = {CacheKey.make(SOURCE, config) for config in CONFIGS}
+        assert len(keys) == len(CONFIGS)
+
+    def test_options_change_key(self):
+        default = CacheKey.make(SOURCE, "ocelot", PipelineOptions())
+        tweaked = CacheKey.make(
+            SOURCE, "ocelot", PipelineOptions(include_trivial=True)
+        )
+        assert default != tweaked
+
+    def test_default_options_key_matches_explicit_default(self):
+        assert CacheKey.make(SOURCE, "ocelot") == CacheKey.make(
+            SOURCE, "ocelot", PipelineOptions()
+        )
+
+
+class TestHitMiss:
+    def test_second_compile_hits(self, cache):
+        first = cache.get_or_compile(SOURCE, "ocelot")
+        second = cache.get_or_compile(SOURCE, "ocelot")
+        assert first is second
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.compiles == 1
+
+    def test_info_variant_reports_cached_flag(self, cache):
+        _, cached = cache.get_or_compile_with_info(SOURCE, "ocelot")
+        assert not cached
+        _, cached = cache.get_or_compile_with_info(SOURCE, "ocelot")
+        assert cached
+
+    def test_different_source_misses(self, cache):
+        cache.get_or_compile(SOURCE, "ocelot")
+        cache.get_or_compile(OTHER_SOURCE, "ocelot")
+        assert cache.stats.misses == 2
+        assert len(cache) == 2
+
+    def test_different_options_miss(self, cache):
+        cache.get_or_compile(SOURCE, "ocelot")
+        cache.get_or_compile(
+            SOURCE, "ocelot", PipelineOptions(include_trivial=True)
+        )
+        assert cache.stats.misses == 2
+
+    def test_different_config_misses(self, cache):
+        for config in CONFIGS:
+            cache.get_or_compile(SOURCE, config)
+        assert cache.stats.misses == len(CONFIGS)
+        assert cache.stats.hits == 0
+
+
+class TestInvalidation:
+    def test_clear_forces_recompile(self, cache):
+        first = cache.get_or_compile(SOURCE, "ocelot")
+        cache.clear()
+        assert len(cache) == 0
+        second = cache.get_or_compile(SOURCE, "ocelot")
+        assert first is not second
+        assert cache.stats.misses == 1  # stats reset with the entries
+
+    def test_edited_source_never_served_stale(self, cache):
+        stale = cache.get_or_compile(SOURCE, "ocelot")
+        fresh = cache.get_or_compile(OTHER_SOURCE, "ocelot")
+        assert stale is not fresh
+        assert cache.stats.hits == 0
+
+    def test_eviction_respects_max_entries(self):
+        cache = CompileCache(max_entries=2)
+        cache.get_or_compile(SOURCE, "ocelot")
+        cache.get_or_compile(SOURCE, "jit")
+        cache.get_or_compile(SOURCE, "atomics")
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # the oldest entry (ocelot) was dropped, so it recompiles
+        cache.get_or_compile(SOURCE, "ocelot")
+        assert cache.stats.misses == 4
+
+    def test_bad_max_entries_rejected(self):
+        with pytest.raises(ValueError):
+            CompileCache(max_entries=0)
+
+
+class TestModuleHelpers:
+    def test_compile_cached_uses_explicit_cache(self, cache):
+        compiled = compile_cached(SOURCE, "ocelot", cache=cache)
+        assert compile_cached(SOURCE, "ocelot", cache=cache) is compiled
+
+    def test_builds_module_shares_global_cache(self):
+        from repro.core.cache import GLOBAL_CACHE
+        from repro.eval.builds import build
+
+        compiled = build("greenhouse", "ocelot")
+        assert build("greenhouse", "ocelot") is compiled
+        before = GLOBAL_CACHE.stats.hits
+        build("greenhouse", "ocelot")
+        assert GLOBAL_CACHE.stats.hits == before + 1

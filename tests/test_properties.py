@@ -144,11 +144,10 @@ class TestRegionRestartRounds:
 
     def test_mid_set_restart_is_not_flagged(self):
         from repro.core.pipeline import compile_source
-        from repro.sensors.environment import steps as steps_sig
 
         compiled = compile_source(self.SRC, "ocelot")
         plan = compiled.detector_plan()
-        env = Environment({"alpha": steps_sig([0, 40, 11], 700)})
+        env = Environment({"alpha": steps([0, 40, 11], 700)})
         # Fail before the last input of the set: the region restarts and
         # re-collects everything.
         site = sorted(plan.checks)[-1]
@@ -162,11 +161,10 @@ class TestRegionRestartRounds:
 
     def test_jit_mid_set_failure_still_flagged(self):
         from repro.core.pipeline import compile_source
-        from repro.sensors.environment import steps as steps_sig
 
         compiled = compile_source(self.SRC, "jit")
         plan = compiled.detector_plan()
-        env = Environment({"alpha": steps_sig([0, 40, 11], 700)})
+        env = Environment({"alpha": steps([0, 40, 11], 700)})
         site = sorted(plan.checks)[-1]
         supply = ScheduledFailures([FailurePoint(chain=site)], off_cycles=5000)
         machine = Machine(compiled.module, env, supply, plan=plan)
