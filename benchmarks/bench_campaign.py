@@ -8,11 +8,18 @@ cache, once warm -- and, run as a script, records the numbers in
 tracked alongside the code::
 
     python benchmarks/bench_campaign.py          # write BENCH_campaign.json
+    python benchmarks/bench_campaign.py --quick  # CI gate: small sweep, no record
     pytest benchmarks/bench_campaign.py          # pytest-benchmark timings
+
+``--quick`` runs a reduced sweep and *fails* (exit 1) if the warm cache
+stops paying for itself -- a cold run must recompile and a cached run
+must not, so pass-pipeline regressions in compile throughput or cache
+keying fail the build.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import time
 from pathlib import Path
@@ -90,9 +97,9 @@ def test_campaign_multiprocess(benchmark):
     assert len(result.jobs) == spec.size
 
 
-def measure(rounds: int = 3) -> dict:
+def measure(rounds: int = 3, budget: int = 60_000) -> dict:
     """Cold vs. cached campaign throughput, best-of-``rounds``."""
-    spec = bench_spec()
+    spec = bench_spec(budget=budget)
     jobs = spec.size
 
     cold_times, cached_times, parallel_times = [], [], []
@@ -133,7 +140,25 @@ def measure(rounds: int = 3) -> dict:
     }
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="campaign throughput benchmark")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced CI sweep: check cold-vs-cached instead of recording",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        record = measure(rounds=1, budget=20_000)
+        print(json.dumps(record, indent=2))
+        speedup = record["cache_speedup"]
+        if speedup <= 1.0:
+            print(f"FAIL: warm cache no faster than cold compiles ({speedup=})")
+            return 1
+        print(f"ok: cache speedup {speedup}x")
+        return 0
+
     record = measure()
     RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record, indent=2))

@@ -10,7 +10,9 @@ The package implements the paper's full system stack in Python:
 * :mod:`repro.analysis` -- the interprocedural taint / input-dependence
   analysis, provenance chains, function summaries, and policies,
 * :mod:`repro.core` -- Ocelot: atomic region inference (Algorithm 1),
-  WAR/EMW undo-log analysis, the Section 5.2 checker, and the pipeline,
+  WAR/EMW undo-log analysis, the Section 5.2 checker, and the pass-based
+  compilation toolchain (:mod:`repro.core.passes`: ``Pass`` /
+  ``PassManager`` / registered ``BuildConfig`` pipelines),
 * :mod:`repro.runtime` -- the JIT + atomics intermittent machine
   (Appendix H), power supplies, the bit-vector violation detector, and the
   formal trace predicates (Definitions 2/3),
@@ -36,6 +38,14 @@ Quickstart::
     result = run_continuous(compiled, env)
 """
 
+from repro.core.passes import (
+    BuildConfig,
+    PassManager,
+    config_names,
+    emit_artifact,
+    get_config,
+    register_config,
+)
 from repro.core.pipeline import (
     CONFIG_ATOMICS,
     CONFIG_JIT,
@@ -66,6 +76,12 @@ from repro.sensors import Environment
 __version__ = "1.0.0"
 
 __all__ = [
+    "BuildConfig",
+    "PassManager",
+    "config_names",
+    "emit_artifact",
+    "get_config",
+    "register_config",
     "CONFIG_ATOMICS",
     "CONFIG_JIT",
     "CONFIG_OCELOT",

@@ -3,6 +3,7 @@
 Subcommands::
 
     python -m repro compile FILE      # compile; show regions / IR / policies
+    python -m repro build TARGET      # compile; dump any stage artifact
     python -m repro check FILE        # checker mode on manual regions
     python -m repro run FILE          # simulate an execution
     python -m repro feasibility FILE  # Section 5.3 energy-feasibility report
@@ -10,7 +11,10 @@ Subcommands::
     python -m repro campaign SPEC     # run a declarative evaluation campaign
 
 Programs are modeling-language source files (see ``examples/`` and
-``src/repro/apps/`` for reference programs).
+``src/repro/apps/`` for reference programs); ``build`` also accepts a
+registered benchmark name.  ``--config`` accepts any registered build
+configuration (``python -m repro build --emit summary`` lists artifacts;
+see :mod:`repro.core.passes` for the registry).
 """
 
 from __future__ import annotations
@@ -24,29 +28,51 @@ from repro.analysis.taint import analyze_module
 from repro.core.cache import compile_cached
 from repro.core.checker import check_atomic_regions
 from repro.core.feasibility import check_feasibility, profile_usable_energy
-from repro.core.pipeline import CONFIGS, PipelineOptions
+from repro.core.passes import (
+    ARTIFACTS,
+    BuildConfig,
+    UnknownConfigError,
+    config_names,
+    emit_artifact,
+    get_config,
+)
+from repro.core.pipeline import PipelineOptions
 from repro.eval.profiles import STANDARD_PROFILE
 from repro.ir.lowering import lower_program
 from repro.ir.printer import print_module
 from repro.lang.parser import parse_program
 from repro.runtime.harness import run_once
 from repro.runtime.supply import ContinuousPower
-from repro.sensors.environment import Environment, constant, parse_signal_spec
+from repro.sensors.environment import Environment, bind_signal_specs, constant
 
 
 def _read_source(path: str) -> str:
     return Path(path).read_text()
 
 
+def _resolve_config(name: str) -> BuildConfig:
+    """A registered config, or a one-line SystemExit listing all names."""
+    try:
+        return get_config(name)
+    except UnknownConfigError as exc:
+        raise SystemExit(str(exc)) from None
+
+
 def _compile(path: str, config: str):
     """Compile a file through the process-wide compile cache."""
     return compile_cached(
-        _read_source(path), config=config, options=PipelineOptions(strict=False)
+        _read_source(path),
+        config=_resolve_config(config),
+        options=PipelineOptions(strict=False),
     )
 
 
 def _parse_env(module_channels: list[str], specs: list[str]) -> Environment:
-    """Build an environment from ``--set ch=value`` / ``ch=a,b:dwell`` specs."""
+    """Build an environment from ``--set ch=value`` / ``ch=a,b:dwell`` specs.
+
+    Spec binding shares :func:`repro.sensors.environment.bind_signal_specs`
+    with the campaign engine's environment overrides.
+    """
     env = Environment()
     bound: set[str] = set()
     for spec in specs:
@@ -57,7 +83,7 @@ def _parse_env(module_channels: list[str], specs: list[str]) -> Environment:
             )
         channel, _, value = spec.partition("=")
         try:
-            env.bind(channel, parse_signal_spec(value))
+            bind_signal_specs(env, [(channel, value)])
         except ValueError as exc:
             raise SystemExit(f"bad --set '{spec}': {exc}") from None
         bound.add(channel)
@@ -94,7 +120,41 @@ def cmd_compile(args: argparse.Namespace) -> int:
                 print(f"  input: {chain}")
     if args.ir:
         print(print_module(compiled.module))
-    return 0 if compiled.check.ok or args.config == "jit" else 1
+    enforcing = _resolve_config(args.config).enforces
+    return 0 if compiled.check.ok or not enforcing else 1
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    """Compile and dump stage artifacts (``--emit ir|taint|timings|...``)."""
+    from repro.apps import BENCHMARKS
+
+    if args.target in BENCHMARKS and not Path(args.target).exists():
+        source = BENCHMARKS[args.target].source
+    else:
+        try:
+            source = _read_source(args.target)
+        except OSError as exc:
+            known = ", ".join(BENCHMARKS)
+            raise SystemExit(
+                f"cannot read '{args.target}' (not a file; known benchmark "
+                f"names: {known}): {exc}"
+            ) from None
+    config = _resolve_config(args.config)
+    compiled = compile_cached(
+        source, config=config, options=PipelineOptions(strict=False)
+    )
+    kinds: list[str] = []
+    for entry in args.emit or ["summary"]:
+        kinds.extend(k.strip() for k in entry.split(",") if k.strip())
+    for kind in kinds:
+        try:
+            text = emit_artifact(compiled, kind)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        if len(kinds) > 1:
+            print(f"== {kind} ==")
+        print(text)
+    return 0 if compiled.check.ok or not config.enforces else 1
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -202,13 +262,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_config_flag(p: argparse.ArgumentParser) -> None:
+        # Not argparse choices: the registry can grow at import time, and
+        # unknown values get a one-line error listing registered names.
+        p.add_argument(
+            "--config",
+            default="ocelot",
+            metavar="NAME",
+            help=f"build configuration ({', '.join(config_names())})",
+        )
+
     p_compile = sub.add_parser("compile", help="compile a program")
     p_compile.add_argument("file")
-    p_compile.add_argument("--config", choices=CONFIGS, default="ocelot")
+    add_config_flag(p_compile)
     p_compile.add_argument("--ir", action="store_true", help="print the IR")
     p_compile.add_argument("--regions", action="store_true")
     p_compile.add_argument("--policies", action="store_true")
     p_compile.set_defaults(func=cmd_compile)
+
+    p_build = sub.add_parser(
+        "build", help="compile and dump intermediate stage artifacts"
+    )
+    p_build.add_argument(
+        "target", help="source file path or registered benchmark name"
+    )
+    add_config_flag(p_build)
+    p_build.add_argument(
+        "--emit",
+        action="append",
+        metavar="KIND[,KIND...]",
+        help=f"stage artifact(s) to dump: {', '.join(sorted(ARTIFACTS))} "
+        "(default: summary; repeatable)",
+    )
+    p_build.set_defaults(func=cmd_build)
 
     p_check = sub.add_parser("check", help="checker mode for manual regions")
     p_check.add_argument("file")
@@ -216,7 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="simulate one activation")
     p_run.add_argument("file")
-    p_run.add_argument("--config", choices=CONFIGS, default="ocelot")
+    add_config_flag(p_run)
     p_run.add_argument(
         "--set",
         action="append",
@@ -230,7 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_feas = sub.add_parser("feasibility", help="region energy bounds")
     p_feas.add_argument("file")
-    p_feas.add_argument("--config", choices=CONFIGS, default="ocelot")
+    add_config_flag(p_feas)
     p_feas.add_argument("--usable", type=int, default=None)
     p_feas.set_defaults(func=cmd_feasibility)
 

@@ -1,16 +1,20 @@
 """Content-addressed cache of compiled programs.
 
 The evaluation sweeps the same six benchmark sources through the same
-three build configurations for every table and figure; compiling is by
-far the most expensive per-job step, so the campaign engine, the CLI,
-and the benchmarks all share one :class:`CompileCache`.
+build configurations for every table and figure; compiling is by far the
+most expensive per-job step, so the campaign engine, the CLI, and the
+benchmarks all share one :class:`CompileCache`.
 
 Keys are content-addressed: the SHA-256 of the program text plus the
-build configuration plus every :class:`~repro.core.pipeline.PipelineOptions`
-field.  Editing one character of source, flipping one option, or picking
-a different configuration yields a different key, so stale builds can
-never be served; identical inputs always reuse the existing
-:class:`~repro.core.pipeline.CompiledProgram`.
+*pass-pipeline fingerprint* of the build configuration (see
+:func:`repro.core.passes.pipeline_fingerprint`) plus every
+:class:`~repro.core.pipeline.PipelineOptions` field.  Editing one
+character of source, flipping one option, or reordering / re-parameterizing
+one pass yields a different key, so stale builds can never be served --
+while two configurations that declare the *same* pipeline share builds,
+whatever their names.  (One consequence of sharing: the served
+``CompiledProgram.config`` carries the name of whichever same-pipeline
+configuration compiled first.)
 """
 
 from __future__ import annotations
@@ -22,9 +26,11 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.passes import resolve_config
 from repro.core.pipeline import (
     CONFIG_OCELOT,
     CompiledProgram,
+    ConfigLike,
     PipelineOptions,
     compile_source,
 )
@@ -32,24 +38,25 @@ from repro.core.pipeline import (
 
 @dataclass(frozen=True)
 class CacheKey:
-    """Identity of one build: source digest x config x pipeline options."""
+    """Identity of one build: source digest x pipeline x options."""
 
     source_hash: str
-    config: str
+    #: the configuration's pass-pipeline fingerprint (not its name)
+    pipeline: str
     options: tuple
 
     @classmethod
     def make(
         cls,
         source: str,
-        config: str,
+        config: ConfigLike = CONFIG_OCELOT,
         options: Optional[PipelineOptions] = None,
     ) -> "CacheKey":
         options = options or PipelineOptions()
         digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
         return cls(
             source_hash=digest,
-            config=config,
+            pipeline=resolve_config(config).fingerprint(),
             options=dataclasses.astuple(options),
         )
 
@@ -113,7 +120,7 @@ class CompileCache:
     def get_or_compile(
         self,
         source: str,
-        config: str = CONFIG_OCELOT,
+        config: ConfigLike = CONFIG_OCELOT,
         options: Optional[PipelineOptions] = None,
     ) -> CompiledProgram:
         compiled, _ = self.get_or_compile_with_info(source, config, options)
@@ -122,7 +129,7 @@ class CompileCache:
     def get_or_compile_with_info(
         self,
         source: str,
-        config: str = CONFIG_OCELOT,
+        config: ConfigLike = CONFIG_OCELOT,
         options: Optional[PipelineOptions] = None,
     ) -> tuple[CompiledProgram, bool]:
         """The build for (source, config, options) plus a was-cached flag."""
@@ -159,7 +166,7 @@ GLOBAL_CACHE = CompileCache()
 
 def compile_cached(
     source: str,
-    config: str = CONFIG_OCELOT,
+    config: ConfigLike = CONFIG_OCELOT,
     options: Optional[PipelineOptions] = None,
     cache: Optional[CompileCache] = None,
 ) -> CompiledProgram:

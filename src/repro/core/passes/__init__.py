@@ -1,0 +1,93 @@
+"""Pass-based toolchain API.
+
+The subsystem has four parts:
+
+* :mod:`~repro.core.passes.base` -- the :class:`Pass` protocol, the
+  mutable :class:`BuildContext`, the :class:`PassManager` (per-stage
+  timing + diagnostics), and pipeline fingerprinting;
+* :mod:`~repro.core.passes.stages` -- the concrete Figure 3 passes
+  (shape, validate, lower, verify, taint, policies, inference, WAR,
+  check);
+* :mod:`~repro.core.passes.config` -- :class:`BuildConfig` and the
+  config registry: the three paper configurations plus derived
+  ablations, all declared as pass pipelines;
+* :mod:`~repro.core.passes.artifacts` -- renderers for every
+  intermediate stage artifact (``repro build --emit ...``).
+"""
+
+from repro.core.passes.artifacts import ARTIFACTS, emit_artifact
+from repro.core.passes.base import (
+    BuildContext,
+    CompiledProgram,
+    CompileError,
+    Diagnostic,
+    Pass,
+    PassManager,
+    PipelineError,
+    PipelineOptions,
+    StageTiming,
+    pass_fingerprint,
+    pipeline_fingerprint,
+)
+from repro.core.passes.config import (
+    ATOMICS,
+    ATOMICS_TRIVIAL,
+    JIT,
+    OCELOT,
+    OCELOT_NOGUARD,
+    BuildConfig,
+    UnknownConfigError,
+    config_names,
+    ensure_registered,
+    get_config,
+    register_config,
+    resolve_config,
+)
+from repro.core.passes.stages import (
+    AnnotateOmegas,
+    BuildPolicies,
+    Check,
+    InferRegions,
+    Lower,
+    ShapeAtomicsOnly,
+    Taint,
+    Validate,
+    VerifyIR,
+)
+
+__all__ = [
+    "ARTIFACTS",
+    "emit_artifact",
+    "BuildContext",
+    "CompiledProgram",
+    "CompileError",
+    "Diagnostic",
+    "Pass",
+    "PassManager",
+    "PipelineError",
+    "PipelineOptions",
+    "StageTiming",
+    "pass_fingerprint",
+    "pipeline_fingerprint",
+    "ATOMICS",
+    "ATOMICS_TRIVIAL",
+    "JIT",
+    "OCELOT",
+    "OCELOT_NOGUARD",
+    "BuildConfig",
+    "UnknownConfigError",
+    "config_names",
+    "ensure_registered",
+    "get_config",
+    "register_config",
+    "resolve_config",
+    "AnnotateOmegas",
+    "BuildPolicies",
+    "Check",
+    "InferRegions",
+    "Lower",
+    "ShapeAtomicsOnly",
+    "Taint",
+    "Validate",
+    "VerifyIR",
+]

@@ -1,0 +1,125 @@
+"""Stage-artifact introspection: render any intermediate build product.
+
+``python -m repro build FILE --emit KIND`` dumps these; they are plain
+functions over a :class:`CompiledProgram` so tests and notebooks can use
+them directly.  Every artifact the pipeline produces is reachable:
+the reshaped AST, the lowered IR, taint facts, policy declarations,
+inferred regions with their omega/WAR/EMW sets, the check report,
+per-pass timings, and the structured diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.passes.base import CompiledProgram
+from repro.ir.printer import print_module
+from repro.lang.printer import print_program
+
+
+def _summary(compiled: CompiledProgram) -> str:
+    lines = [
+        f"config      : {compiled.config}",
+        f"functions   : {len(compiled.module.functions)}",
+        f"policies    : {len(compiled.policies)}",
+        f"regions     : {len(compiled.regions)}",
+        f"checker     : {'PASS' if compiled.check.ok else 'FAIL'}",
+    ]
+    lines.extend(f"  ! {failure}" for failure in compiled.check.failures)
+    return "\n".join(lines)
+
+
+def _ast(compiled: CompiledProgram) -> str:
+    return print_program(compiled.program)
+
+
+def _ir(compiled: CompiledProgram) -> str:
+    return print_module(compiled.module)
+
+
+def _taint(compiled: CompiledProgram) -> str:
+    taint = compiled.taint
+    lines = []
+    for uid in sorted(taint.annot_inputs):
+        chains = ", ".join(str(c) for c in sorted(taint.annot_inputs[uid]))
+        lines.append(f"annot {uid}: inputs {{{chains}}}")
+    for pid in sorted(taint.uses):
+        uses = ", ".join(str(c) for c in sorted(taint.uses[pid]))
+        lines.append(f"uses {pid}: {{{uses}}}")
+    return "\n".join(lines) if lines else "(no annotated sites)"
+
+
+def _policies(compiled: CompiledProgram) -> str:
+    lines = []
+    for policy in compiled.policies.all_policies():
+        lines.append(f"policy {policy.pid} [{policy.kind}]")
+        lines.extend(f"  input: {chain}" for chain in sorted(policy.inputs))
+    for region, pids in sorted(compiled.policy_map.by_region.items()):
+        lines.append(f"region {region} enforces: {', '.join(pids)}")
+    return "\n".join(lines) if lines else "(no policies)"
+
+
+def _regions(compiled: CompiledProgram) -> str:
+    lines = []
+    for region in compiled.regions:
+        lines.append(
+            f"region {region.region} [{region.pid}] in {region.func}: "
+            f"{region.start_block}[{region.start_index}] .. "
+            f"{region.end_block}[{region.end_index}]"
+        )
+    for info in compiled.region_infos:
+        lines.append(
+            f"  {info.region}: omega={sorted(info.omega)} "
+            f"war={sorted(info.war)} emw={sorted(info.emw)}"
+        )
+    return "\n".join(lines) if lines else "(no atomic regions)"
+
+
+def _check(compiled: CompiledProgram) -> str:
+    lines = [f"checker: {'PASS' if compiled.check.ok else 'FAIL'}"]
+    lines.extend(f"  ! {failure}" for failure in compiled.check.failures)
+    for pid, extent in sorted(compiled.check.policy_extents.items()):
+        lines.append(f"  {pid}: enforced by region opened at {extent[1]}")
+    return "\n".join(lines)
+
+
+def _timings(compiled: CompiledProgram) -> str:
+    if not compiled.timings:
+        return "(no timings recorded)"
+    total = sum(t.seconds for t in compiled.timings)
+    lines = [
+        f"{t.index:2d}  {t.stage:<14} {t.seconds * 1e3:9.3f} ms"
+        for t in compiled.timings
+    ]
+    lines.append(f"    {'total':<14} {total * 1e3:9.3f} ms")
+    return "\n".join(lines)
+
+
+def _diagnostics(compiled: CompiledProgram) -> str:
+    if not compiled.diagnostics:
+        return "(no diagnostics)"
+    return "\n".join(d.render() for d in compiled.diagnostics)
+
+
+#: artifact name -> renderer; ``--emit`` accepts exactly these names.
+ARTIFACTS: dict[str, Callable[[CompiledProgram], str]] = {
+    "summary": _summary,
+    "ast": _ast,
+    "ir": _ir,
+    "taint": _taint,
+    "policies": _policies,
+    "regions": _regions,
+    "check": _check,
+    "timings": _timings,
+    "diagnostics": _diagnostics,
+}
+
+
+def emit_artifact(compiled: CompiledProgram, kind: str) -> str:
+    """Render one stage artifact of ``compiled`` as text."""
+    try:
+        renderer = ARTIFACTS[kind]
+    except KeyError:
+        known = ", ".join(sorted(ARTIFACTS))
+        raise ValueError(f"unknown artifact '{kind}' (known: {known})") from None
+    return renderer(compiled)

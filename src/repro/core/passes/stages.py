@@ -1,0 +1,204 @@
+"""Concrete toolchain passes (the boxes of Figure 3).
+
+Each pass is a frozen dataclass so pipelines are pure data: parameters
+participate in the pipeline fingerprint, and therefore in compile-cache
+keys.  A parameter of ``None`` means "defer to the build's
+:class:`~repro.core.passes.base.PipelineOptions`"; a concrete value pins
+the behavior for the configuration regardless of options (how ablation
+configs like ``ocelot-noguard`` are declared).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Optional
+
+from repro.analysis.policies import build_policies
+from repro.analysis.taint import analyze_module
+from repro.baselines.atomics_only import atomics_only_transform
+from repro.core.checker import check_program
+from repro.core.inference import infer_atomic
+from repro.core.passes.base import (
+    DIAG_ERROR,
+    BuildContext,
+    CompileError,
+)
+from repro.core.war import annotate_omegas
+from repro.ir.lowering import LoweringOptions, lower_program
+from repro.ir.verify import verify_module
+from repro.lang.validate import validate_program
+
+
+@dataclass(frozen=True)
+class ShapeAtomicsOnly:
+    """Rewrite the program into the Atomics-only (DINO-style) shape."""
+
+    name: ClassVar[str] = "shape-atomics"
+
+    def run(self, ctx: BuildContext) -> None:
+        ctx.program = atomics_only_transform(ctx.program)
+        ctx.diag(self.name, "applied the Atomics-only region transform")
+
+
+@dataclass(frozen=True)
+class Validate:
+    """Validate the (possibly reshaped) program and gather ProgramInfo."""
+
+    name: ClassVar[str] = "validate"
+
+    def run(self, ctx: BuildContext) -> None:
+        ctx.info = validate_program(ctx.program)
+        ctx.diag(self.name, f"validated {len(ctx.program.functions)} function(s)")
+
+
+@dataclass(frozen=True)
+class Lower:
+    """Lower the AST to the CFG-based IR (``getAnnotations`` input).
+
+    ``keep_manual_atomics=False`` strips programmer regions (the pure JIT
+    baseline).  ``guard_outputs`` / ``unroll_loops`` override the
+    corresponding :class:`PipelineOptions` fields when not ``None``.
+    """
+
+    name: ClassVar[str] = "lower"
+
+    keep_manual_atomics: bool = True
+    guard_outputs: Optional[bool] = None
+    unroll_loops: Optional[bool] = None
+
+    def run(self, ctx: BuildContext) -> None:
+        options = LoweringOptions(
+            guard_outputs=(
+                ctx.options.guard_outputs
+                if self.guard_outputs is None
+                else self.guard_outputs
+            ),
+            keep_manual_atomics=self.keep_manual_atomics,
+            unroll_loops=(
+                ctx.options.unroll_loops
+                if self.unroll_loops is None
+                else self.unroll_loops
+            ),
+        )
+        ctx.module = lower_program(ctx.program, options=options, info=ctx.info)
+        ctx.diag(
+            self.name,
+            f"lowered to {len(ctx.module.functions)} IR function(s) "
+            f"({sum(1 for _ in ctx.module.all_instrs())} instructions)",
+        )
+
+
+@dataclass(frozen=True)
+class VerifyIR:
+    """Structural IR well-formedness checks (after lowering / rewriting)."""
+
+    name: ClassVar[str] = "verify-ir"
+
+    def run(self, ctx: BuildContext) -> None:
+        verify_module(ctx.need_module())
+
+
+@dataclass(frozen=True)
+class Taint:
+    """The interprocedural input-taint analysis (Algorithm 2).
+
+    Appears twice in enforcing pipelines: once to feed region inference,
+    once after instrumentation so the checker sees final labels.
+    """
+
+    name: ClassVar[str] = "taint"
+
+    def run(self, ctx: BuildContext) -> None:
+        ctx.taint = analyze_module(ctx.need_module())
+        ctx.diag(
+            self.name,
+            f"{len(ctx.taint.annot_inputs)} annotated site(s), "
+            f"{len(ctx.taint.uses)} policy use set(s)",
+        )
+
+
+@dataclass(frozen=True)
+class BuildPolicies:
+    """Policy construction from taint facts (``buildSummary`` of Figure 3)."""
+
+    name: ClassVar[str] = "policies"
+
+    def run(self, ctx: BuildContext) -> None:
+        ctx.policies = build_policies(ctx.need_taint())
+        ctx.diag(self.name, f"built {len(ctx.policies)} policy declaration(s)")
+
+
+@dataclass(frozen=True)
+class InferRegions:
+    """Atomic-region inference + insertion (Algorithm 1).
+
+    ``include_trivial`` overrides the option of the same name when set.
+    """
+
+    name: ClassVar[str] = "infer-regions"
+
+    include_trivial: Optional[bool] = None
+
+    def _include_trivial(self, ctx: BuildContext) -> bool:
+        if self.include_trivial is None:
+            return ctx.options.include_trivial
+        return self.include_trivial
+
+    def run(self, ctx: BuildContext) -> None:
+        ctx.policy_map, ctx.regions = infer_atomic(
+            ctx.need_module(),
+            ctx.need_policies(),
+            include_trivial=self._include_trivial(ctx),
+        )
+        ctx.diag(self.name, f"inserted {len(ctx.regions)} inferred region(s)")
+
+
+@dataclass(frozen=True)
+class AnnotateOmegas:
+    """WAR/EMW analysis stamping undo-log omega sets on every region."""
+
+    name: ClassVar[str] = "war-omegas"
+
+    def run(self, ctx: BuildContext) -> None:
+        ctx.region_infos = annotate_omegas(ctx.need_module())
+        ctx.diag(self.name, f"stamped {len(ctx.region_infos)} region(s)")
+
+
+@dataclass(frozen=True)
+class Check:
+    """The Section 5.2 checks over the final, instrumented module.
+
+    ``enforced=True`` marks a configuration that promises correctness:
+    under strict options a failing report raises :class:`CompileError`.
+    ``use_region_map=False`` checks without the inference's policy map
+    (the JIT baseline, which inserted no regions).
+    """
+
+    name: ClassVar[str] = "check"
+
+    enforced: bool = True
+    use_region_map: bool = True
+    include_trivial: Optional[bool] = None
+
+    def run(self, ctx: BuildContext) -> None:
+        include_trivial = (
+            ctx.options.include_trivial
+            if self.include_trivial is None
+            else self.include_trivial
+        )
+        ctx.check = check_program(
+            ctx.need_module(),
+            ctx.need_policies(),
+            ctx.need_taint(),
+            ctx.policy_map if self.use_region_map else None,
+            include_trivial=include_trivial,
+        )
+        for failure in ctx.check.failures:
+            ctx.diag(self.name, failure, level=DIAG_ERROR)
+        if not ctx.check.failures:
+            ctx.diag(self.name, "all policy checks passed")
+        if self.enforced and ctx.options.strict and not ctx.check.ok:
+            raise CompileError(
+                f"{ctx.config_name} build failed policy checks: "
+                f"{ctx.check.failures[:3]}"
+            )

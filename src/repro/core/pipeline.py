@@ -1,161 +1,102 @@
-"""The Ocelot compilation pipeline (Figure 3).
+"""The Ocelot compilation toolchain (Figure 3) -- facade.
 
-``compile_source`` / ``compile_program`` drive the full toolchain:
+Compilation is a *pass pipeline* over a mutable build context (see
+:mod:`repro.core.passes`): each registered
+:class:`~repro.core.passes.BuildConfig` declares the ordered passes of
+one configuration, and :func:`compile_program` simply resolves the
+configuration and hands the context to a
+:class:`~repro.core.passes.PassManager`.  The paper's three
+configurations (Section 7.2) are registered pipelines --
 
-1. parse + validate the annotated program,
-2. apply the build configuration's shape (Ocelot / JIT-only /
-   Atomics-only),
-3. lower to IR (UART guard regions included for every configuration,
-   Section 7.2),
-4. run the taint analysis and build policy declarations (``getAnnotations``
-   / ``searchOps`` / ``buildSummary`` of Figure 3),
-5. infer and insert atomic regions (Ocelot and Atomics-only),
-6. run the WAR/EMW analysis to stamp undo-log omega sets,
-7. verify the IR and run the Section 5.2 checks,
-8. compile the detector plan (Section 7.3) used by the runtime.
+* ``ocelot`` -- validate, lower, taint, policies, region inference,
+  WAR/EMW omega stamping, re-analysis, Section 5.2 checks;
+* ``jit`` -- no manual or inferred regions; its check report records the
+  violations-by-construction the paper's Table 2 demonstrates;
+* ``atomics`` -- the DINO-style whole-program region transform, then the
+  Ocelot pipeline on top;
 
-The JIT-only configuration skips inference, so its check report records
-the violations-by-construction the paper's Table 2 demonstrates.
+-- and derived ablations (``ocelot-noguard``, ``atomics-trivial``, or
+any user-registered config) are declared the same way, so no
+``if config == ...`` branching exists in the compile path.
+
+This module keeps the historical entry points (``compile_source`` /
+``compile_program`` / ``compile_all_configs``) and re-exports the shared
+dataclasses (:class:`CompiledProgram`, :class:`PipelineOptions`,
+:class:`CompileError`), so existing callers keep working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
-from repro.analysis.policies import PolicyDecls, PolicyMap, build_policies
-from repro.analysis.taint import TaintResult, analyze_module
-from repro.baselines.atomics_only import atomics_only_transform
-from repro.core.checker import CheckReport, check_program
-from repro.core.inference import InferredRegion, infer_atomic
-from repro.core.war import RegionInfo, annotate_omegas
-from repro.ir.lowering import LoweringOptions, lower_program
-from repro.ir.module import Module
-from repro.ir.verify import verify_module
+from repro.core.passes import (
+    BuildConfig,
+    BuildContext,
+    CompiledProgram,
+    CompileError,
+    PassManager,
+    PipelineOptions,
+    UnknownConfigError,
+    config_names,
+    resolve_config,
+)
 from repro.lang import ast
 from repro.lang.parser import parse_program
-from repro.lang.validate import validate_program
 
 #: The three build configurations of the evaluation (Section 7.2).
+#: More are registered in :mod:`repro.core.passes.config`; use
+#: :func:`repro.core.passes.config_names` for the full list.
 CONFIG_OCELOT = "ocelot"
 CONFIG_JIT = "jit"
 CONFIG_ATOMICS = "atomics"
 CONFIGS = (CONFIG_OCELOT, CONFIG_JIT, CONFIG_ATOMICS)
 
+ConfigLike = Union[str, BuildConfig]
 
-class CompileError(Exception):
-    """Raised when a build that promises correctness fails its checks."""
-
-
-@dataclass
-class CompiledProgram:
-    """Everything the runtime and the evaluation need about one build."""
-
-    config: str
-    program: ast.Program
-    module: Module
-    taint: TaintResult
-    policies: PolicyDecls
-    policy_map: PolicyMap
-    regions: list[InferredRegion]
-    region_infos: list[RegionInfo]
-    check: CheckReport
-    source: Optional[str] = None
-
-    @property
-    def enforces_policies(self) -> bool:
-        """Did this build pass the Section 5.2 checks?"""
-        return self.check.ok
-
-    def detector_plan(self):
-        from repro.runtime.detector import build_detector_plan
-
-        return build_detector_plan(self.policies)
-
-
-@dataclass
-class PipelineOptions:
-    """Compilation knobs; defaults match the paper's evaluation setup."""
-
-    guard_outputs: bool = True
-    unroll_loops: bool = True
-    include_trivial: bool = False
-    #: raise if a correctness-promising config fails the checks
-    strict: bool = True
+__all__ = [
+    "CONFIG_OCELOT",
+    "CONFIG_JIT",
+    "CONFIG_ATOMICS",
+    "CONFIGS",
+    "ConfigLike",
+    "CompileError",
+    "CompiledProgram",
+    "PipelineOptions",
+    "UnknownConfigError",
+    "compile_program",
+    "compile_source",
+    "compile_all_configs",
+    "config_names",
+]
 
 
 def compile_program(
     program: ast.Program,
-    config: str = CONFIG_OCELOT,
+    config: ConfigLike = CONFIG_OCELOT,
     options: Optional[PipelineOptions] = None,
     source: Optional[str] = None,
 ) -> CompiledProgram:
-    options = options or PipelineOptions()
-    if config not in CONFIGS:
-        raise ValueError(f"unknown build configuration '{config}'")
+    """Run ``config``'s pass pipeline over ``program``.
 
-    shaped = program
-    keep_manual = True
-    if config == CONFIG_ATOMICS:
-        shaped = atomics_only_transform(program)
-    elif config == CONFIG_JIT:
-        keep_manual = False  # strip programmer regions: pure JIT baseline
-
-    info = validate_program(shaped)
-    lowering = LoweringOptions(
-        guard_outputs=options.guard_outputs,
-        keep_manual_atomics=keep_manual,
-        unroll_loops=options.unroll_loops,
-    )
-    module = lower_program(shaped, options=lowering, info=info)
-    verify_module(module)
-
-    taint = analyze_module(module)
-    policies = build_policies(taint)
-
-    regions: list[InferredRegion] = []
-    policy_map = PolicyMap()
-    if config in (CONFIG_OCELOT, CONFIG_ATOMICS):
-        policy_map, regions = infer_atomic(
-            module, policies, include_trivial=options.include_trivial
-        )
-        verify_module(module)
-
-    region_infos = annotate_omegas(module)
-
-    # Re-run the analysis on the instrumented module so the checker sees
-    # final instruction labels; policies are label-stable by construction.
-    final_taint = analyze_module(module)
-    final_policies = build_policies(final_taint)
-    check = check_program(
-        module,
-        final_policies,
-        final_taint,
-        policy_map if config != CONFIG_JIT else None,
-        include_trivial=options.include_trivial,
-    )
-    if config != CONFIG_JIT and options.strict and not check.ok:
-        raise CompileError(
-            f"{config} build failed policy checks: {check.failures[:3]}"
-        )
-
-    return CompiledProgram(
-        config=config,
-        program=shaped,
-        module=module,
-        taint=final_taint,
-        policies=final_policies,
-        policy_map=policy_map,
-        regions=regions,
-        region_infos=region_infos,
-        check=check,
+    ``config`` is a registered configuration name or a
+    :class:`BuildConfig` instance; unknown names raise
+    :class:`UnknownConfigError` (a :class:`ValueError`) listing every
+    registered name.
+    """
+    build = resolve_config(config)
+    ctx = BuildContext(
+        program=program,
+        options=options or PipelineOptions(),
+        config_name=build.name,
         source=source,
     )
+    PassManager(build.passes).run(ctx)
+    return ctx.finish()
 
 
 def compile_source(
     source: str,
-    config: str = CONFIG_OCELOT,
+    config: ConfigLike = CONFIG_OCELOT,
     options: Optional[PipelineOptions] = None,
 ) -> CompiledProgram:
     """Parse and compile program text under one build configuration."""

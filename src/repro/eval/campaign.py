@@ -1,7 +1,10 @@
 """Parallel evaluation campaigns: declarative sweeps over the job matrix.
 
 The paper's evaluation (Tables 1-4, Figures 7-8) is a grid: applications
-x build configurations x environments x power supplies x seeds.  A
+x build configurations x environments x power supplies x seeds.  The
+config axis takes any registered build configuration -- the paper's
+three, the shipped ablations, or user-registered
+:class:`~repro.core.passes.BuildConfig` pipelines.  A
 :class:`CampaignSpec` describes that grid declaratively; :func:`run_campaign`
 expands it into picklable :class:`JobSpec` entries, executes them through a
 pluggable executor (:class:`SerialExecutor` or :class:`MultiprocessExecutor`),
@@ -34,7 +37,14 @@ from typing import Optional, Protocol, Sequence
 
 from repro.apps import BENCHMARKS
 from repro.core.cache import GLOBAL_CACHE
-from repro.core.pipeline import CONFIGS
+from repro.core.passes import (
+    BuildConfig,
+    UnknownConfigError,
+    ensure_registered,
+    get_config,
+    register_config,
+)
+from repro.core.pipeline import CONFIGS, ConfigLike
 from repro.eval.profiles import (
     STANDARD_BUDGET_CYCLES,
     STANDARD_PROFILE,
@@ -48,7 +58,7 @@ from repro.runtime.supply import (
     PowerSupply,
     ScheduledFailures,
 )
-from repro.sensors.environment import Environment, parse_signal_spec
+from repro.sensors.environment import Environment, bind_signal_specs
 
 MODE_ACTIVATIONS = "activations"
 MODE_INJECTION = "injection"
@@ -83,20 +93,16 @@ class EnvironmentSpec:
     def __post_init__(self) -> None:
         # Validate override grammar up front: a bad spec string should
         # fail the campaign at construction, not a worker mid-sweep.
-        for channel, spec in self.overrides:
-            try:
-                parse_signal_spec(spec)
-            except ValueError as exc:
-                raise CampaignError(
-                    f"environment '{self.name}' override '{channel}': {exc}"
-                ) from None
+        try:
+            bind_signal_specs(Environment(), self.overrides)
+        except ValueError as exc:
+            raise CampaignError(
+                f"environment '{self.name}' override {exc}"
+            ) from None
 
     def build(self, app: str) -> Environment:
         meta = BENCHMARKS[app]
-        env = meta.env_factory(self.env_seed)
-        for channel, spec in self.overrides:
-            env.bind(channel, parse_signal_spec(spec))
-        return env
+        return bind_signal_specs(meta.env_factory(self.env_seed), self.overrides)
 
     def to_dict(self) -> dict:
         data = {"name": self.name, "env_seed": self.env_seed}
@@ -186,16 +192,39 @@ class SupplySpec:
         return cls(**data)
 
 
+def _config_name(config: ConfigLike) -> str:
+    """Normalize one config axis entry to a registered name.
+
+    Accepts a registered name or a :class:`BuildConfig` instance; custom
+    instances are registered on the fly so forked workers can resolve
+    them by name.
+    """
+    if isinstance(config, BuildConfig):
+        try:
+            return ensure_registered(config)
+        except ValueError as exc:
+            raise CampaignError(str(exc)) from None
+    try:
+        ensure_registered(config)
+    except UnknownConfigError as exc:
+        raise CampaignError(str(exc)) from None
+    return config
+
+
 @dataclass(frozen=True)
 class CampaignSpec:
     """The declarative grid a campaign sweeps.
 
     ``expand`` produces one :class:`JobSpec` per point of
-    apps x configs x environments x supplies x seeds.
+    apps x configs x environments x supplies x seeds.  The ``configs``
+    axis accepts registered configuration names or
+    :class:`~repro.core.passes.BuildConfig` instances (normalized to
+    their registered names, so specs stay picklable and
+    JSON-serializable).
     """
 
     apps: tuple[str, ...]
-    configs: tuple[str, ...] = CONFIGS
+    configs: tuple[ConfigLike, ...] = CONFIGS
     environments: tuple[EnvironmentSpec, ...] = (EnvironmentSpec(),)
     supplies: tuple[SupplySpec, ...] = (SupplySpec(),)
     seeds: tuple[int, ...] = (0,)
@@ -213,9 +242,9 @@ class CampaignSpec:
             if app not in BENCHMARKS:
                 known = ", ".join(BENCHMARKS)
                 raise CampaignError(f"unknown app '{app}'; known: {known}")
-        for config in self.configs:
-            if config not in CONFIGS:
-                raise CampaignError(f"unknown build configuration '{config}'")
+        object.__setattr__(
+            self, "configs", tuple(_config_name(c) for c in self.configs)
+        )
         if self.mode not in MODES:
             raise CampaignError(
                 f"unknown mode '{self.mode}'; known: {', '.join(MODES)}"
@@ -530,7 +559,10 @@ class MultiprocessExecutor:
 
     Prefers the ``fork`` start method so workers inherit the parent's
     warm compile cache; on platforms without ``fork`` each worker
-    compiles its own builds (correct, just slower).
+    compiles its own builds (correct, just slower).  A pool initializer
+    re-registers the jobs' build configurations so custom
+    :class:`BuildConfig` axes resolve by name even in spawned workers,
+    which start with only the import-time registry.
     """
 
     name = "multiprocess"
@@ -554,8 +586,21 @@ class MultiprocessExecutor:
             return SerialExecutor().run(jobs)
         ctx = self._context()
         processes = self.processes or min(len(jobs), ctx.cpu_count() or 1)
-        with ctx.Pool(processes=processes) as pool:
+        configs = tuple(
+            get_config(name) for name in sorted({job.config for job in jobs})
+        )
+        with ctx.Pool(
+            processes=processes,
+            initializer=_register_worker_configs,
+            initargs=(configs,),
+        ) as pool:
             return pool.map(execute_job, jobs, chunksize=self.chunksize)
+
+
+def _register_worker_configs(configs: tuple[BuildConfig, ...]) -> None:
+    """Pool initializer: make the campaign's configs resolvable by name."""
+    for config in configs:
+        register_config(config, replace=True)
 
 
 def make_executor(

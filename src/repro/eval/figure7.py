@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.apps import BENCHMARKS
-from repro.core.pipeline import CONFIGS
+from repro.core.pipeline import CONFIGS, ConfigLike
 from repro.eval.campaign import (
     CampaignSpec,
     EnvironmentSpec,
@@ -38,13 +38,15 @@ class Figure7Row:
 
 
 def continuous_spec(
-    activations: int = CONTINUOUS_ACTIVATIONS, seed: int = 0
+    activations: int = CONTINUOUS_ACTIVATIONS,
+    seed: int = 0,
+    configs: tuple[ConfigLike, ...] = CONFIGS,
 ) -> CampaignSpec:
     """The Figure 7 grid: every app x config on wall power."""
     return CampaignSpec(
         name="figure7-continuous",
         apps=tuple(BENCHMARKS),
-        configs=CONFIGS,
+        configs=configs,
         environments=(EnvironmentSpec(env_seed=seed),),
         supplies=(SupplySpec.continuous(),),
         seeds=(seed,),
@@ -57,13 +59,17 @@ def measure_figure7(
     activations: int = CONTINUOUS_ACTIVATIONS,
     seed: int = 0,
     executor: Executor | str | None = None,
+    configs: tuple[ConfigLike, ...] = CONFIGS,
 ) -> list[Figure7Row]:
-    result = run_campaign(continuous_spec(activations, seed), executor)
+    spec = continuous_spec(activations, seed, configs)
+    if "jit" not in spec.configs:
+        raise ValueError("figure 7 normalizes to the 'jit' build; include it")
+    result = run_campaign(spec, executor)
     by_cell = cells(result)
     rows: list[Figure7Row] = []
     for name in BENCHMARKS:
         cycles: dict[str, float] = {}
-        for config in CONFIGS:
+        for config in spec.configs:
             job = by_cell[(name, config)]
             assert job.activations, f"{name}/{config} produced no activations"
             cycles[config] = job.cycles_on / job.activations

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.apps import BENCHMARKS
-from repro.core.pipeline import CONFIGS
+from repro.core.pipeline import CONFIGS, ConfigLike
 from repro.eval.campaign import (
     CampaignSpec,
     EnvironmentSpec,
@@ -45,12 +45,13 @@ def intermittent_spec(
     profile: EnergyProfile = STANDARD_PROFILE,
     budget: int = STANDARD_BUDGET_CYCLES,
     seed: int = 0,
+    configs: tuple[ConfigLike, ...] = CONFIGS,
 ) -> CampaignSpec:
     """The Figure 8 grid: every app x config on the harvesting testbed."""
     return CampaignSpec(
         name="figure8-intermittent",
         apps=tuple(BENCHMARKS),
-        configs=CONFIGS,
+        configs=configs,
         environments=(EnvironmentSpec(env_seed=seed),),
         supplies=(SupplySpec.from_profile(profile, seed_offset=17),),
         seeds=(seed,),
@@ -64,19 +65,21 @@ def measure_figure8(
     seed: int = 0,
     continuous: list[Figure7Row] | None = None,
     executor: Executor | str | None = None,
+    configs: tuple[ConfigLike, ...] = CONFIGS,
 ) -> list[Figure8Row]:
     continuous = (
         continuous
         if continuous is not None
-        else measure_figure7(seed=seed, executor=executor)
+        else measure_figure7(seed=seed, executor=executor, configs=configs)
     )
     jit_baseline = {row.app: row.cycles["jit"] for row in continuous}
-    result = run_campaign(intermittent_spec(profile, budget, seed), executor)
+    spec = intermittent_spec(profile, budget, seed, configs)
+    result = run_campaign(spec, executor)
     by_cell = cells(result)
     rows: list[Figure8Row] = []
     for name in BENCHMARKS:
         cycles: dict[str, tuple[float, float]] = {}
-        for config in CONFIGS:
+        for config in spec.configs:
             job = by_cell[(name, config)]
             assert job.completed_runs, f"{name}/{config} completed no activations"
             cycles[config] = (

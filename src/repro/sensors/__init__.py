@@ -3,6 +3,7 @@
 from repro.sensors.environment import (
     Environment,
     Signal,
+    bind_signal_specs,
     burst,
     constant,
     parse_signal_spec,
@@ -15,6 +16,7 @@ from repro.sensors.environment import (
 __all__ = [
     "Environment",
     "Signal",
+    "bind_signal_specs",
     "burst",
     "constant",
     "parse_signal_spec",

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable, Mapping
 
 Signal = Callable[[int], int]
 
@@ -144,6 +144,26 @@ def parse_signal_spec(text: str, default_dwell: int = 2000) -> Signal:
             f"bad signal value '{text}': expected an integer, "
             "or levels 'a,b,...[:dwell]'"
         ) from None
+
+
+def bind_signal_specs(
+    env: Environment,
+    overrides: Mapping[str, str] | Iterable[tuple[str, str]],
+) -> Environment:
+    """Bind textual signal specs onto ``env``; the one spec-binding path.
+
+    Both the CLI's ``--set CH=VALUE`` flags and the campaign engine's
+    declarative environment overrides go through here, so the grammar,
+    the defaults, and the error wording stay in one place.  Raises
+    :class:`ValueError` naming the offending channel.
+    """
+    items = overrides.items() if isinstance(overrides, Mapping) else overrides
+    for channel, spec in items:
+        try:
+            env.bind(channel, parse_signal_spec(spec))
+        except ValueError as exc:
+            raise ValueError(f"channel '{channel}': {exc}") from None
+    return env
 
 
 @dataclass

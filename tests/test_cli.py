@@ -70,6 +70,68 @@ class TestCompile:
         assert "policy fresh@" in out
 
 
+class TestBuild:
+    def test_build_defaults_to_summary(self, source_file, capsys):
+        assert main(["build", source_file(ANNOTATED)]) == 0
+        out = capsys.readouterr().out
+        assert "config      : ocelot" in out
+        assert "checker     : PASS" in out
+
+    def test_build_accepts_benchmark_names(self, capsys):
+        assert main(["build", "greenhouse", "--emit", "timings"]) == 0
+        out = capsys.readouterr().out
+        assert "infer-regions" in out
+        assert "total" in out
+
+    def test_build_emits_multiple_artifacts(self, source_file, capsys):
+        code = main(
+            ["build", source_file(ANNOTATED), "--emit", "ir,regions",
+             "--emit", "diagnostics"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== ir ==" in out
+        assert "== regions ==" in out
+        assert "== diagnostics ==" in out
+        assert "atomic_start" in out
+
+    def test_build_every_registered_artifact(self, source_file, capsys):
+        from repro.core.passes import ARTIFACTS
+
+        code = main(
+            ["build", source_file(ANNOTATED), "--emit", ",".join(sorted(ARTIFACTS))]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for kind in ARTIFACTS:
+            assert f"== {kind} ==" in out
+
+    def test_build_unknown_artifact_reports_known(self, source_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["build", source_file(ANNOTATED), "--emit", "bytecode"])
+        assert "known:" in str(excinfo.value)
+
+    def test_build_unknown_target_reports_benchmarks(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["build", "nonesuch.ocl"])
+        assert "greenhouse" in str(excinfo.value)
+
+    def test_unknown_config_lists_registered_names(self, source_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["compile", source_file(ANNOTATED), "--config", "turbo"])
+        message = str(excinfo.value)
+        assert "unknown build configuration 'turbo'" in message
+        assert "ocelot" in message and "jit" in message and "atomics" in message
+        assert "\n" not in message  # one-line error
+
+    def test_derived_config_via_cli(self, source_file, capsys):
+        code = main(
+            ["build", source_file(ANNOTATED), "--config", "ocelot-noguard"]
+        )
+        assert code == 0
+        assert "config      : ocelot-noguard" in capsys.readouterr().out
+
+
 class TestCheck:
     def test_good_manual_regions_pass(self, source_file, capsys):
         assert main(["check", source_file(GOOD_MANUAL)]) == 0
