@@ -1,0 +1,178 @@
+"""Benchmark: fleet throughput, serial vs. sharded multiprocessing.
+
+The fleet engine's pitch is linear device scaling: N independent devices
+shard across worker processes with no coordination beyond a final
+aggregate merge.  This benchmark times the same fleet both ways and, run
+as a script, records devices/second in ``BENCH_fleet.json`` at the repo
+root so the scaling trajectory is tracked alongside the code::
+
+    python benchmarks/bench_fleet.py          # write BENCH_fleet.json
+    python benchmarks/bench_fleet.py --quick  # CI gate: small fleet, no record
+    pytest benchmarks/bench_fleet.py          # pytest-benchmark timings
+
+``--quick`` runs a >=200-device fleet, verifies serial/sharded aggregate
+parity byte-for-byte, and *fails* (exit 1) if sharding stops beating the
+serial executor -- on a multi-core box a parallelism regression in the
+fleet engine fails the build.  On a single-core box the speedup gate is
+reported but not enforced (there is nothing to win there); parity is
+enforced everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+try:  # only the pytest entry points need it; script mode runs without
+    import pytest
+except ModuleNotFoundError:  # pragma: no cover - exercised in CI smoke
+    pytest = None
+
+from repro.eval.campaign import SupplySpec
+from repro.fleet import (
+    DeviceClass,
+    FleetSpec,
+    SerialFleetExecutor,
+    ShardedFleetExecutor,
+    aggregate_fingerprint,
+    precompile_fleet,
+    run_fleet,
+)
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+
+def bench_spec(devices: int = 240, budget: int = 25_000) -> FleetSpec:
+    """A representative heterogeneous fleet, rescaled to ``devices``."""
+    spec = FleetSpec(
+        name="bench-fleet",
+        fleet_seed=17,
+        budget_cycles=budget,
+        classes=(
+            DeviceClass(
+                name="tire-ocelot",
+                app="tire",
+                config="ocelot",
+                count=2,
+                supply=SupplySpec(harvest_rate=300),
+                harvest_jitter=0.5,
+                phase_jitter=8_000,
+            ),
+            DeviceClass(
+                name="greenhouse-jit",
+                app="greenhouse",
+                config="jit",
+                count=1,
+                harvest_jitter=0.3,
+            ),
+            DeviceClass(
+                name="cem-atomics",
+                app="cem",
+                config="atomics",
+                count=1,
+                phase_jitter=10_000,
+            ),
+        ),
+    )
+    return spec.with_total_devices(devices)
+
+
+def test_fleet_serial(benchmark):
+    spec = bench_spec(devices=60, budget=15_000)
+    precompile_fleet(spec)
+    result = benchmark(run_fleet, spec, SerialFleetExecutor())
+    assert result.devices == 60
+
+
+def _slow(fn):
+    return pytest.mark.slow(fn) if pytest is not None else fn
+
+
+@_slow
+def test_fleet_sharded(benchmark):
+    spec = bench_spec(devices=120, budget=15_000)
+    precompile_fleet(spec)  # forked workers inherit warm builds
+    result = benchmark.pedantic(
+        run_fleet,
+        args=(spec, ShardedFleetExecutor()),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.devices == 120
+
+
+def measure(devices: int = 240, budget: int = 25_000, rounds: int = 3) -> dict:
+    """Serial vs. sharded fleet throughput, best-of-``rounds``."""
+    spec = bench_spec(devices=devices, budget=budget)
+    precompile_fleet(spec)
+
+    serial_times, sharded_times = [], []
+    serial_fp = sharded_fp = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        serial = run_fleet(spec, SerialFleetExecutor())
+        serial_times.append(time.perf_counter() - started)
+        serial_fp = aggregate_fingerprint(serial)
+
+        started = time.perf_counter()
+        sharded = run_fleet(spec, ShardedFleetExecutor())
+        sharded_times.append(time.perf_counter() - started)
+        sharded_fp = aggregate_fingerprint(sharded)
+
+    assert serial_fp == sharded_fp, "serial and sharded aggregates differ"
+    serial_s, sharded_s = min(serial_times), min(sharded_times)
+    return {
+        "benchmark": "fleet-throughput",
+        "spec": {
+            "devices": devices,
+            "classes": len(spec.classes),
+            "budget_cycles": spec.budget_cycles,
+            "activations": serial.aggregate.total_activations,
+        },
+        "rounds": rounds,
+        "cores": os.cpu_count() or 1,
+        "serial_seconds": round(serial_s, 4),
+        "sharded_seconds": round(sharded_s, 4),
+        "serial_devices_per_second": round(devices / serial_s, 2),
+        "sharded_devices_per_second": round(devices / sharded_s, 2),
+        "sharding_speedup": round(serial_s / sharded_s, 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="fleet throughput benchmark")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI gate: >=200 devices, parity always, speedup on multi-core",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        record = measure(devices=200, budget=20_000, rounds=1)
+        print(json.dumps(record, indent=2))
+        speedup = record["sharding_speedup"]
+        if record["cores"] < 2:
+            print(
+                f"note: single core -- sharding speedup {speedup}x reported, "
+                "not gated (parity was enforced)"
+            )
+            return 0
+        if speedup <= 1.0:
+            print(f"FAIL: sharding no faster than serial ({speedup=})")
+            return 1
+        print(f"ok: sharding speedup {speedup}x on {record['cores']} cores")
+        return 0
+
+    record = measure()
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"record written to {RECORD_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

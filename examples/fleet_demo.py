@@ -1,0 +1,83 @@
+"""Fleet simulation demo: a small heterogeneous device population.
+
+Builds a three-class fleet in code (the JSON route is
+``examples/fleet_small.json`` via ``python -m repro fleet``), runs it
+serially, and prints the aggregate tables -- per-class violation rates,
+staleness/consistency-failure histograms, and duty-cycle distributions.
+
+Run with::
+
+    PYTHONPATH=src python examples/fleet_demo.py
+"""
+
+from repro.eval.campaign import EnvironmentSpec, SupplySpec
+from repro.fleet import (
+    DeviceClass,
+    FleetSpec,
+    duty_table,
+    histogram_table,
+    run_fleet,
+)
+
+
+def main() -> None:
+    spec = FleetSpec(
+        name="demo",
+        fleet_seed=2026,
+        budget_cycles=30_000,
+        classes=(
+            # 12 tire monitors on the enforcing build; each device draws
+            # its harvest rate from a seeded ±50% band and a private
+            # environment phase, so power failures and pressure events
+            # de-correlate across the fleet.
+            DeviceClass(
+                name="tire-ocelot",
+                app="tire",
+                config="ocelot",
+                count=12,
+                supply=SupplySpec(harvest_rate=300),
+                harvest_jitter=0.5,
+                phase_jitter=8_000,
+            ),
+            # The same population on the JIT baseline: same seeds, same
+            # environments, no enforcement -- the violation-rate gap in
+            # the table below is the fleet-scale Table 2b story.
+            DeviceClass(
+                name="tire-jit",
+                app="tire",
+                config="jit",
+                count=12,
+                supply=SupplySpec(harvest_rate=300),
+                harvest_jitter=0.5,
+                phase_jitter=8_000,
+            ),
+            # A smaller greenhouse wing, each device sensing a different
+            # seeded world (env_seed_stride) rather than a shifted phase.
+            DeviceClass(
+                name="greenhouse-ocelot",
+                app="greenhouse",
+                config="ocelot",
+                count=8,
+                environment=EnvironmentSpec(env_seed=7),
+                env_seed_stride=3,
+                harvest_jitter=0.3,
+            ),
+        ),
+    )
+    print(
+        f"fleet '{spec.name}': {spec.device_count} devices in "
+        f"{len(spec.classes)} classes, budget {spec.budget_cycles} "
+        "cycles/device"
+    )
+
+    result = run_fleet(spec, "serial")
+    print()
+    print(result.table().render_text())
+    print()
+    print(histogram_table(result).render_text())
+    print()
+    print(duty_table(result).render_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro feasibility FILE  # Section 5.3 energy-feasibility report
     python -m repro eval              # regenerate the paper's tables/figures
     python -m repro campaign SPEC     # run a declarative evaluation campaign
+    python -m repro fleet SPEC        # simulate a multi-device fleet
 
 Programs are modeling-language source files (see ``examples/`` and
 ``src/repro/apps/`` for reference programs); ``build`` also accepts a
@@ -241,6 +242,53 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import (
+        FleetError,
+        FleetSpec,
+        duty_table,
+        histogram_table,
+        run_fleet,
+    )
+
+    if args.jobs is not None and args.jobs <= 0:
+        raise SystemExit(f"bad --jobs {args.jobs}: need a positive count")
+    try:
+        text = _read_source(args.spec)
+    except OSError as exc:
+        raise SystemExit(f"cannot read fleet spec: {exc}") from None
+    try:
+        spec = FleetSpec.from_json(text)
+        if args.devices is not None:
+            spec = spec.with_total_devices(args.devices)
+    except FleetError as exc:
+        raise SystemExit(f"bad fleet spec '{args.spec}': {exc}") from None
+    executor = "sharded" if args.parallel else "serial"
+    try:
+        result = run_fleet(
+            spec,
+            executor,
+            processes=args.jobs,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except FleetError as exc:
+        raise SystemExit(str(exc)) from None
+    tables = [result.table()]
+    if args.histograms:
+        tables += [histogram_table(result), duty_table(result)]
+    rendered = "\n\n".join(t.render_text() for t in tables)
+    report = result.to_json()
+    if args.output:
+        Path(args.output).write_text(report + "\n")
+        print(rendered)
+        print(f"report written to {args.output}", file=sys.stderr)
+    else:
+        print(rendered, file=sys.stderr)
+        print(report)
+    return 0
+
+
 def cmd_eval(args: argparse.Namespace) -> int:
     from repro.eval.runner import main as eval_main
 
@@ -350,6 +398,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON report here (default: stdout)",
     )
     p_campaign.set_defaults(func=cmd_campaign)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="simulate a multi-device intermittent fleet"
+    )
+    p_fleet.add_argument("spec", help="JSON fleet spec file")
+    p_fleet.add_argument(
+        "--devices",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rescale the fleet to exactly N devices (keeps the class mix)",
+    )
+    p_fleet.add_argument(
+        "--parallel",
+        action="store_true",
+        help="use the sharded multiprocessing executor",
+    )
+    p_fleet.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --parallel (default: one per core)",
+    )
+    p_fleet.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="checkpoint file: resumed if present, updated as devices finish",
+    )
+    p_fleet.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="devices per checkpoint chunk (default: 256 with --checkpoint)",
+    )
+    p_fleet.add_argument(
+        "--histograms",
+        action="store_true",
+        help="also print violation and duty-cycle histograms",
+    )
+    p_fleet.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the JSON report here (default: stdout)",
+    )
+    p_fleet.set_defaults(func=cmd_fleet)
 
     return parser
 

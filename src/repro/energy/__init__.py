@@ -7,6 +7,7 @@ in for the Capybara board + PowerCast harvester of the paper's testbed.
 from repro.energy.capacitor import Capacitor, EnergyError
 from repro.energy.costs import DEFAULT_COSTS, CostModel
 from repro.energy.harvester import ConstantHarvester, NoisyHarvester, TraceHarvester
+from repro.energy.seeds import derive_seed
 
 __all__ = [
     "Capacitor",
@@ -16,4 +17,5 @@ __all__ = [
     "ConstantHarvester",
     "NoisyHarvester",
     "TraceHarvester",
+    "derive_seed",
 ]

@@ -27,6 +27,13 @@ class ConstantHarvester:
             raise ValueError("harvest rate must be positive")
         return max(1, (deficit * 1000) // self.rate_per_kilocycle)
 
+    def spawn(self, seed: int) -> "ConstantHarvester":
+        """A fresh harvester with the same rate (deterministic, no RNG)."""
+        return ConstantHarvester(self.rate_per_kilocycle)
+
+    def reseed(self, seed: int) -> None:
+        """No RNG state to reset; kept for supply-spawning uniformity."""
+
 
 @dataclass
 class NoisyHarvester:
@@ -54,6 +61,22 @@ class NoisyHarvester:
         effective = max(1.0, self.rate_per_kilocycle * factor)
         return max(1, int(deficit * 1000 / effective))
 
+    def spawn(self, seed: int) -> "NoisyHarvester":
+        """A fresh harvester with the same rate/spread on stream ``seed``.
+
+        Fleet simulations derive one such seed per device from the fleet
+        root seed, so every device sees an independent but reproducible
+        off-time sequence.
+        """
+        return NoisyHarvester(
+            self.rate_per_kilocycle, seed=seed, spread=self.spread
+        )
+
+    def reseed(self, seed: int) -> None:
+        """Restart this harvester's jitter stream from ``seed`` in place."""
+        self.seed = seed
+        self._rng = random.Random(seed)
+
 
 @dataclass
 class TraceHarvester:
@@ -71,3 +94,11 @@ class TraceHarvester:
         value = self.off_times[self._idx % len(self.off_times)]
         self._idx += 1
         return max(1, value)
+
+    def spawn(self, seed: int) -> "TraceHarvester":
+        """A fresh replay of the same trace, rewound to the start."""
+        return TraceHarvester(list(self.off_times))
+
+    def reseed(self, seed: int) -> None:
+        """Rewind the trace in place."""
+        self._idx = 0

@@ -1,0 +1,67 @@
+"""Device materialization: from declarative :class:`DeviceSpec` to a
+runnable :class:`FleetDevice`.
+
+Builds are shared: every device of a class resolves its program through
+the process-wide compile cache, so a thousand identical tire monitors
+cost one compile.  Supplies are shared *structurally*: one prototype
+supply is built per distinct supply shape and then :meth:`spawn`-ed per
+device, which re-derives only the RNG streams -- the cheap per-device
+re-seeding path the energy layer provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import BENCHMARKS
+from repro.core.cache import GLOBAL_CACHE
+from repro.eval.campaign import SupplySpec
+from repro.fleet.spec import DeviceSpec
+from repro.runtime.harness import ActivationStepper
+from repro.runtime.supply import PowerSupply
+
+
+@dataclass
+class FleetDevice:
+    """One materialized device: its spec plus a resumable activation loop."""
+
+    spec: DeviceSpec
+    stepper: ActivationStepper
+
+
+class DeviceFactory:
+    """Builds devices, reusing compiled programs and supply prototypes.
+
+    One factory lives per worker process (or per serial run); its caches
+    are keyed by value (benchmark name, config name, supply spec), so two
+    factories in different processes materialize identical devices.
+    """
+
+    def __init__(self) -> None:
+        self._supply_protos: dict[SupplySpec, PowerSupply] = {}
+
+    def _make_supply(self, spec: DeviceSpec) -> PowerSupply:
+        proto = self._supply_protos.get(spec.supply)
+        if proto is None:
+            proto = spec.supply.build(0)
+            self._supply_protos[spec.supply] = proto
+        return proto.spawn(spec.seed + spec.supply.seed_offset)
+
+    def build(self, spec: DeviceSpec) -> FleetDevice:
+        meta = BENCHMARKS[spec.app]
+        compiled = GLOBAL_CACHE.get_or_compile(meta.source, spec.config)
+        env = meta.env_factory(spec.env_seed)
+        if spec.env_overrides:
+            from repro.sensors.environment import bind_signal_specs
+
+            bind_signal_specs(env, spec.env_overrides)
+        env = env.shifted(spec.phase)
+        stepper = ActivationStepper(
+            compiled,
+            env,
+            self._make_supply(spec),
+            budget_cycles=spec.budget_cycles,
+            costs=meta.cost_model(),
+            max_activations=spec.max_activations,
+        )
+        return FleetDevice(spec=spec, stepper=stepper)

@@ -1,0 +1,335 @@
+"""Fleet execution: serial and sharded runs, checkpointing, results.
+
+The engine turns a :class:`FleetSpec` into an aggregate:
+
+1. expand the spec into per-device :class:`DeviceSpec` rows (pure data);
+2. precompile every (app, config) build once into the shared cache;
+3. hand device batches to an executor -- :class:`SerialFleetExecutor`
+   runs one tau-ordered scheduler over the batch in-process;
+   :class:`ShardedFleetExecutor` deals devices round-robin to worker
+   processes, each running its own scheduler, and merges the shard
+   aggregates.  Aggregation is commutative integer summation, so both
+   executors produce **bit-identical** aggregates;
+4. optionally checkpoint after every chunk of devices, so a
+   million-activation fleet splits across invocations: a resumed run
+   folds the checkpointed aggregate and continues with the next device,
+   producing the same bytes as one uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Protocol, Sequence
+
+from repro.apps import BENCHMARKS
+from repro.core.cache import GLOBAL_CACHE
+from repro.core.passes import BuildConfig, get_config, register_config
+from repro.eval.report import Table
+from repro.fleet.aggregate import FleetAggregator
+from repro.fleet.device import DeviceFactory
+from repro.fleet.scheduler import FleetScheduler
+from repro.fleet.spec import DeviceSpec, FleetError, FleetSpec
+
+
+def run_shard(devices: Sequence[DeviceSpec]) -> FleetAggregator:
+    """Run one batch of devices to exhaustion; the executor work unit.
+
+    Materializes the batch through one :class:`DeviceFactory` (shared
+    builds, spawned supplies), schedules it in tau order, and streams
+    every activation into a fresh aggregator.
+    """
+    factory = DeviceFactory()
+    aggregator = FleetAggregator()
+    materialized = []
+    for spec in devices:
+        aggregator.add_device(spec)
+        materialized.append(factory.build(spec))
+    FleetScheduler(materialized).run(aggregator.observe)
+    return aggregator
+
+
+def _run_shard_payload(devices: tuple[DeviceSpec, ...]) -> dict:
+    """Worker entry point: ship the aggregate back as primitives."""
+    return run_shard(devices).to_dict()
+
+
+def _register_worker_configs(configs: tuple[BuildConfig, ...]) -> None:
+    for config in configs:
+        register_config(config, replace=True)
+
+
+class FleetExecutor(Protocol):
+    """Runs a batch of devices and returns its aggregate."""
+
+    name: str
+
+    def run(self, devices: Sequence[DeviceSpec]) -> FleetAggregator: ...
+
+
+class SerialFleetExecutor:
+    """One scheduler over the whole batch, in-process."""
+
+    name = "serial"
+
+    def run(self, devices: Sequence[DeviceSpec]) -> FleetAggregator:
+        return run_shard(devices)
+
+
+class ShardedFleetExecutor:
+    """Deal devices across worker processes; merge shard aggregates.
+
+    Sharding is round-robin over the expansion order (device ``i`` goes
+    to shard ``i mod n``), which balances heterogeneous classes across
+    workers without any cross-process coordination.  Workers prefer the
+    ``fork`` start method to inherit the parent's warm compile cache; a
+    pool initializer re-registers the fleet's build configurations so
+    spawned workers resolve them by name too.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self, processes: Optional[int] = None, shards: Optional[int] = None
+    ) -> None:
+        if processes is not None and processes <= 0:
+            raise ValueError("processes must be positive (or None for auto)")
+        if shards is not None and shards <= 0:
+            raise ValueError("shards must be positive (or None for auto)")
+        self.processes = processes
+        self.shards = shards
+
+    def _context(self):
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return multiprocessing.get_context()
+
+    def run(self, devices: Sequence[DeviceSpec]) -> FleetAggregator:
+        if len(devices) <= 1:
+            return run_shard(devices)
+        ctx = self._context()
+        processes = self.processes or min(len(devices), ctx.cpu_count() or 1)
+        shard_count = min(self.shards or processes, len(devices))
+        shards = [
+            tuple(devices[i::shard_count]) for i in range(shard_count)
+        ]
+        configs = tuple(
+            get_config(name)
+            for name in sorted({d.config for d in devices})
+        )
+        aggregate = FleetAggregator()
+        with ctx.Pool(
+            processes=processes,
+            initializer=_register_worker_configs,
+            initargs=(configs,),
+        ) as pool:
+            for payload in pool.map(_run_shard_payload, shards):
+                aggregate.merge(FleetAggregator.from_dict(payload))
+        return aggregate
+
+
+def make_fleet_executor(
+    name: str, processes: Optional[int] = None
+) -> SerialFleetExecutor | ShardedFleetExecutor:
+    if name == "serial":
+        return SerialFleetExecutor()
+    if name in ("sharded", "parallel"):
+        return ShardedFleetExecutor(processes=processes)
+    raise FleetError(f"unknown fleet executor '{name}' (serial | sharded)")
+
+
+# ---------------------------------------------------------------------------
+# Checkpointing
+
+
+@dataclass(frozen=True)
+class FleetCheckpoint:
+    """Resume point: how many devices are folded into ``aggregate``.
+
+    Devices are folded in expansion order, so ``devices_done`` plus the
+    spec fingerprint fully determines the remaining work.  The aggregate
+    is stored in its canonical dict form; resuming merges it and
+    continues -- sums make the split invisible in the final bytes.
+    """
+
+    fingerprint: str
+    devices_done: int
+    aggregate: dict
+
+    def save(self, path: Path | str) -> None:
+        payload = {
+            "fingerprint": self.fingerprint,
+            "devices_done": self.devices_done,
+            "aggregate": self.aggregate,
+        }
+        target = Path(path)
+        # Write-then-rename so a crash mid-save never corrupts the
+        # previous checkpoint (resume would silently restart otherwise).
+        tmp = target.with_suffix(target.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        tmp.replace(target)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "FleetCheckpoint":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise FleetError(f"cannot load fleet checkpoint: {exc}") from None
+        try:
+            return cls(
+                fingerprint=data["fingerprint"],
+                devices_done=int(data["devices_done"]),
+                aggregate=data["aggregate"],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FleetError(f"malformed fleet checkpoint: {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# Results
+
+
+@dataclass
+class FleetResult:
+    """Aggregate plus run-level bookkeeping."""
+
+    spec: FleetSpec
+    aggregate: FleetAggregator
+    executor: str = "serial"
+    devices: int = 0
+    wall_time: float = 0.0
+    resumed_devices: int = 0
+
+    @property
+    def devices_per_second(self) -> float:
+        if self.wall_time <= 0:
+            return 0.0
+        return (self.devices - self.resumed_devices) / self.wall_time
+
+    def rows(self) -> list[dict]:
+        """Per-class aggregate rows -- the deterministic report payload."""
+        rows = []
+        for name in self.aggregate.class_names:
+            agg = self.aggregate[name]
+            rows.append({"class": name, **agg.to_dict()})
+        return rows
+
+    def table(self) -> Table:
+        from repro.fleet.report import fleet_table
+
+        return fleet_table(self)
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "executor": self.executor,
+            "devices": self.devices,
+            "wall_time": self.wall_time,
+            "resumed_devices": self.resumed_devices,
+            "aggregate": self.aggregate.to_dict(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+
+def precompile_fleet(spec: FleetSpec) -> int:
+    """Warm the compile cache with every (app, config) build of the fleet.
+
+    Device classes share builds: a fleet of 10,000 devices over 3 classes
+    compiles at most 3 programs, and forked shard workers inherit all of
+    them.  Returns the number of fresh compiles.
+    """
+    compiled_now = 0
+    pairs = {(c.app, c.config) for c in spec.classes}
+    for app, config in sorted(pairs):
+        meta = BENCHMARKS[app]
+        _, cached = GLOBAL_CACHE.get_or_compile_with_info(meta.source, config)
+        if not cached:
+            compiled_now += 1
+    return compiled_now
+
+
+def run_fleet(
+    spec: FleetSpec,
+    executor: FleetExecutor | str | None = None,
+    processes: Optional[int] = None,
+    checkpoint_path: Optional[Path | str] = None,
+    checkpoint_every: Optional[int] = None,
+) -> FleetResult:
+    """Run (or resume) a whole fleet and aggregate it.
+
+    With ``checkpoint_path``, progress is saved after every
+    ``checkpoint_every`` devices (default 256) and a matching checkpoint
+    on disk is resumed from instead of restarting; the final aggregate
+    is byte-identical to an uninterrupted run.  A checkpoint whose
+    fingerprint does not match ``spec`` is an error, not a silent
+    restart.
+    """
+    if executor is None:
+        executor = SerialFleetExecutor()
+    elif isinstance(executor, str):
+        executor = make_fleet_executor(executor, processes=processes)
+    if checkpoint_every is not None and checkpoint_every <= 0:
+        raise FleetError("checkpoint_every must be positive")
+    if checkpoint_every is not None and checkpoint_path is None:
+        # Chunking without a checkpoint path would silently persist
+        # nothing while paying a fresh executor batch per chunk.
+        raise FleetError("checkpoint_every requires a checkpoint path")
+
+    started = time.perf_counter()
+    devices = spec.expand()
+    aggregate = FleetAggregator()
+    start_index = 0
+    fingerprint = spec.fingerprint() if checkpoint_path is not None else ""
+
+    if checkpoint_path is not None and Path(checkpoint_path).exists():
+        checkpoint = FleetCheckpoint.load(checkpoint_path)
+        if checkpoint.fingerprint != fingerprint:
+            raise FleetError(
+                f"checkpoint '{checkpoint_path}' belongs to a different "
+                "fleet spec; delete it or point --checkpoint elsewhere"
+            )
+        if checkpoint.devices_done > len(devices):
+            raise FleetError(
+                f"checkpoint claims {checkpoint.devices_done} devices done "
+                f"but the fleet has only {len(devices)}"
+            )
+        aggregate = FleetAggregator.from_dict(checkpoint.aggregate)
+        start_index = checkpoint.devices_done
+
+    precompile_fleet(spec)
+    chunk = (
+        checkpoint_every
+        if checkpoint_every is not None
+        else (256 if checkpoint_path is not None else len(devices) or 1)
+    )
+    for lo in itertools.count(start_index, chunk):
+        if lo >= len(devices):
+            break
+        batch = devices[lo : lo + chunk]
+        aggregate.merge(executor.run(batch))
+        if checkpoint_path is not None:
+            FleetCheckpoint(
+                fingerprint=fingerprint,
+                devices_done=lo + len(batch),
+                aggregate=aggregate.to_dict(),
+            ).save(checkpoint_path)
+
+    return FleetResult(
+        spec=spec,
+        aggregate=aggregate,
+        executor=executor.name,
+        devices=len(devices),
+        wall_time=time.perf_counter() - started,
+        resumed_devices=start_index,
+    )

@@ -1,0 +1,69 @@
+"""Logical-time fleet scheduling: advance many devices in tau order.
+
+Devices are independent (no radio model yet), but the scheduler still
+interleaves them on one global logical clock: it keeps every live device
+in a priority queue keyed by the device's current tau and always runs
+one activation of the *earliest* device.  That gives downstream
+consumers a single, monotone-by-device event stream -- the property a
+streaming aggregator, a timeline renderer, or a future shared-medium
+model all need -- while touching only one device's state at a time, so
+memory stays at one machine per device rather than one trace per
+activation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Sequence
+
+from repro.fleet.device import FleetDevice
+from repro.fleet.spec import DeviceSpec
+from repro.runtime.harness import ActivationRecord
+
+#: One scheduled event: which device just ran which activation.
+FleetEvent = tuple[DeviceSpec, ActivationRecord]
+
+
+class FleetScheduler:
+    """Run a set of devices to exhaustion, activation by activation."""
+
+    def __init__(self, devices: Sequence[FleetDevice]) -> None:
+        # The enumeration index breaks tau ties deterministically (two
+        # devices booting at tau=0 run in expansion order) and keeps the
+        # heap from ever comparing FleetDevice objects.
+        self._heap: list[tuple[int, int, FleetDevice]] = [
+            (device.stepper.tau, order, device)
+            for order, device in enumerate(devices)
+            if not device.stepper.exhausted
+        ]
+        heapq.heapify(self._heap)
+
+    @property
+    def live_devices(self) -> int:
+        return len(self._heap)
+
+    def events(self) -> Iterator[FleetEvent]:
+        """Yield (device, activation) pairs in global tau order.
+
+        "Tau order" means: each activation is started by the device whose
+        logical clock is earliest among all live devices at that moment.
+        A device leaves the queue when its stepper is exhausted (budget
+        spent, activation cap, or stuck region).
+        """
+        heap = self._heap
+        while heap:
+            _, order, device = heapq.heappop(heap)
+            record = device.stepper.step()
+            if record is None:
+                continue
+            yield device.spec, record
+            if not device.stepper.exhausted:
+                heapq.heappush(heap, (device.stepper.tau, order, device))
+
+    def run(self, sink) -> int:
+        """Drain the schedule into ``sink(spec, record)``; return events."""
+        count = 0
+        for spec, record in self.events():
+            sink(spec, record)
+            count += 1
+        return count

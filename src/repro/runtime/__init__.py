@@ -20,6 +20,7 @@ from repro.runtime.harness import (
     ActivationRecord,
     ActivationsResult,
     ActivationsSummary,
+    ActivationStepper,
     run_activations,
     run_continuous,
     run_once,
@@ -76,6 +77,7 @@ __all__ = [
     "ActivationRecord",
     "ActivationsResult",
     "ActivationsSummary",
+    "ActivationStepper",
     "run_activations",
     "run_continuous",
     "run_once",

@@ -163,6 +163,89 @@ class ActivationsSummary:
         )
 
 
+class ActivationStepper:
+    """A device's activation loop as a resumable stream.
+
+    One stepper owns everything that persists across activations of one
+    device: nonvolatile memory, the power supply, and the logical clock.
+    ``step`` runs exactly one activation of ``main`` and reports it as an
+    :class:`ActivationRecord`; the stepper is ``exhausted`` once the
+    logical-time budget runs out, the activation cap is hit, or an
+    activation gets stuck (a region larger than the energy budget).
+
+    :func:`run_activations` drives one stepper to exhaustion -- the
+    single-device experiments of Figure 8 / Table 2b.  The fleet
+    scheduler instead keeps thousands of steppers in a priority queue and
+    advances whichever device is earliest in logical time, which is why
+    stepping is factored out of the driving loop.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        env: Environment,
+        supply: PowerSupply,
+        budget_cycles: int,
+        costs: CostModel = DEFAULT_COSTS,
+        plan: Optional[DetectorPlan] = None,
+        max_activations: int = 100_000,
+        config: Optional[MachineConfig] = None,
+        nv: Optional[NVState] = None,
+    ) -> None:
+        self._compiled = compiled
+        self._env = env
+        self._supply = supply
+        self._costs = costs
+        self._plan = _plan_for(compiled, plan)
+        self._budget = budget_cycles
+        self._max_activations = max_activations
+        self._config = config
+        self.nv = nv or NVState.initial(compiled.module)
+        self.tau = 0
+        self.index = 0
+        self._stuck = False
+
+    @property
+    def exhausted(self) -> bool:
+        return (
+            self._stuck
+            or self.tau >= self._budget
+            or self.index >= self._max_activations
+        )
+
+    def step(self) -> Optional[ActivationRecord]:
+        """Run one activation; ``None`` once the stepper is exhausted."""
+        if self.exhausted:
+            return None
+        machine = Machine(
+            self._compiled.module,
+            self._env,
+            self._supply,
+            costs=self._costs,
+            plan=self._plan,
+            nv=self.nv,
+            start_tau=self.tau,
+            config=self._config,
+        )
+        run = machine.run()
+        self.tau = machine.tau
+        kinds = [v.kind for v in run.trace.violations]
+        record = ActivationRecord(
+            index=self.index,
+            completed=run.stats.completed,
+            violations=run.stats.violations,
+            cycles_on=run.stats.cycles_on,
+            cycles_off=run.stats.cycles_off,
+            reboots=run.stats.reboots,
+            fresh_violations=kinds.count("fresh"),
+            consistent_violations=kinds.count("consistent"),
+        )
+        self.index += 1
+        if not record.completed:
+            self._stuck = True
+        return record
+
+
 def run_activations(
     compiled: CompiledProgram,
     env: Environment,
@@ -179,40 +262,19 @@ def run_activations(
     embedded ``while (1) main();`` deployment; the saved execution contexts
     reset per activation (each iteration is a fresh program entry).
     """
-    detector = _plan_for(compiled, plan)
-    nv = NVState.initial(compiled.module)
+    stepper = ActivationStepper(
+        compiled,
+        env,
+        supply,
+        budget_cycles,
+        costs=costs,
+        plan=plan,
+        max_activations=max_activations,
+        config=config,
+    )
     result = ActivationsResult()
-    tau = 0
-    for index in range(max_activations):
-        if tau >= budget_cycles:
-            break
-        machine = Machine(
-            compiled.module,
-            env,
-            supply,
-            costs=costs,
-            plan=detector,
-            nv=nv,
-            start_tau=tau,
-            config=config,
-        )
-        run = machine.run()
-        tau = machine.tau
-        kinds = [v.kind for v in run.trace.violations]
-        result.records.append(
-            ActivationRecord(
-                index=index,
-                completed=run.stats.completed,
-                violations=run.stats.violations,
-                cycles_on=run.stats.cycles_on,
-                cycles_off=run.stats.cycles_off,
-                reboots=run.stats.reboots,
-                fresh_violations=kinds.count("fresh"),
-                consistent_violations=kinds.count("consistent"),
-            )
-        )
-        result.total_cycles_on += run.stats.cycles_on
-        result.total_cycles_off += run.stats.cycles_off
-        if not run.stats.completed:
-            break  # stuck activation: a region larger than the budget
+    while (record := stepper.step()) is not None:
+        result.records.append(record)
+        result.total_cycles_on += record.cycles_on
+        result.total_cycles_off += record.cycles_off
     return result

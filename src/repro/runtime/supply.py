@@ -22,6 +22,7 @@ from typing import Protocol
 
 from repro.analysis.provenance import Chain
 from repro.energy.capacitor import Capacitor
+from repro.energy.seeds import derive_seed
 from repro.ir.instructions import InstrId
 
 
@@ -79,6 +80,13 @@ class ContinuousPower:
 
     def off_and_recharge(self) -> int:  # pragma: no cover
         raise AssertionError("continuous power never reboots")
+
+    def spawn(self, seed: int) -> "ContinuousPower":
+        """Wall power has no state; every device gets an equivalent one."""
+        return ContinuousPower()
+
+    def reseed(self, seed: int) -> None:
+        """Nothing to reset; kept for per-device re-seeding uniformity."""
 
 
 @dataclass(frozen=True)
@@ -155,9 +163,28 @@ class ScheduledFailures:
     def all_fired(self) -> bool:
         return len(self._fired) == len(set(self.points))
 
+    def spawn(self, seed: int) -> "ScheduledFailures":
+        """A fresh injection schedule: same points, all re-armed.
+
+        Injection is deterministic, so ``seed`` is unused; the parameter
+        keeps the spawn signature uniform across supply kinds, letting a
+        fleet derive per-device supplies without caring which kind a
+        device class uses.
+        """
+        return ScheduledFailures(list(self.points), off_cycles=self.off_cycles)
+
+    def reseed(self, seed: int) -> None:
+        """Re-arm every failure point in place."""
+        self._counts.clear()
+        self._fired.clear()
+
 
 class Harvester(Protocol):
     def off_cycles(self, deficit: int) -> int: ...
+
+    def spawn(self, seed: int) -> "Harvester": ...
+
+    def reseed(self, seed: int) -> None: ...
 
 
 @dataclass
@@ -209,3 +236,29 @@ class EnergyDrivenSupply:
             self.capacitor.level = max(target, self.capacitor.low_threshold + 1)
             deficit = max(1, self.capacitor.level - before)
         return self.harvester.off_cycles(deficit)
+
+    def spawn(self, seed: int) -> "EnergyDrivenSupply":
+        """A fresh, fully-charged supply on device stream ``seed``.
+
+        The new supply copies this one's physical configuration (capacitor
+        geometry, harvester kind and rate, boot comparator band) but draws
+        its boot and harvest randomness from streams derived from ``seed``,
+        so a fleet can stamp out thousands of statistically independent
+        devices from one prototype and one root seed -- cheaper and less
+        error-prone than rebuilding each supply from a profile.
+        """
+        return EnergyDrivenSupply(
+            capacitor=Capacitor(
+                self.capacitor.capacity, self.capacitor.low_threshold
+            ),
+            harvester=self.harvester.spawn(derive_seed(seed, "harvest")),
+            boot_fraction=self.boot_fraction,
+            seed=derive_seed(seed, "boot"),
+        )
+
+    def reseed(self, seed: int) -> None:
+        """Recharge and restart both randomness streams in place."""
+        self.capacitor.level = self.capacitor.capacity
+        self.harvester.reseed(derive_seed(seed, "harvest"))
+        self.seed = derive_seed(seed, "boot")
+        self._rng = random.Random(self.seed)

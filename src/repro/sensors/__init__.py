@@ -7,6 +7,7 @@ from repro.sensors.environment import (
     burst,
     constant,
     parse_signal_spec,
+    phase_shifted,
     ramp,
     random_walk,
     sine,
@@ -20,6 +21,7 @@ __all__ = [
     "burst",
     "constant",
     "parse_signal_spec",
+    "phase_shifted",
     "ramp",
     "random_walk",
     "sine",

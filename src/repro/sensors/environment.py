@@ -58,9 +58,20 @@ def steps(levels: list[int], dwell: int) -> Signal:
         raise ValueError("need at least one level")
     if dwell <= 0:
         raise ValueError("dwell must be positive")
+    count = len(levels)
+    # Hot path: intermittent runs re-read channels many times per segment
+    # (every input op of every activation), so remember the last segment's
+    # value instead of re-indexing each time.
+    last = (-1, 0)
 
     def signal(tau: int) -> int:
-        return levels[(tau // dwell) % len(levels)]
+        nonlocal last
+        segment = (tau // dwell) % count
+        if segment == last[0]:
+            return last[1]
+        value = levels[segment]
+        last = (segment, value)
+        return value
 
     return signal
 
@@ -89,8 +100,18 @@ def random_walk(start: int, step: int, seed: int, interval: int = 200) -> Signal
             cache[idx] = value
         return cache[segment]
 
+    # Same-segment reads dominate (sensing loops sample faster than the
+    # walk moves), so keep the last evaluation out of the dict lookup.
+    last = (0, start)
+
     def signal(tau: int) -> int:
-        return value_at_segment(max(0, tau) // interval)
+        nonlocal last
+        segment = max(0, tau) // interval
+        if segment == last[0]:
+            return last[1]
+        value = value_at_segment(segment)
+        last = (segment, value)
+        return value
 
     return signal
 
@@ -108,6 +129,23 @@ def burst(base: int, spike: int, period: int, width: int, offset: int = 0) -> Si
         return spike if phase < width else base
 
     return signal
+
+
+def phase_shifted(signal: Signal, offset: int) -> Signal:
+    """``signal`` advanced by ``offset`` cycles: reads at ``tau`` see
+    ``signal(tau + offset)``.
+
+    Fleet simulations give each device a private phase so a thousand
+    devices sampling the same diurnal sine do not all straddle the same
+    step boundaries at the same logical times.
+    """
+    if offset == 0:
+        return signal
+
+    def shifted(tau: int) -> int:
+        return signal(tau + offset)
+
+    return shifted
 
 
 def parse_signal_spec(text: str, default_dwell: int = 2000) -> Signal:
@@ -190,6 +228,14 @@ class Environment:
                 f"environment has no signal for channel '{channel}'"
             ) from None
         return signal(tau)
+
+    def shifted(self, offset: int) -> "Environment":
+        """A view of this environment advanced by ``offset`` cycles."""
+        if offset == 0:
+            return self
+        return Environment(
+            {ch: phase_shifted(sig, offset) for ch, sig in self.signals.items()}
+        )
 
     @staticmethod
     def constant_for(channels: list[str], value: int = 0) -> "Environment":

@@ -237,3 +237,60 @@ def program_sources(draw) -> str:
     from repro.lang.printer import print_program
 
     return print_program(draw(programs()))
+
+
+# ---------------------------------------------------------------------------
+# Fleet specs
+
+#: Small apps keep generated fleets cheap enough for property tests.
+FLEET_APPS = ["tire", "greenhouse", "cem"]
+FLEET_CONFIGS = ["ocelot", "jit", "atomics"]
+
+
+@st.composite
+def device_classes(draw, name: str):
+    """One random device class (valid by construction)."""
+    from repro.eval.campaign import EnvironmentSpec, SupplySpec
+    from repro.fleet.spec import DeviceClass
+
+    kind = draw(st.sampled_from(["harvest", "harvest", "continuous"]))
+    if kind == "harvest":
+        supply = SupplySpec(
+            harvest_rate=draw(st.integers(150, 600)),
+            seed_offset=draw(st.integers(0, 50)),
+        )
+    else:
+        supply = SupplySpec.continuous()
+    return DeviceClass(
+        name=name,
+        app=draw(st.sampled_from(FLEET_APPS)),
+        config=draw(st.sampled_from(FLEET_CONFIGS)),
+        count=draw(st.integers(1, 4)),
+        environment=EnvironmentSpec(env_seed=draw(st.integers(0, 20))),
+        supply=supply,
+        harvest_jitter=draw(st.sampled_from([0.0, 0.25, 0.5])),
+        phase_jitter=draw(st.sampled_from([0, 0, 4000])),
+        env_seed_stride=draw(st.sampled_from([0, 0, 1])),
+    )
+
+
+@st.composite
+def fleet_specs(draw):
+    """A small random valid :class:`FleetSpec`.
+
+    Budgets stay tiny (a handful of activations per device) so property
+    tests can afford to *run* the generated fleets, not just parse them.
+    """
+    from repro.fleet.spec import FleetSpec
+
+    classes = tuple(
+        draw(device_classes(name=f"cls{idx}"))
+        for idx in range(draw(st.integers(1, 3)))
+    )
+    return FleetSpec(
+        classes=classes,
+        fleet_seed=draw(st.integers(0, 2**32)),
+        budget_cycles=draw(st.integers(4_000, 12_000)),
+        max_activations=draw(st.sampled_from([100_000, 5])),
+        name="prop-fleet",
+    )

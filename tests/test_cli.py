@@ -258,6 +258,95 @@ class TestCampaign:
         assert "bad campaign spec" in str(excinfo.value)
 
 
+class TestFleet:
+    SPEC = {
+        "name": "cli-fleet",
+        "fleet_seed": 3,
+        "budget_cycles": 12000,
+        "classes": [
+            {
+                "name": "tire",
+                "app": "tire",
+                "config": "ocelot",
+                "count": 3,
+                "harvest_jitter": 0.3,
+            },
+            {"name": "cem", "app": "cem", "config": "jit", "count": 2},
+        ],
+    }
+
+    @pytest.fixture()
+    def spec_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    def test_fleet_writes_json_report(self, spec_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "fleet-report.json"
+        assert main(["fleet", spec_file, "--output", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["spec"]["name"] == "cli-fleet"
+        assert report["devices"] == 5
+        assert set(report["aggregate"]["classes"]) == {"tire", "cem"}
+        assert "Fleet 'cli-fleet'" in capsys.readouterr().out
+
+    def test_fleet_devices_rescales(self, spec_file, capsys):
+        import json
+
+        assert main(["fleet", spec_file, "--devices", "10"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["devices"] == 10
+
+    def test_fleet_histograms_flag(self, spec_file, capsys):
+        assert main(["fleet", spec_file, "--histograms"]) == 0
+        err = capsys.readouterr().err
+        assert "violation histograms" in err
+        assert "duty-cycle distribution" in err
+
+    def test_fleet_checkpoint_roundtrip(self, spec_file, tmp_path, capsys):
+        import json
+
+        ckpt = tmp_path / "ckpt.json"
+        out1 = tmp_path / "one-shot.json"
+        out2 = tmp_path / "resumed.json"
+        assert main(["fleet", spec_file, "--output", str(out1)]) == 0
+        assert main(
+            [
+                "fleet",
+                spec_file,
+                "--checkpoint",
+                str(ckpt),
+                "--checkpoint-every",
+                "2",
+                "--output",
+                str(out2),
+            ]
+        ) == 0
+        one = json.loads(out1.read_text())
+        two = json.loads(out2.read_text())
+        assert one["aggregate"] == two["aggregate"]
+        # A second invocation resumes the finished checkpoint: all devices
+        # already folded, nothing re-run, same aggregate.
+        out3 = tmp_path / "rerun.json"
+        assert main(
+            ["fleet", spec_file, "--checkpoint", str(ckpt), "--output", str(out3)]
+        ) == 0
+        three = json.loads(out3.read_text())
+        assert three["aggregate"] == one["aggregate"]
+        assert three["resumed_devices"] == 5
+
+    def test_bad_fleet_spec_reports_clear_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"classes": []}')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", str(path)])
+        assert "bad fleet spec" in str(excinfo.value)
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

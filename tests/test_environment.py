@@ -6,6 +6,7 @@ from repro.sensors.environment import (
     Environment,
     burst,
     constant,
+    phase_shifted,
     ramp,
     random_walk,
     sine,
@@ -58,6 +59,39 @@ class TestSignals:
         sig(123)  # interleaved reads must not perturb
         assert sig(5000) == first
 
+    def test_steps_memoizes_last_segment(self):
+        class CountingLevels(list):
+            lookups = 0
+
+            def __getitem__(self, idx):
+                CountingLevels.lookups += 1
+                return super().__getitem__(idx)
+
+        levels = CountingLevels([4, 8])
+        sig = steps(levels, dwell=100)
+        assert [sig(0), sig(1), sig(99)] == [4, 4, 4]
+        assert CountingLevels.lookups == 1  # two same-segment reads were free
+        assert sig(100) == 8  # segment change still recomputes
+        assert CountingLevels.lookups == 2
+
+    def test_random_walk_fast_path_agrees_with_cold_reads(self):
+        # Two identical walks: one read strictly in order (hot last-segment
+        # path), one probed out of order (cold dict path) -- same values.
+        hot = random_walk(start=50, step=3, seed=9, interval=100)
+        cold = random_walk(start=50, step=3, seed=9, interval=100)
+        hot_values = [hot(t) for t in range(0, 1000, 50)]  # repeats segments
+        cold_values = [cold(t) for t in (950, 0, 450, 50)]
+        assert hot_values[-1] == cold_values[0]
+        assert hot_values[0] == cold_values[1]
+        assert [hot(t) for t in (450, 50)] == cold_values[2:]
+
+    def test_phase_shifted_advances_reads(self):
+        sig = phase_shifted(steps([1, 2, 3], dwell=10), 10)
+        assert sig(0) == 2
+        assert sig(10) == 3
+        base = steps([1, 2], dwell=10)
+        assert phase_shifted(base, 0) is base
+
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
             steps([], 10)
@@ -88,3 +122,10 @@ class TestEnvironment:
     def test_reads_are_pure(self):
         env = Environment({"ch": steps([1, 2], 50)})
         assert env.read("ch", 25) == env.read("ch", 25)
+
+    def test_shifted_environment_offsets_every_channel(self):
+        env = Environment({"a": steps([1, 2], 50), "b": ramp(0, 1000)})
+        shifted = env.shifted(50)
+        assert shifted.read("a", 0) == env.read("a", 50)
+        assert shifted.read("b", 25) == env.read("b", 75)
+        assert env.shifted(0) is env

@@ -108,3 +108,75 @@ class TestEnergyDrivenSupply:
         supply.consume(800)  # at threshold
         supply.checkpoint_energy(150)
         assert supply.capacitor.level == 50
+
+
+class TestSpawn:
+    """Per-device derivation: fleet instances from one prototype."""
+
+    def make_proto(self, rate=400, spread=2.0):
+        from repro.energy.harvester import NoisyHarvester
+
+        return EnergyDrivenSupply(
+            Capacitor(1000, 200),
+            NoisyHarvester(rate, seed=0, spread=spread),
+            boot_fraction=(0.5, 1.0),
+            seed=1,
+        )
+
+    def drain_cycle(self, supply, n=5):
+        outs = []
+        for _ in range(n):
+            supply.consume(supply.capacitor.usable + 1)
+            outs.append(supply.off_and_recharge())
+        return outs
+
+    def test_spawn_is_deterministic_per_seed(self):
+        proto = self.make_proto()
+        a = proto.spawn(7)
+        b = proto.spawn(7)
+        assert self.drain_cycle(a) == self.drain_cycle(b)
+
+    def test_spawn_seeds_are_independent_streams(self):
+        proto = self.make_proto()
+        a = proto.spawn(7)
+        b = proto.spawn(8)
+        assert self.drain_cycle(a) != self.drain_cycle(b)
+
+    def test_spawn_copies_physical_configuration(self):
+        proto = self.make_proto(rate=123, spread=1.5)
+        child = proto.spawn(3)
+        assert child.capacitor.capacity == 1000
+        assert child.capacitor.low_threshold == 200
+        assert child.capacitor.level == 1000  # fully charged, not shared
+        assert child.harvester.rate_per_kilocycle == 123
+        assert child.harvester.spread == 1.5
+        assert child.boot_fraction == (0.5, 1.0)
+        proto.consume(500)
+        assert child.capacitor.level == 1000  # no shared capacitor state
+
+    def test_reseed_replays_the_stream(self):
+        supply = self.make_proto().spawn(9)
+        first = self.drain_cycle(supply)
+        supply.reseed(9)
+        assert self.drain_cycle(supply) == first
+
+    def test_scheduled_failures_spawn_rearms(self):
+        proto = ScheduledFailures([FailurePoint(UID)], off_cycles=77)
+        assert proto.fail_before(UID)
+        assert proto.all_fired
+        child = proto.spawn(0)
+        assert not child.all_fired
+        assert child.off_cycles == 77
+        assert child.fail_before(UID)
+        # Spawning does not disturb the parent.
+        assert proto.all_fired
+
+    def test_scheduled_failures_reseed_rearms_in_place(self):
+        supply = ScheduledFailures([FailurePoint(UID)])
+        assert supply.fail_before(UID)
+        supply.reseed(0)
+        assert supply.fail_before(UID)
+
+    def test_continuous_spawn_is_continuous(self):
+        child = ContinuousPower().spawn(5)
+        assert not child.consume(10**9)
