@@ -1,0 +1,189 @@
+"""Benchmark: abstract-machine throughput, reference vs. fast engine.
+
+Every harness -- campaigns, fleets, the evaluation tables -- bottoms out
+in the per-instruction step loop, so this benchmark tracks the one
+number the whole stack scales with: interpreted instructions per second,
+for both the Appendix H reference machine and the pre-decoded fast
+engine, over a mixed workload (energy-harvesting and continuous runs
+across apps and build configurations)::
+
+    python benchmarks/bench_machine.py          # write BENCH_machine.json
+    python benchmarks/bench_machine.py --quick  # CI gate, no record
+    pytest benchmarks/bench_machine.py          # pytest-benchmark timings
+
+Both engines drive identical activation streams (same builds, same
+spawned supplies, same environments); the benchmark asserts the streams
+agree on instructions, activations, reboots, and violations before
+timing them -- a cheap standing parity check next to the full suite in
+``tests/test_engine_parity.py``.  ``--quick`` *fails* (exit 1) if the
+fast engine is not at least as fast as the reference; the recorded run
+is expected to show >= 2x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.apps import BENCHMARKS
+from repro.core.cache import GLOBAL_CACHE
+from repro.eval.profiles import STANDARD_PROFILE
+from repro.runtime.engine import ENGINE_FAST, ENGINE_REFERENCE, create_machine
+from repro.runtime.executor import NVState
+from repro.runtime.supply import ContinuousPower
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_machine.json"
+
+#: (app, config, supply kind): a mix of region-heavy, JIT-only, and
+#: checkpoint-free execution shapes.
+WORKLOAD = (
+    ("tire", "ocelot", "harvest"),
+    ("greenhouse", "jit", "harvest"),
+    ("cem", "atomics", "harvest"),
+    ("activity", "ocelot", "continuous"),
+)
+
+
+def _drive(engine: str, app: str, config: str, supply_kind: str, budget: int):
+    """Run one device's activation stream to its logical-time budget.
+
+    Returns the counters the parity check compares and the instruction
+    total the throughput number divides by.
+    """
+    meta = BENCHMARKS[app]
+    compiled = GLOBAL_CACHE.get_or_compile(meta.source, config)
+    costs = meta.cost_model()
+    plan = compiled.detector_plan()
+    env = meta.env_factory(13)
+    if supply_kind == "continuous":
+        supply = ContinuousPower()
+    else:
+        supply = STANDARD_PROFILE.make_supply(seed=5).spawn(31)
+    nv = NVState.initial(compiled.module)
+    tau = 0
+    instructions = activations = reboots = violations = 0
+    while tau < budget:
+        machine = create_machine(
+            engine, compiled, env, supply,
+            costs=costs, plan=plan, nv=nv, start_tau=tau,
+        )
+        result = machine.run()
+        tau = machine.tau
+        instructions += result.stats.instructions
+        reboots += result.stats.reboots
+        violations += result.stats.violations
+        activations += 1
+        if not result.stats.completed:
+            break
+    return {
+        "instructions": instructions,
+        "activations": activations,
+        "reboots": reboots,
+        "violations": violations,
+    }
+
+
+def _run_engine(engine: str, budget: int) -> tuple[dict, float]:
+    """Drive the whole workload under one engine; return (counters, s)."""
+    totals = {"instructions": 0, "activations": 0, "reboots": 0, "violations": 0}
+    started = time.perf_counter()
+    for app, config, supply_kind in WORKLOAD:
+        counters = _drive(engine, app, config, supply_kind, budget)
+        for key, value in counters.items():
+            totals[key] += value
+    return totals, time.perf_counter() - started
+
+
+def _warm_builds() -> None:
+    for app, config, _ in WORKLOAD:
+        GLOBAL_CACHE.get_or_compile(BENCHMARKS[app].source, config)
+
+
+def measure(budget: int = 1_500_000, rounds: int = 3) -> dict:
+    """Reference vs. fast instructions/second, best-of-``rounds``."""
+    _warm_builds()
+    times: dict[str, list[float]] = {ENGINE_REFERENCE: [], ENGINE_FAST: []}
+    counters: dict[str, dict] = {}
+    for _ in range(rounds):
+        for engine in (ENGINE_REFERENCE, ENGINE_FAST):
+            totals, seconds = _run_engine(engine, budget)
+            times[engine].append(seconds)
+            previous = counters.setdefault(engine, totals)
+            assert previous == totals, f"{engine} engine is nondeterministic"
+    assert counters[ENGINE_REFERENCE] == counters[ENGINE_FAST], (
+        "engines diverged on the bench workload: "
+        f"{counters[ENGINE_REFERENCE]} != {counters[ENGINE_FAST]}"
+    )
+    ref_s = min(times[ENGINE_REFERENCE])
+    fast_s = min(times[ENGINE_FAST])
+    instructions = counters[ENGINE_FAST]["instructions"]
+    activations = counters[ENGINE_FAST]["activations"]
+    return {
+        "benchmark": "machine-throughput",
+        "workload": {
+            "pairs": ["/".join(w) for w in WORKLOAD],
+            "budget_cycles": budget,
+            "instructions": instructions,
+            "activations": activations,
+            "reboots": counters[ENGINE_FAST]["reboots"],
+        },
+        "rounds": rounds,
+        "cores": os.cpu_count() or 1,
+        "reference_seconds": round(ref_s, 4),
+        "fast_seconds": round(fast_s, 4),
+        "reference_instructions_per_second": round(instructions / ref_s),
+        "fast_instructions_per_second": round(instructions / fast_s),
+        "reference_activations_per_second": round(activations / ref_s, 1),
+        "fast_activations_per_second": round(activations / fast_s, 1),
+        "speedup": round(ref_s / fast_s, 3),
+    }
+
+
+# -- pytest-benchmark entry points -------------------------------------------
+
+
+def test_reference_engine(benchmark):
+    _warm_builds()
+    totals = benchmark(_run_engine, ENGINE_REFERENCE, 300_000)[0]
+    assert totals["instructions"] > 0
+
+
+def test_fast_engine(benchmark):
+    _warm_builds()
+    totals = benchmark(_run_engine, ENGINE_FAST, 300_000)[0]
+    assert totals["instructions"] > 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="abstract-machine throughput benchmark"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI gate: small budget, engine parity, fast >= reference",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        record = measure(budget=300_000, rounds=1)
+        print(json.dumps(record, indent=2))
+        speedup = record["speedup"]
+        if speedup < 1.0:
+            print(f"FAIL: fast engine slower than the reference ({speedup=})")
+            return 1
+        print(f"ok: fast engine {speedup}x the reference (parity enforced)")
+        return 0
+
+    record = measure()
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"record written to {RECORD_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

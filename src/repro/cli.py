@@ -42,6 +42,7 @@ from repro.eval.profiles import STANDARD_PROFILE
 from repro.ir.lowering import lower_program
 from repro.ir.printer import print_module
 from repro.lang.parser import parse_program
+from repro.runtime.engine import ENGINE_FAST, ENGINES
 from repro.runtime.harness import run_once
 from repro.runtime.supply import ContinuousPower
 from repro.sensors.environment import Environment, bind_signal_specs, constant
@@ -182,7 +183,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         supply = STANDARD_PROFILE.make_supply(seed=args.seed)
     else:
         supply = ContinuousPower()
-    result = run_once(compiled, env, supply)
+    result = run_once(compiled, env, supply, engine=args.engine)
     print(f"completed   : {result.stats.completed}")
     print(f"cycles on   : {result.stats.cycles_on}")
     print(f"cycles off  : {result.stats.cycles_off}")
@@ -227,6 +228,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         raise SystemExit(f"cannot read campaign spec: {exc}") from None
     try:
         spec = CampaignSpec.from_json(text)
+        if args.engine is not None and args.engine != spec.engine:
+            import dataclasses
+
+            spec = dataclasses.replace(spec, engine=args.engine)
     except CampaignError as exc:
         raise SystemExit(f"bad campaign spec '{args.spec}': {exc}") from None
     executor = "multiprocess" if args.parallel else "serial"
@@ -271,6 +276,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             processes=args.jobs,
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
+            engine=args.engine,
         )
     except FleetError as exc:
         raise SystemExit(str(exc)) from None
@@ -320,6 +326,22 @@ def build_parser() -> argparse.ArgumentParser:
             help=f"build configuration ({', '.join(config_names())})",
         )
 
+    def add_engine_flag(
+        p: argparse.ArgumentParser,
+        default: str | None = ENGINE_FAST,
+        overrides_spec: bool = False,
+    ) -> None:
+        extra = " (overrides the spec's engine)" if overrides_spec else ""
+        p.add_argument(
+            "--engine",
+            choices=ENGINES,
+            default=default,
+            help=(
+                "execution engine: 'fast' is the pre-decoded core, "
+                f"'reference' the Appendix H semantics oracle{extra}"
+            ),
+        )
+
     p_compile = sub.add_parser("compile", help="compile a program")
     p_compile.add_argument("file")
     add_config_flag(p_compile)
@@ -360,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--intermittent", action="store_true")
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--trace", action="store_true", help="dump all events")
+    add_engine_flag(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_feas = sub.add_parser("feasibility", help="region energy bounds")
@@ -397,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the JSON report here (default: stdout)",
     )
+    add_engine_flag(p_campaign, default=None, overrides_spec=True)
     p_campaign.set_defaults(func=cmd_campaign)
 
     p_fleet = sub.add_parser(
@@ -446,6 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the JSON report here (default: stdout)",
     )
+    add_engine_flag(p_fleet)
     p_fleet.set_defaults(func=cmd_fleet)
 
     return parser

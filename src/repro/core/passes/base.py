@@ -246,6 +246,13 @@ class CompiledProgram:
     diagnostics: list[Diagnostic] = field(default_factory=list)
     #: lazily built and cached; the harness asks once per activation
     _detector_plan: object = field(default=None, repr=False, compare=False)
+    #: pre-decoded execution code, one entry per (detector plan, cost
+    #: model) pair -- see :func:`repro.runtime.engine.code_for`.  Builds
+    #: are interned by the compile cache keyed on (source, pipeline
+    #: fingerprint), so this instance cache is fingerprint-keyed too.
+    _engine_code: list = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     @property
     def enforces_policies(self) -> bool:

@@ -51,6 +51,7 @@ from repro.eval.profiles import (
     EnergyProfile,
 )
 from repro.eval.report import Table
+from repro.runtime.engine import ENGINE_FAST, ENGINES
 from repro.runtime.harness import run_activations, run_once
 from repro.runtime.supply import (
     ContinuousPower,
@@ -233,11 +234,18 @@ class CampaignSpec:
     max_activations: int = 100_000
     #: off-time per injected failure (``injection`` mode only)
     off_cycles: int = 25_000
+    #: execution engine; results are engine-independent (the parity
+    #: suite proves bit-identity), so this is an escape hatch only
+    engine: str = ENGINE_FAST
     name: str = "campaign"
 
     def __post_init__(self) -> None:
         if not self.apps:
             raise CampaignError("campaign needs at least one app")
+        if self.engine not in ENGINES:
+            raise CampaignError(
+                f"unknown engine '{self.engine}'; known: {', '.join(ENGINES)}"
+            )
         for app in self.apps:
             if app not in BENCHMARKS:
                 known = ", ".join(BENCHMARKS)
@@ -289,6 +297,7 @@ class CampaignSpec:
                 budget_cycles=self.budget_cycles,
                 max_activations=self.max_activations,
                 off_cycles=self.off_cycles,
+                engine=self.engine,
             )
             for app, config, env, supply, seed in itertools.product(
                 self.apps, self.configs, self.environments, self.supplies, self.seeds
@@ -307,6 +316,7 @@ class CampaignSpec:
             "budget_cycles": self.budget_cycles,
             "max_activations": self.max_activations,
             "off_cycles": self.off_cycles,
+            "engine": self.engine,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -338,6 +348,7 @@ class CampaignSpec:
             budget_cycles=int(data.get("budget_cycles", STANDARD_BUDGET_CYCLES)),
             max_activations=int(data.get("max_activations", 100_000)),
             off_cycles=int(data.get("off_cycles", 25_000)),
+            engine=data.get("engine", ENGINE_FAST),
             name=data.get("name", "campaign"),
         )
 
@@ -376,6 +387,7 @@ class JobSpec:
     budget_cycles: int = STANDARD_BUDGET_CYCLES
     max_activations: int = 100_000
     off_cycles: int = 25_000
+    engine: str = ENGINE_FAST
 
     @property
     def job_id(self) -> str:
@@ -480,7 +492,9 @@ def execute_job(job: JobSpec) -> JobResult:
             supply = ScheduledFailures(
                 [FailurePoint(chain=site)], off_cycles=job.off_cycles
             )
-            result = run_once(compiled, env, supply, costs=costs, plan=plan)
+            result = run_once(
+                compiled, env, supply, costs=costs, plan=plan, engine=job.engine
+            )
             if not result.stats.completed:
                 raise RuntimeError(f"{job.job_id} stuck at site {site}")
             if not supply.all_fired:
@@ -514,6 +528,7 @@ def execute_job(job: JobSpec) -> JobResult:
         budget_cycles=job.budget_cycles,
         costs=costs,
         max_activations=job.max_activations,
+        engine=job.engine,
     )
     summary = outcome.summary()
     return JobResult(

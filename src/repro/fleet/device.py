@@ -17,6 +17,7 @@ from repro.apps import BENCHMARKS
 from repro.core.cache import GLOBAL_CACHE
 from repro.eval.campaign import SupplySpec
 from repro.fleet.spec import DeviceSpec
+from repro.runtime.engine import ENGINE_FAST
 from repro.runtime.harness import ActivationStepper
 from repro.runtime.supply import PowerSupply
 
@@ -37,7 +38,8 @@ class DeviceFactory:
     factories in different processes materialize identical devices.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, engine: str = ENGINE_FAST) -> None:
+        self.engine = engine
         self._supply_protos: dict[SupplySpec, PowerSupply] = {}
 
     def _make_supply(self, spec: DeviceSpec) -> PowerSupply:
@@ -63,5 +65,6 @@ class DeviceFactory:
             budget_cycles=spec.budget_cycles,
             costs=meta.cost_model(),
             max_activations=spec.max_activations,
+            engine=self.engine,
         )
         return FleetDevice(spec=spec, stepper=stepper)

@@ -34,16 +34,19 @@ from repro.fleet.aggregate import FleetAggregator
 from repro.fleet.device import DeviceFactory
 from repro.fleet.scheduler import FleetScheduler
 from repro.fleet.spec import DeviceSpec, FleetError, FleetSpec
+from repro.runtime.engine import ENGINE_FAST
 
 
-def run_shard(devices: Sequence[DeviceSpec]) -> FleetAggregator:
+def run_shard(
+    devices: Sequence[DeviceSpec], engine: str = ENGINE_FAST
+) -> FleetAggregator:
     """Run one batch of devices to exhaustion; the executor work unit.
 
     Materializes the batch through one :class:`DeviceFactory` (shared
     builds, spawned supplies), schedules it in tau order, and streams
     every activation into a fresh aggregator.
     """
-    factory = DeviceFactory()
+    factory = DeviceFactory(engine=engine)
     aggregator = FleetAggregator()
     materialized = []
     for spec in devices:
@@ -53,9 +56,10 @@ def run_shard(devices: Sequence[DeviceSpec]) -> FleetAggregator:
     return aggregator
 
 
-def _run_shard_payload(devices: tuple[DeviceSpec, ...]) -> dict:
+def _run_shard_payload(payload: tuple[tuple[DeviceSpec, ...], str]) -> dict:
     """Worker entry point: ship the aggregate back as primitives."""
-    return run_shard(devices).to_dict()
+    devices, engine = payload
+    return run_shard(devices, engine=engine).to_dict()
 
 
 def _register_worker_configs(configs: tuple[BuildConfig, ...]) -> None:
@@ -76,8 +80,13 @@ class SerialFleetExecutor:
 
     name = "serial"
 
+    def __init__(self, engine: str = ENGINE_FAST) -> None:
+        self.engine = engine
+        #: what actually executed the last batch (serial always itself)
+        self.used = "serial"
+
     def run(self, devices: Sequence[DeviceSpec]) -> FleetAggregator:
-        return run_shard(devices)
+        return run_shard(devices, engine=self.engine)
 
 
 class ShardedFleetExecutor:
@@ -89,19 +98,37 @@ class ShardedFleetExecutor:
     ``fork`` start method to inherit the parent's warm compile cache; a
     pool initializer re-registers the fleet's build configurations so
     spawned workers resolve them by name too.
+
+    Small batches fall back to the in-process path: with one effective
+    worker, or fewer than ``min_devices_per_shard`` devices per shard,
+    pool setup and aggregate shipping cost more than the sharding wins
+    (the regression the ``BENCH_fleet.json`` sharding_speedup < 1 run
+    exposed).  Aggregation is commutative either way, so the fallback is
+    invisible in the result bytes; ``used`` records which path ran so
+    the fleet report can say what actually executed.
     """
 
     name = "sharded"
 
     def __init__(
-        self, processes: Optional[int] = None, shards: Optional[int] = None
+        self,
+        processes: Optional[int] = None,
+        shards: Optional[int] = None,
+        engine: str = ENGINE_FAST,
+        min_devices_per_shard: int = 16,
     ) -> None:
         if processes is not None and processes <= 0:
             raise ValueError("processes must be positive (or None for auto)")
         if shards is not None and shards <= 0:
             raise ValueError("shards must be positive (or None for auto)")
+        if min_devices_per_shard <= 0:
+            raise ValueError("min_devices_per_shard must be positive")
         self.processes = processes
         self.shards = shards
+        self.engine = engine
+        self.min_devices_per_shard = min_devices_per_shard
+        #: executor actually used by the last ``run`` ("sharded" or "serial")
+        self.used = "sharded"
 
     def _context(self):
         try:
@@ -110,13 +137,24 @@ class ShardedFleetExecutor:
             return multiprocessing.get_context()
 
     def run(self, devices: Sequence[DeviceSpec]) -> FleetAggregator:
-        if len(devices) <= 1:
-            return run_shard(devices)
         ctx = self._context()
-        processes = self.processes or min(len(devices), ctx.cpu_count() or 1)
-        shard_count = min(self.shards or processes, len(devices))
+        processes = self.processes or min(len(devices) or 1, ctx.cpu_count() or 1)
+        shard_count = min(self.shards or processes, len(devices) or 1)
+        if self.shards is None:
+            # Right-size rather than all-or-nothing: a many-core host
+            # with a medium batch runs fewer, fuller shards instead of
+            # losing parallelism entirely to the small-batch fallback.
+            # An explicit shard count is honored as given.
+            shard_count = min(
+                shard_count, max(1, len(devices) // self.min_devices_per_shard)
+            )
+        if processes == 1 or shard_count <= 1:
+            self.used = "serial"
+            return run_shard(devices, engine=self.engine)
+        self.used = "sharded"
         shards = [
-            tuple(devices[i::shard_count]) for i in range(shard_count)
+            (tuple(devices[i::shard_count]), self.engine)
+            for i in range(shard_count)
         ]
         configs = tuple(
             get_config(name)
@@ -124,7 +162,7 @@ class ShardedFleetExecutor:
         )
         aggregate = FleetAggregator()
         with ctx.Pool(
-            processes=processes,
+            processes=min(processes, shard_count),
             initializer=_register_worker_configs,
             initargs=(configs,),
         ) as pool:
@@ -134,12 +172,14 @@ class ShardedFleetExecutor:
 
 
 def make_fleet_executor(
-    name: str, processes: Optional[int] = None
+    name: str,
+    processes: Optional[int] = None,
+    engine: str = ENGINE_FAST,
 ) -> SerialFleetExecutor | ShardedFleetExecutor:
     if name == "serial":
-        return SerialFleetExecutor()
+        return SerialFleetExecutor(engine=engine)
     if name in ("sharded", "parallel"):
-        return ShardedFleetExecutor(processes=processes)
+        return ShardedFleetExecutor(processes=processes, engine=engine)
     raise FleetError(f"unknown fleet executor '{name}' (serial | sharded)")
 
 
@@ -201,6 +241,10 @@ class FleetResult:
     spec: FleetSpec
     aggregate: FleetAggregator
     executor: str = "serial"
+    #: executor path that actually ran (a sharded executor may fall back
+    #: to the serial path on small batches / single-core hosts)
+    executor_used: str = "serial"
+    engine: str = ENGINE_FAST
     devices: int = 0
     wall_time: float = 0.0
     resumed_devices: int = 0
@@ -228,6 +272,8 @@ class FleetResult:
         return {
             "spec": self.spec.to_dict(),
             "executor": self.executor,
+            "executor_used": self.executor_used,
+            "engine": self.engine,
             "devices": self.devices,
             "wall_time": self.wall_time,
             "resumed_devices": self.resumed_devices,
@@ -265,6 +311,7 @@ def run_fleet(
     processes: Optional[int] = None,
     checkpoint_path: Optional[Path | str] = None,
     checkpoint_every: Optional[int] = None,
+    engine: str = ENGINE_FAST,
 ) -> FleetResult:
     """Run (or resume) a whole fleet and aggregate it.
 
@@ -276,9 +323,9 @@ def run_fleet(
     restart.
     """
     if executor is None:
-        executor = SerialFleetExecutor()
+        executor = SerialFleetExecutor(engine=engine)
     elif isinstance(executor, str):
-        executor = make_fleet_executor(executor, processes=processes)
+        executor = make_fleet_executor(executor, processes=processes, engine=engine)
     if checkpoint_every is not None and checkpoint_every <= 0:
         raise FleetError("checkpoint_every must be positive")
     if checkpoint_every is not None and checkpoint_path is None:
@@ -313,11 +360,15 @@ def run_fleet(
         if checkpoint_every is not None
         else (256 if checkpoint_path is not None else len(devices) or 1)
     )
+    used: list[str] = []
     for lo in itertools.count(start_index, chunk):
         if lo >= len(devices):
             break
         batch = devices[lo : lo + chunk]
         aggregate.merge(executor.run(batch))
+        chunk_used = getattr(executor, "used", executor.name)
+        if chunk_used not in used:
+            used.append(chunk_used)
         if checkpoint_path is not None:
             FleetCheckpoint(
                 fingerprint=fingerprint,
@@ -329,6 +380,8 @@ def run_fleet(
         spec=spec,
         aggregate=aggregate,
         executor=executor.name,
+        executor_used="+".join(used) if used else executor.name,
+        engine=getattr(executor, "engine", engine),
         devices=len(devices),
         wall_time=time.perf_counter() - started,
         resumed_devices=start_index,

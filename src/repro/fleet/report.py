@@ -45,9 +45,14 @@ def fleet_table(result) -> Table:
             100.0 * agg.duty_cycle,
             agg.reboots,
         )
+    used = (
+        result.executor
+        if result.executor_used == result.executor
+        else f"{result.executor}, ran {result.executor_used}"
+    )
     table.add_note(
         f"{result.aggregate.total_activations} activations via "
-        f"{result.executor} executor in {result.wall_time:.2f}s "
+        f"{used} executor ({result.engine} engine) in {result.wall_time:.2f}s "
         f"({result.devices_per_second:.1f} devices/s)"
     )
     if result.resumed_devices:

@@ -25,7 +25,7 @@ from dataclasses import dataclass, replace
 
 from repro.apps import BENCHMARKS
 from repro.core.passes import BuildConfig, ensure_registered
-from repro.energy.seeds import derive_seed
+from repro.energy.seeds import SEED_SCHEME, derive_seed
 from repro.eval.campaign import EnvironmentSpec, SupplySpec
 from repro.eval.profiles import STANDARD_BUDGET_CYCLES
 
@@ -288,8 +288,18 @@ class FleetSpec:
         return devices
 
     def fingerprint(self) -> str:
-        """Content hash binding checkpoints to the exact fleet they ran."""
-        payload = json.dumps(self.to_dict(), sort_keys=True)
+        """Content hash binding checkpoints to the exact fleet they ran.
+
+        The seed-derivation scheme version is folded in: every device
+        stream derives from ``derive_seed``, so a checkpoint written
+        under an older scheme must be rejected on resume rather than
+        silently mixing old-stream and new-stream devices in one
+        aggregate.
+        """
+        payload = json.dumps(
+            {"seed_scheme": SEED_SCHEME, "spec": self.to_dict()},
+            sort_keys=True,
+        )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def to_dict(self) -> dict:

@@ -1,6 +1,9 @@
 """Runtime: the JIT + atomics intermittent machine and its instruments.
 
-* :mod:`repro.runtime.executor` -- the Appendix H abstract machine,
+* :mod:`repro.runtime.executor` -- the Appendix H abstract machine (the
+  executable reference semantics),
+* :mod:`repro.runtime.engine` -- the pre-decoded fast engine, proven
+  observation-stream equivalent to the reference machine,
 * :mod:`repro.runtime.supply` -- power models (continuous / scheduled /
   energy-driven),
 * :mod:`repro.runtime.detector` -- the Section 7.3 bit-vector detector,
@@ -9,6 +12,17 @@
 """
 
 from repro.runtime.detector import BitVector, Check, DetectorPlan, build_detector_plan
+from repro.runtime.engine import (
+    ENGINE_FAST,
+    ENGINE_REFERENCE,
+    ENGINES,
+    CompiledCode,
+    EngineError,
+    FastMachine,
+    code_for,
+    compile_code,
+    create_machine,
+)
 from repro.runtime.executor import (
     ExecError,
     Frame,
@@ -69,6 +83,15 @@ __all__ = [
     "Check",
     "DetectorPlan",
     "build_detector_plan",
+    "ENGINE_FAST",
+    "ENGINE_REFERENCE",
+    "ENGINES",
+    "CompiledCode",
+    "EngineError",
+    "FastMachine",
+    "code_for",
+    "compile_code",
+    "create_machine",
     "ExecError",
     "Frame",
     "Machine",

@@ -65,8 +65,13 @@ class DetectorPlan:
     #: executor's fast path: only these uids warrant building the chain
     trigger_uids: frozenset[InstrId] = frozenset()
 
-    def checks_at(self, chain: Chain) -> list[Check]:
-        return self.checks.get(chain, [])
+    def checks_at(self, chain: Chain) -> tuple[Check, ...]:
+        """Checks evaluated just before ``chain`` executes.
+
+        Returns a tuple (not the plan's internal list), so callers can
+        neither corrupt the plan nor observe later mutations.
+        """
+        return tuple(self.checks.get(chain, ()))
 
     @property
     def total_checks(self) -> int:

@@ -136,7 +136,119 @@ class MachineConfig:
     emit_observations: bool = True
 
 
-class Machine:
+class MachineCore:
+    """Engine-independent machine behavior: checkpoints, reboots, and
+    nonvolatile-write guards.
+
+    The reference :class:`Machine` and the pre-decoded
+    :class:`~repro.runtime.engine.FastMachine` differ only in how they
+    fetch and execute instructions; everything the Appendix H power
+    rules touch -- JIT-LowPower/Atom-LowPower, JIT-Reboot/Atom-Reboot,
+    the undo-log guard, observation emission -- lives here once, so a
+    semantics fix cannot silently reach one engine and not the other.
+    Frame classes differ per engine but share ``copy()`` and ``locals``,
+    which is all these bodies touch.
+    """
+
+    # -- mode -----------------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        return "atomic" if self._atom_ctx is not None else "jit"
+
+    def _restart_main(self) -> None:
+        raise NotImplementedError
+
+    # -- power failure and reboot ----------------------------------------------
+
+    def _power_failure(self) -> None:
+        mode = self.mode
+        if mode == "jit":
+            # JIT-LowPower: the ISR checkpoints volatile state from reserve.
+            words = stack_words(self._frames)
+            ckpt_cycles = self._costs.checkpoint_cycles(words)
+            self._supply.checkpoint_energy(self._costs.energy(ckpt_cycles))
+            self.tau += ckpt_cycles
+            self.stats.cycles_on += ckpt_cycles
+            self._jit_ctx = JitContext(frames=copy_stack(self._frames))
+            self.stats.jit_checkpoints += 1
+            self._emit(obs.CheckpointObs(tau=self.tau, saved_words=words))
+        self._emit(obs.PowerFailObs(tau=self.tau, mode=mode))
+        self._reboot()
+
+    def _reboot(self) -> None:
+        off = self._supply.off_and_recharge()
+        self.tau += off
+        self.stats.cycles_off += off
+        self.stats.reboots += 1
+        self.nv.bits.clear()  # the detector's power-failure reset
+
+        restore_cycles = self._costs.restore
+        self.tau += restore_cycles
+        self.stats.cycles_on += restore_cycles
+
+        if self._atom_ctx is not None:
+            # Atom-Reboot: N <| L, restore region-entry volatile state.
+            ctx = self._atom_ctx
+            for name, value in ctx.undo_globals.items():
+                self.nv.globals[name] = value
+            for name, values in ctx.undo_arrays.items():
+                self.nv.arrays[name] = list(values)
+            self._frames = copy_stack(ctx.frames)
+            ctx.natom = 0
+            self.stats.region_restarts += 1
+            if self.stats.region_restarts > self._config.max_region_restarts:
+                raise ExecError(
+                    f"atomic region '{ctx.region}' cannot complete within the "
+                    "energy budget (region too large, Section 5.3)"
+                )
+        elif self._jit_ctx is not None:
+            # JIT-Reboot: resume from the checkpoint.
+            self._frames = copy_stack(self._jit_ctx.frames)
+        else:
+            # Statically initialized context: restart the program.
+            self._restart_main()
+        self._emit(obs.RebootObs(tau=self.tau, off_cycles=off, mode=self.mode))
+
+    # -- memory helpers ---------------------------------------------------------
+
+    def _deref(self, cell: Cell) -> TVal:
+        seen = 0
+        while isinstance(cell, RefValue):
+            seen += 1
+            if seen > len(self._frames) + 1:
+                raise ExecError("reference cycle")
+            cell = self._frames[cell.depth].locals[cell.name]
+        return cell
+
+    def _write_global(self, name: str, value: TVal) -> None:
+        if name not in self.nv.globals:
+            raise ExecError(f"write to undeclared global '{name}'")
+        self._assert_logged(name)
+        self.nv.globals[name] = value
+
+    def _assert_logged(self, name: str) -> None:
+        """In a region, every NV write target must be in the undo log.
+
+        This is the runtime guard for the WAR/EMW analysis: if the static
+        omega set missed a written location, idempotent re-execution would
+        silently break, so fail loudly instead.
+        """
+        ctx = self._atom_ctx
+        if ctx is None:
+            return
+        if name not in ctx.undo_globals and name not in ctx.undo_arrays:
+            raise ExecError(
+                f"nonvolatile '{name}' written inside region '{ctx.region}' "
+                "but absent from its omega set (WAR/EMW analysis bug)"
+            )
+
+    def _emit(self, event: obs.Obs) -> None:
+        if self._config.emit_observations:
+            self.trace.emit(event)
+
+
+class Machine(MachineCore):
     """One intermittent (or continuous) execution of ``main``.
 
     The machine is restartable: :meth:`run` executes one activation of
@@ -176,12 +288,6 @@ class Machine:
         self._ret_value: Optional[TVal] = None
         self._done = False
         self._restart_main()
-
-    # -- mode -----------------------------------------------------------------
-
-    @property
-    def mode(self) -> str:
-        return "atomic" if self._atom_ctx is not None else "jit"
 
     def _restart_main(self) -> None:
         entry = self._module.function(self._module.entry)
@@ -234,14 +340,19 @@ class Machine:
         # The comparator is asynchronous: if this instruction's energy
         # would cross the trip point mid-flight, take the interrupt first
         # so the checkpoint reserve is never consumed by execution.
-        estimate = self._estimate_cycles(instr)
+        # ``work`` amounts are pure expressions, so one evaluation serves
+        # both the estimate and the execution below.
+        work_value: Optional[int] = None
+        if isinstance(instr, ir.WorkInstr):
+            work_value = self.eval(instr.cycles).value
+        estimate = self._estimate_cycles(instr, work_value)
         if self._supply.would_trip(self._costs.energy(estimate)):
             self._power_failure()
             return
 
         self._run_detector_checks(instr.uid)
 
-        cycles = self._execute(instr)
+        cycles = self._execute(instr, work_value)
         self.tau += cycles
         self.stats.cycles_on += cycles
         self.stats.instructions += 1
@@ -251,15 +362,18 @@ class Machine:
         if self._supply.consume(self._costs.energy(cycles)):
             self._power_failure()
 
-    def _estimate_cycles(self, instr: ir.Instr) -> int:
+    def _estimate_cycles(
+        self, instr: ir.Instr, work_value: Optional[int] = None
+    ) -> int:
         """Upper-ish estimate of the cycles ``instr`` is about to cost.
 
-        ``work`` amounts are pure expressions, so they can be evaluated
-        ahead of execution; region entries estimate their volatile save
-        plus undo log from the current stack and the static omega set.
+        ``work`` amounts are pure expressions, so :meth:`step` evaluates
+        them once ahead of execution and passes the value in; region
+        entries estimate their volatile save plus undo log from the
+        current stack and the static omega set.
         """
         if isinstance(instr, ir.WorkInstr):
-            return self._costs.instr_cycles(instr, work_value=self.eval(instr.cycles).value)
+            return self._costs.instr_cycles(instr, work_value=work_value or 0)
         if isinstance(instr, ir.AtomicStart) and self._atom_ctx is None:
             omega_words = 0
             for name in instr.omega:
@@ -271,57 +385,6 @@ class Machine:
                 stack_words(self._frames), omega_words
             )
         return self._costs.instr_cycles(instr)
-
-    # -- power failure and reboot ------------------------------------------------------
-
-    def _power_failure(self) -> None:
-        mode = self.mode
-        if mode == "jit":
-            # JIT-LowPower: the ISR checkpoints volatile state from reserve.
-            words = stack_words(self._frames)
-            ckpt_cycles = self._costs.checkpoint_cycles(words)
-            self._supply.checkpoint_energy(self._costs.energy(ckpt_cycles))
-            self.tau += ckpt_cycles
-            self.stats.cycles_on += ckpt_cycles
-            self._jit_ctx = JitContext(frames=copy_stack(self._frames))
-            self.stats.jit_checkpoints += 1
-            self._emit(obs.CheckpointObs(tau=self.tau, saved_words=words))
-        self._emit(obs.PowerFailObs(tau=self.tau, mode=mode))
-        self._reboot()
-
-    def _reboot(self) -> None:
-        off = self._supply.off_and_recharge()
-        self.tau += off
-        self.stats.cycles_off += off
-        self.stats.reboots += 1
-        self.nv.bits.clear()  # the detector's power-failure reset
-
-        restore_cycles = self._costs.restore
-        self.tau += restore_cycles
-        self.stats.cycles_on += restore_cycles
-
-        if self._atom_ctx is not None:
-            # Atom-Reboot: N <| L, restore region-entry volatile state.
-            ctx = self._atom_ctx
-            for name, value in ctx.undo_globals.items():
-                self.nv.globals[name] = value
-            for name, values in ctx.undo_arrays.items():
-                self.nv.arrays[name] = list(values)
-            self._frames = copy_stack(ctx.frames)
-            ctx.natom = 0
-            self.stats.region_restarts += 1
-            if self.stats.region_restarts > self._config.max_region_restarts:
-                raise ExecError(
-                    f"atomic region '{ctx.region}' cannot complete within the "
-                    "energy budget (region too large, Section 5.3)"
-                )
-        elif self._jit_ctx is not None:
-            # JIT-Reboot: resume from the checkpoint.
-            self._frames = copy_stack(self._jit_ctx.frames)
-        else:
-            # Statically initialized context: restart the program.
-            self._restart_main()
-        self._emit(obs.RebootObs(tau=self.tau, off_cycles=off, mode=self.mode))
 
     # -- detector ---------------------------------------------------------------------
 
@@ -354,15 +417,6 @@ class Machine:
                 )
 
     # -- expression evaluation -----------------------------------------------------------
-
-    def _deref(self, cell: Cell) -> TVal:
-        seen = 0
-        while isinstance(cell, RefValue):
-            seen += 1
-            if seen > len(self._frames) + 1:
-                raise ExecError("reference cycle")
-            cell = self._frames[cell.depth].locals[cell.name]
-        return cell
 
     def _read_var(self, frame: Frame, name: str) -> TVal:
         if name in frame.locals:
@@ -421,8 +475,13 @@ class Machine:
 
     # -- instruction execution ------------------------------------------------------------
 
-    def _execute(self, instr: ir.Instr) -> int:
-        """Execute ``instr``; return its cycle cost."""
+    def _execute(self, instr: ir.Instr, work_value: Optional[int] = None) -> int:
+        """Execute ``instr``; return its cycle cost.
+
+        ``work_value`` is the pre-evaluated ``work`` amount from
+        :meth:`step` (the cycle expression is pure, so evaluating it once
+        for the energy estimate suffices).
+        """
         frame = self._current_frame()
         cycles = self._costs.instr_cycles(instr)
 
@@ -483,7 +542,11 @@ class Machine:
                 obs.OutputObs(tau=self.tau, uid=instr.uid, op=instr.op, values=values)
             )
         elif isinstance(instr, ir.WorkInstr):
-            amount = self.eval(instr.cycles).value
+            amount = (
+                work_value
+                if work_value is not None
+                else self.eval(instr.cycles).value
+            )
             cycles = self._costs.instr_cycles(instr, work_value=amount)
         elif isinstance(instr, ir.SkipInstr):
             pass
@@ -615,34 +678,6 @@ class Machine:
         if isinstance(cell, RefValue):
             raise ExecError(f"assignment to reference parameter '{name}'")
         frame.locals[name] = value
-
-    def _write_global(self, name: str, value: TVal) -> None:
-        if name not in self.nv.globals:
-            raise ExecError(f"write to undeclared global '{name}'")
-        self._assert_logged(name)
-        self.nv.globals[name] = value
-
-    def _assert_logged(self, name: str) -> None:
-        """In a region, every NV write target must be in the undo log.
-
-        This is the runtime guard for the WAR/EMW analysis: if the static
-        omega set missed a written location, idempotent re-execution would
-        silently break, so fail loudly instead.
-        """
-        ctx = self._atom_ctx
-        if ctx is None:
-            return
-        if name not in ctx.undo_globals and name not in ctx.undo_arrays:
-            raise ExecError(
-                f"nonvolatile '{name}' written inside region '{ctx.region}' "
-                "but absent from its omega set (WAR/EMW analysis bug)"
-            )
-
-    # -- misc ----------------------------------------------------------------------------------------
-
-    def _emit(self, event: obs.Obs) -> None:
-        if self._config.emit_observations:
-            self.trace.emit(event)
 
 
 def _trunc_div(lhs: int, rhs: int) -> int:

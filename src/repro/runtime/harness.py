@@ -19,7 +19,8 @@ from typing import Optional
 from repro.core.pipeline import CompiledProgram
 from repro.energy.costs import DEFAULT_COSTS, CostModel
 from repro.runtime.detector import DetectorPlan
-from repro.runtime.executor import Machine, MachineConfig, NVState
+from repro.runtime.engine import ENGINE_FAST, create_machine
+from repro.runtime.executor import MachineConfig, NVState
 from repro.runtime.observations import RunResult
 from repro.runtime.supply import ContinuousPower, PowerSupply
 from repro.sensors.environment import Environment
@@ -35,10 +36,12 @@ def run_continuous(
     costs: CostModel = DEFAULT_COSTS,
     plan: Optional[DetectorPlan] = None,
     config: Optional[MachineConfig] = None,
+    engine: str = ENGINE_FAST,
 ) -> RunResult:
     """One activation of ``main`` on continuous power."""
-    machine = Machine(
-        compiled.module,
+    machine = create_machine(
+        engine,
+        compiled,
         env,
         ContinuousPower(),
         costs=costs,
@@ -56,10 +59,12 @@ def run_once(
     plan: Optional[DetectorPlan] = None,
     nv: Optional[NVState] = None,
     config: Optional[MachineConfig] = None,
+    engine: str = ENGINE_FAST,
 ) -> RunResult:
     """One activation under ``supply`` (failures allowed)."""
-    machine = Machine(
-        compiled.module,
+    machine = create_machine(
+        engine,
+        compiled,
         env,
         supply,
         costs=costs,
@@ -191,6 +196,7 @@ class ActivationStepper:
         max_activations: int = 100_000,
         config: Optional[MachineConfig] = None,
         nv: Optional[NVState] = None,
+        engine: str = ENGINE_FAST,
     ) -> None:
         self._compiled = compiled
         self._env = env
@@ -200,6 +206,7 @@ class ActivationStepper:
         self._budget = budget_cycles
         self._max_activations = max_activations
         self._config = config
+        self._engine = engine
         self.nv = nv or NVState.initial(compiled.module)
         self.tau = 0
         self.index = 0
@@ -217,8 +224,9 @@ class ActivationStepper:
         """Run one activation; ``None`` once the stepper is exhausted."""
         if self.exhausted:
             return None
-        machine = Machine(
-            self._compiled.module,
+        machine = create_machine(
+            self._engine,
+            self._compiled,
             self._env,
             self._supply,
             costs=self._costs,
@@ -255,6 +263,7 @@ def run_activations(
     plan: Optional[DetectorPlan] = None,
     max_activations: int = 100_000,
     config: Optional[MachineConfig] = None,
+    engine: str = ENGINE_FAST,
 ) -> ActivationsResult:
     """Loop ``main`` until the logical-time budget runs out.
 
@@ -271,6 +280,7 @@ def run_activations(
         plan=plan,
         max_activations=max_activations,
         config=config,
+        engine=engine,
     )
     result = ActivationsResult()
     while (record := stepper.step()) is not None:

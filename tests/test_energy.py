@@ -120,8 +120,18 @@ class TestHarvesters:
         assert derive_seed(1, "tire", 0) != derive_seed(1, "tire", 1)
         assert derive_seed(1, "tire", 0) != derive_seed(2, "tire", 0)
         # Pinned value: this must never drift, or every checkpointed and
-        # recorded fleet run silently changes meaning.
-        assert derive_seed(0, "x") == 0x9CA69359BF36EBFF
+        # recorded fleet run silently changes meaning.  (Regenerated once
+        # when part encoding became length-prefixed -- see CHANGES.md.)
+        assert derive_seed(0, "x") == 0xEA589E3A119E865F
+
+    def test_derive_seed_part_boundaries_cannot_collide(self):
+        from repro.energy.seeds import derive_seed
+
+        # The historical ":"-join encoding made all of these one stream.
+        assert derive_seed("a:b") != derive_seed("a", "b")
+        assert derive_seed("ab") != derive_seed("a", "b")
+        assert derive_seed("a", "b:c") != derive_seed("a:b", "c")
+        assert derive_seed("a", "") != derive_seed("a")
 
 
 class TestCostModel:

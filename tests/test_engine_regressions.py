@@ -1,0 +1,228 @@
+"""Regression tests for the hot-path bugfixes that shipped with the
+pre-decoded engine: single evaluation of ``work`` amounts, detector-plan
+encapsulation, and the sharded fleet executor's small-batch fallback.
+(The ``derive_seed`` part-boundary fix is covered in test_energy.py.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.provenance import Chain
+from repro.core.pipeline import compile_source
+from repro.fleet import ShardedFleetExecutor, run_fleet
+from repro.ir.instructions import InstrId
+from repro.runtime.detector import Check, DetectorPlan
+from repro.runtime.executor import Machine
+from repro.runtime.supply import ContinuousPower
+from repro.sensors.environment import Environment, constant
+
+WORK_SRC = """\
+inputs ch;
+
+fn main() {
+  let n = input(ch);
+  work(n * 3);
+  log(n);
+}
+"""
+
+
+class TestWorkSingleEvaluation:
+    def test_work_expression_evaluated_once_per_step(self):
+        """The cycle expression used to be evaluated twice per executed
+        ``work``: once for the comparator estimate, once for execution."""
+        compiled = compile_source(WORK_SRC, "jit")
+        env = Environment({"ch": constant(5)})
+        machine = Machine(
+            compiled.module, env, ContinuousPower(),
+            plan=compiled.detector_plan(),
+        )
+        work_evals = 0
+        original_eval = machine.eval
+
+        def counting_eval(expr):
+            nonlocal work_evals
+            from repro.lang import ast as lang_ast
+
+            if isinstance(expr, lang_ast.Binary) and expr.op == "*":
+                work_evals += 1
+            return original_eval(expr)
+
+        machine.eval = counting_eval
+        result = machine.run()
+        assert result.stats.completed
+        # One dynamic execution of the work instruction => one evaluation.
+        assert work_evals == 1
+
+    def test_work_cycles_still_charged_correctly(self):
+        compiled = compile_source(WORK_SRC, "jit")
+        env = Environment({"ch": constant(5)})
+        machine = Machine(compiled.module, env, ContinuousPower())
+        result = machine.run()
+        # input(40) + work(15) + log(60) + assorted alu/ret cycles.
+        assert result.stats.cycles_on >= 40 + 15 + 60
+
+
+class TestDetectorPlanEncapsulation:
+    def _plan(self):
+        site = Chain(ids=(InstrId("main", 1),))
+        required = (Chain(ids=(InstrId("main", 2),)),)
+        check = Check(site=site, pid="fresh@main:1", kind="fresh", required=required)
+        return site, check, DetectorPlan(
+            bit_chains=frozenset(required),
+            checks={site: [check]},
+            trigger_uids=frozenset({site.op}),
+        )
+
+    def test_checks_at_returns_a_copy(self):
+        site, check, plan = self._plan()
+        got = plan.checks_at(site)
+        assert isinstance(got, tuple)
+        assert got == (check,)
+        # The historical list return let callers corrupt the plan:
+        # plan.checks_at(chain).clear() silently disabled detection.
+        assert plan.checks[site] == [check]
+        assert plan.checks_at(site) == (check,)
+
+    def test_checks_at_unknown_chain_is_empty_tuple(self):
+        _, _, plan = self._plan()
+        assert plan.checks_at(Chain(ids=(InstrId("main", 99),))) == ()
+
+
+class TestShardedFallback:
+    def _spec(self, devices: int):
+        from tests.test_fleet import small_spec
+
+        return small_spec().with_total_devices(devices)
+
+    def test_single_process_falls_back_to_serial(self):
+        executor = ShardedFleetExecutor(processes=1)
+        result = run_fleet(self._spec(8), executor)
+        assert executor.used == "serial"
+        assert result.executor == "sharded"
+        assert result.executor_used == "serial"
+
+    def test_small_batches_fall_back_to_serial(self):
+        # 8 devices over 4 workers = 2 per shard, far below the threshold:
+        # pool setup would cost more than the sharding wins.
+        executor = ShardedFleetExecutor(processes=4, min_devices_per_shard=16)
+        result = run_fleet(self._spec(8), executor)
+        assert executor.used == "serial"
+        assert result.executor_used == "serial"
+
+    def test_large_batches_still_shard(self):
+        executor = ShardedFleetExecutor(processes=2, min_devices_per_shard=2)
+        result = run_fleet(self._spec(8), executor)
+        assert executor.used == "sharded"
+        assert result.executor_used == "sharded"
+
+    def test_fallback_and_sharded_aggregates_are_identical(self):
+        from repro.fleet import aggregate_fingerprint
+
+        spec = self._spec(8)
+        serial = run_fleet(spec, ShardedFleetExecutor(processes=1))
+        sharded = run_fleet(
+            spec, ShardedFleetExecutor(processes=2, min_devices_per_shard=2)
+        )
+        assert aggregate_fingerprint(serial) == aggregate_fingerprint(sharded)
+
+    def test_report_records_engine_and_executor_used(self):
+        result = run_fleet(self._spec(4), ShardedFleetExecutor(processes=1))
+        payload = result.to_dict()
+        assert payload["executor"] == "sharded"
+        assert payload["executor_used"] == "serial"
+        assert payload["engine"] == "fast"
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError, match="min_devices_per_shard"):
+            ShardedFleetExecutor(min_devices_per_shard=0)
+
+    def test_explicit_shard_count_is_honored(self):
+        # An explicit shards= request bypasses the small-batch threshold:
+        # the caller asked for that split, serial fallback applies only
+        # when there is genuinely no parallelism (one process/shard).
+        executor = ShardedFleetExecutor(
+            processes=2, shards=2, min_devices_per_shard=16
+        )
+        result = run_fleet(self._spec(8), executor)
+        assert executor.used == "sharded"
+        assert result.executor_used == "sharded"
+
+    def test_many_workers_right_size_shards_instead_of_serial(self):
+        # 24 devices on 16 nominal workers: 24 < 16*4, but right-sizing
+        # to 24//4 = 6 shards keeps the batch parallel instead of
+        # silently dropping to serial.
+        executor = ShardedFleetExecutor(processes=16, min_devices_per_shard=4)
+        result = run_fleet(self._spec(24), executor)
+        assert executor.used == "sharded"
+        assert result.executor_used == "sharded"
+
+
+class TestSeedSchemeFingerprint:
+    def test_checkpoint_fingerprint_binds_seed_scheme(self, monkeypatch):
+        """A checkpoint written under an older seed-derivation scheme
+        must fingerprint-mismatch, not resume into a mixed aggregate."""
+        from tests.test_fleet import small_spec
+
+        spec = small_spec()
+        current = spec.fingerprint()
+        monkeypatch.setattr("repro.fleet.spec.SEED_SCHEME", "legacy-join")
+        assert spec.fingerprint() != current
+
+
+class TestPreDecodedCodeValidation:
+    def test_cost_model_mismatch_rejected(self):
+        from repro.apps import BENCHMARKS
+        from repro.core.cache import GLOBAL_CACHE
+        from repro.runtime.engine import EngineError, FastMachine, code_for
+
+        meta = BENCHMARKS["tire"]
+        compiled = GLOBAL_CACHE.get_or_compile(meta.source, "ocelot")
+        plan = compiled.detector_plan()
+        code = code_for(compiled, plan=plan)  # decoded under DEFAULT_COSTS
+        with pytest.raises(EngineError, match="cost model"):
+            FastMachine(
+                compiled.module,
+                meta.env_factory(0),
+                ContinuousPower(),
+                costs=meta.cost_model(),
+                plan=plan,
+                code=code,
+            )
+
+    def test_equal_but_fresh_plans_share_the_decode(self):
+        from repro.apps import BENCHMARKS
+        from repro.core.cache import GLOBAL_CACHE
+        from repro.runtime.detector import build_detector_plan
+        from repro.runtime.engine import code_for
+
+        meta = BENCHMARKS["greenhouse"]
+        compiled = GLOBAL_CACHE.get_or_compile(meta.source, "ocelot")
+        first = code_for(compiled, plan=build_detector_plan(compiled.policies))
+        before = len(compiled._engine_code)
+        again = code_for(compiled, plan=build_detector_plan(compiled.policies))
+        assert first is again
+        assert len(compiled._engine_code) == before
+
+    def test_fresh_equal_plan_accepted_end_to_end(self):
+        """create_machine with a fresh (equal, non-identical) plan must
+        reuse the cached decode, not reject it on plan identity."""
+        from repro.apps import BENCHMARKS
+        from repro.core.cache import GLOBAL_CACHE
+        from repro.runtime.detector import build_detector_plan
+        from repro.runtime.engine import create_machine
+
+        meta = BENCHMARKS["greenhouse"]
+        compiled = GLOBAL_CACHE.get_or_compile(meta.source, "ocelot")
+        results = [
+            create_machine(
+                "fast",
+                compiled,
+                meta.env_factory(0),
+                ContinuousPower(),
+                plan=build_detector_plan(compiled.policies),
+            ).run()
+            for _ in range(2)
+        ]
+        assert results[0].stats == results[1].stats
