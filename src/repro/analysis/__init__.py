@@ -5,6 +5,25 @@ The pipeline is ``analyze_module`` (Algorithm 2 taint analysis) followed by
 :mod:`repro.core`.
 """
 
+from repro.analysis.availability import (
+    AvailabilityAnalysis,
+    AvailabilityResult,
+    analyze_availability,
+)
+from repro.analysis.dataflow import (
+    BACKWARD,
+    FORWARD,
+    AllPathsLattice,
+    BlockProblem,
+    ConvergenceError,
+    FunctionDataflow,
+    Lattice,
+    ReachInfo,
+    SetIntersectLattice,
+    SetUnionLattice,
+    Solution,
+    stabilize,
+)
 from repro.analysis.policies import (
     ConsistentPolicy,
     FreshPolicy,
@@ -36,6 +55,21 @@ from repro.analysis.taint import (
 )
 
 __all__ = [
+    "AvailabilityAnalysis",
+    "AvailabilityResult",
+    "analyze_availability",
+    "BACKWARD",
+    "FORWARD",
+    "AllPathsLattice",
+    "BlockProblem",
+    "ConvergenceError",
+    "FunctionDataflow",
+    "Lattice",
+    "ReachInfo",
+    "SetIntersectLattice",
+    "SetUnionLattice",
+    "Solution",
+    "stabilize",
     "ConsistentPolicy",
     "FreshPolicy",
     "Policy",

@@ -1,0 +1,237 @@
+"""Must-executed input-chain availability (the check optimizer's oracle).
+
+The bit-vector detector (Section 7.3) sets a chain's bit when its input
+executes and clears *all* bits on power failure.  A runtime check over a
+required set ``R`` can therefore never fire exactly when, at the check
+site, every chain in ``R`` is guaranteed to have re-executed since the
+last possible bit-clearing resume point.  This module computes that
+guarantee statically, as a context-sensitive interprocedural forward
+**must**-analysis (an instance of :mod:`repro.analysis.dataflow`):
+
+* the fact at a program point is the set of input chains that executed
+  on **every** path from **every** possible resume point to that point;
+* resume points are where a reboot can deposit control with cleared
+  bits: the entry of ``main`` (fresh activation / statically initialized
+  context), *any* instruction outside an atomic region (JIT-Reboot
+  resumes at the low-power checkpoint, which can be taken anywhere), and
+  the start of an outermost atomic region (Atom-Reboot rolls volatile
+  state back to the region entry).
+
+The atomic-region structure makes the analysis non-trivial: outside any
+region nothing is ever available (a JIT checkpoint right before the
+check site resumes there with cleared bits), while *inside* a region a
+failure always rewinds to the region start, so inputs that dominate the
+site within the region are guaranteed re-executed.  Nested
+``atomic_start`` markers only bump the dynamic nesting counter
+(Atom-Start-Inner) and are **not** resume points, so the transfer
+functions track the static atomic nesting depth -- well-defined per
+block because :mod:`repro.ir.verify` enforces bracket balance at joins.
+
+Calls are walked context-sensitively like the taint analysis (the
+language forbids recursion): the callee is analyzed in the extended
+context with the caller's fact and depth at the call site, and the
+fact after the call is the callee's exit fact.  Facts are recorded
+*before* every instruction (detector checks run before their trigger
+instruction executes); re-analyses under shrinking entry facts
+intersect into the record, so the stored fact is always a sound
+under-approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow import (
+    FORWARD,
+    FunctionDataflow,
+    SetIntersectLattice,
+)
+from repro.analysis.provenance import Chain, Context
+from repro.ir import instructions as ir
+from repro.ir.module import IRFunction, Module
+
+EMPTY: frozenset[Chain] = frozenset()
+
+_MUST = SetIntersectLattice()
+
+
+@dataclass
+class AvailabilityResult:
+    """Availability facts for one module.
+
+    ``before`` maps every analyzed (context-qualified) instruction chain
+    to the set of input chains guaranteed executed since the last
+    possible bit-clear when control reaches it.  Chains never analyzed
+    (unreachable code) default to the empty set -- the conservative
+    answer for a must-analysis.
+    """
+
+    before: dict[Chain, frozenset[Chain]] = field(default_factory=dict)
+    contexts: int = 0
+    rounds: int = 0
+
+    def at(self, site: Chain) -> frozenset[Chain]:
+        return self.before.get(site, EMPTY)
+
+
+class AvailabilityAnalysis:
+    """Whole-program analysis; run once per module via :func:`analyze_availability`."""
+
+    def __init__(self, module: Module):
+        self._module = module
+        self._before: dict[Chain, frozenset[Chain]] = {}
+        #: (context, func, entry fact, entry depth) -> exit fact
+        self._memo: dict[tuple, frozenset[Chain]] = {}
+        #: func name -> (relative depth at block entry, brackets consistent)
+        self._depths: dict[str, tuple[dict[str, int], bool]] = {}
+        self._contexts: set[tuple[Context, str]] = set()
+        self._rounds = 0
+
+    def run(self) -> AvailabilityResult:
+        self._exit_fact((), self._module.entry, EMPTY, 0)
+        return AvailabilityResult(
+            before=self._before,
+            contexts=len(self._contexts),
+            rounds=self._rounds,
+        )
+
+    # -- recording -------------------------------------------------------------
+
+    def _record(self, chain: Chain, fact: frozenset[Chain]) -> None:
+        old = self._before.get(chain)
+        self._before[chain] = fact if old is None else (old & fact)
+
+    # -- static region nesting -------------------------------------------------
+
+    def _block_depths(self, func: IRFunction) -> tuple[dict[str, int], bool]:
+        """Static atomic depth at each block entry, relative to the
+        function's own entry; ``ok=False`` when brackets are inconsistent
+        (the analysis then degrades to "nothing available")."""
+        cached = self._depths.get(func.name)
+        if cached is not None:
+            return cached
+        depth_at: dict[str, int] = {func.entry: 0}
+        order = [func.entry]
+        idx = 0
+        ok = True
+        while idx < len(order) and ok:
+            name = order[idx]
+            idx += 1
+            depth = depth_at[name]
+            for instr in func.blocks[name].instrs:
+                if isinstance(instr, ir.AtomicStart):
+                    depth += 1
+                elif isinstance(instr, ir.AtomicEnd):
+                    depth -= 1
+            for succ in func.blocks[name].successors():
+                if succ not in depth_at:
+                    depth_at[succ] = depth
+                    order.append(succ)
+                elif depth_at[succ] != depth:
+                    ok = False
+                    break
+        result = (depth_at, ok)
+        self._depths[func.name] = result
+        return result
+
+    # -- interprocedural walk -----------------------------------------------------
+
+    def _exit_fact(
+        self,
+        context: Context,
+        func_name: str,
+        entry_fact: frozenset[Chain],
+        entry_depth: int,
+    ) -> frozenset[Chain]:
+        """Availability at the callee's unified exit, analyzing on demand."""
+        key = (context, func_name, entry_fact, entry_depth)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+
+        func = self._module.function(func_name)
+        self._contexts.add((context, func_name))
+        rel_depths, ok = self._block_depths(func)
+        if not ok:
+            # Inconsistent brackets: record nothing (lookups default to
+            # the empty set) and report nothing available downstream.
+            self._memo[key] = EMPTY
+            return EMPTY
+
+        problem = _AvailProblem(self, func, context, rel_depths, entry_depth)
+        flow = FunctionDataflow(func)
+        boundary = entry_fact if entry_depth > 0 else EMPTY
+        problem.entry_fact = boundary
+        solution = flow.solve(problem)
+        self._rounds += solution.rounds
+        exit_fact = solution.out_fact(func.exit, EMPTY)
+        self._memo[key] = exit_fact
+        return exit_fact
+
+
+class _AvailProblem:
+    """Forward must-problem over one function in one calling context."""
+
+    name = "availability"
+    direction = FORWARD
+    lattice = _MUST
+
+    def __init__(
+        self,
+        owner: AvailabilityAnalysis,
+        func: IRFunction,
+        context: Context,
+        rel_depths: dict[str, int],
+        entry_depth: int,
+    ):
+        self._owner = owner
+        self._func = func
+        self._context = context
+        self._rel_depths = rel_depths
+        self._entry_depth = entry_depth
+        self.entry_fact: frozenset[Chain] = EMPTY
+
+    def boundary(self) -> frozenset[Chain]:
+        return self.entry_fact
+
+    def transfer(
+        self, block_name: str, fact: frozenset[Chain]
+    ) -> frozenset[Chain]:
+        owner = self._owner
+        context = self._context
+        module = owner._module
+        depth = self._entry_depth + self._rel_depths.get(block_name, 0)
+        if depth <= 0:
+            fact = EMPTY
+        block = self._func.blocks[block_name]
+        for instr in block.all_instrs():
+            owner._record(Chain.of(context, instr.uid), fact)
+            if isinstance(instr, ir.AtomicStart):
+                depth += 1
+                if depth == 1:
+                    # Outermost region entry: Atom-Reboot resumes here
+                    # with cleared bits, so only inputs after this point
+                    # are guaranteed.
+                    fact = EMPTY
+            elif isinstance(instr, ir.AtomicEnd):
+                depth -= 1
+                if depth <= 0:
+                    depth = 0
+                    fact = EMPTY
+            elif isinstance(instr, ir.InputInstr):
+                if depth > 0:
+                    fact = fact | {Chain.of(context, instr.uid)}
+            elif isinstance(instr, ir.CallInstr):
+                if instr.func in module.functions:
+                    fact = owner._exit_fact(
+                        context + (instr.uid,), instr.func, fact, depth
+                    )
+                    if depth <= 0:
+                        fact = EMPTY
+        return fact
+
+
+def analyze_availability(module: Module) -> AvailabilityResult:
+    """Run the must-executed-input analysis on a lowered (and, for useful
+    results, region-instrumented) module."""
+    return AvailabilityAnalysis(module).run()

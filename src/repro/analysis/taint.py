@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.dataflow import FORWARD, FunctionDataflow, stabilize
 from repro.analysis.provenance import Chain, Context
 from repro.analysis.summaries import (
     SINK_RET,
@@ -118,11 +119,23 @@ class TaintResult:
         return instr.channel
 
 
-class TaintAnalysis:
-    """Whole-program analysis; run once per module via :func:`analyze_module`."""
+#: Outer global-memory fixpoint cap; see :meth:`TaintAnalysis.run`.
+MAX_GLOBAL_ROUNDS = 64
 
-    def __init__(self, module: Module):
+
+class TaintAnalysis:
+    """Whole-program analysis; run once per module via :func:`analyze_module`.
+
+    ``max_rounds`` caps the outer global-memory fixpoint; exhausting it
+    raises a structured
+    :class:`~repro.analysis.dataflow.ConvergenceError` naming the
+    analysis and the module entry -- the analysis never proceeds with a
+    possibly-unconverged result.
+    """
+
+    def __init__(self, module: Module, max_rounds: int = MAX_GLOBAL_ROUNDS):
         self._module = module
+        self._max_rounds = max_rounds
         self._cd: dict[str, dict[str, set[str]]] = {
             name: control_dependence(func) for name, func in module.functions.items()
         }
@@ -141,16 +154,24 @@ class TaintAnalysis:
     # -- entry point --------------------------------------------------------------
 
     def run(self) -> TaintResult:
-        previous = -1
-        for _ in range(64):  # outer fixpoint over global-memory taint
+        # Outer fixpoint over global-memory taint: globals written late in
+        # one round are visible to earlier readers only in the next round.
+        # `stabilize` re-runs the whole-program walk until the monotone
+        # accumulator sizes stop growing, and raises a structured
+        # ConvergenceError on the round cap.
+        def global_round() -> None:
             self._memo.clear()
-            self._analyze_call(context=(), func_name=self._module.entry, bindings={})
-            size = self._state_size()
-            if size == previous:
-                break
-            previous = size
-        else:  # pragma: no cover - would need a pathological program
-            raise RuntimeError("taint analysis failed to converge")
+            self._analyze_call(
+                context=(), func_name=self._module.entry, bindings={}
+            )
+
+        stabilize(
+            global_round,
+            self._state_size,
+            analysis="global-taint",
+            scope=self._module.entry,
+            max_rounds=self._max_rounds,
+        )
         return TaintResult(
             module=self._module,
             summaries=self._summaries,
@@ -244,8 +265,42 @@ class TaintAnalysis:
         return self._summaries
 
 
+class _EnvLattice:
+    """Pointwise join of taint environments (``name -> Facts``)."""
+
+    def bottom(self) -> dict[str, Facts]:
+        return {}
+
+    def join(
+        self, a: dict[str, Facts], b: dict[str, Facts]
+    ) -> dict[str, Facts]:
+        if not b:
+            return a
+        if not a:
+            return b
+        merged = dict(a)
+        for name, facts in b.items():
+            merged[name] = merged.get(name, EMPTY_FACTS).merge(facts)
+        return merged
+
+
+_ENV_LATTICE = _EnvLattice()
+
+
 class _FunctionFlow:
-    """Flow-sensitive fixpoint over one function in one calling context."""
+    """Flow-sensitive fixpoint over one function in one calling context.
+
+    A forward :class:`~repro.analysis.dataflow.BlockProblem`: the fact is
+    the taint environment at block entry; the transfer functions are the
+    Algorithm 2 rules, which also feed the owner's monotone accumulators
+    (uses, branch facts, summaries), so the per-function solve is wrapped
+    in :func:`~repro.analysis.dataflow.stabilize` until those stop
+    changing too.
+    """
+
+    name = "taint-flow"
+    direction = FORWARD
+    lattice = _ENV_LATTICE
 
     def __init__(
         self,
@@ -311,33 +366,36 @@ class _FunctionFlow:
 
     # -- driver -----------------------------------------------------------------------
 
-    def run(self) -> CallOutcome:
-        entry_env: dict[str, Facts] = dict(self._bindings)
-        self._in_states[self._func.entry] = entry_env
+    def boundary(self) -> dict[str, Facts]:
+        return dict(self._bindings)
 
-        changed = True
-        rounds = 0
-        order = list(self._func.blocks)
-        while changed:
-            rounds += 1
-            if rounds > 200:  # pragma: no cover
-                raise RuntimeError(f"taint fixpoint diverged in {self._func.name}")
-            changed = False
-            before = self._snapshot()
-            for block_name in order:
-                if block_name not in self._in_states:
-                    continue
-                env = dict(self._in_states[block_name])
-                block = self._func.blocks[block_name]
-                for instr in block.instrs:
-                    self._transfer(env, instr, block_name)
-                if block.terminator is not None:
-                    self._transfer_terminator(env, block.terminator, block_name)
-                for succ in block.successors():
-                    if self._merge_into(succ, env):
-                        changed = True
-            if self._snapshot() != before:
-                changed = True
+    def transfer(self, block_name: str, fact: dict[str, Facts]) -> dict[str, Facts]:
+        env = dict(fact)
+        block = self._func.blocks[block_name]
+        for instr in block.instrs:
+            self._transfer(env, instr, block_name)
+        if block.terminator is not None:
+            self._transfer_terminator(env, block.terminator, block_name)
+        return env
+
+    def run(self) -> CallOutcome:
+        # The block solve reaches a fixpoint of the entry environments,
+        # but the transfer functions also grow owner-level accumulators
+        # (branch facts feeding control-dependence reads, return and
+        # by-reference outflow); stabilize re-solves until the snapshot
+        # of those is quiescent as well.
+        flow = FunctionDataflow(self._func)
+
+        def sweep() -> None:
+            flow.solve(self, states=self._in_states, max_rounds=200)
+
+        stabilize(
+            sweep,
+            self._snapshot,
+            analysis="taint-flow",
+            scope=self._func.name,
+            max_rounds=200,
+        )
         return CallOutcome(ret=self._ret_facts, ref_out=dict(self._ref_out))
 
     def _snapshot(self) -> tuple:
@@ -354,19 +412,6 @@ class _FunctionFlow:
             )
         )
         return env_size, ret, ref
-
-    def _merge_into(self, block: str, env: dict[str, Facts]) -> bool:
-        if block not in self._in_states:
-            self._in_states[block] = dict(env)
-            return True
-        target = self._in_states[block]
-        changed = False
-        for name, facts in env.items():
-            merged = target.get(name, EMPTY_FACTS).merge(facts)
-            if merged != target.get(name, EMPTY_FACTS):
-                target[name] = merged
-                changed = True
-        return changed
 
     # -- transfer functions ---------------------------------------------------------------
 

@@ -14,8 +14,10 @@ Subcommands::
 Programs are modeling-language source files (see ``examples/`` and
 ``src/repro/apps/`` for reference programs); ``build`` also accepts a
 registered benchmark name.  ``--config`` accepts any registered build
-configuration (``python -m repro build --emit summary`` lists artifacts;
-see :mod:`repro.core.passes` for the registry).
+configuration and ``--emit`` any registered stage artifact -- both lists
+are derived from their registries (:mod:`repro.core.passes`), including
+the check-optimizer artifacts ``dataflow`` and ``opt`` of the ``*-opt``
+configurations.
 """
 
 from __future__ import annotations
@@ -30,9 +32,9 @@ from repro.core.cache import compile_cached
 from repro.core.checker import check_atomic_regions
 from repro.core.feasibility import check_feasibility, profile_usable_energy
 from repro.core.passes import (
-    ARTIFACTS,
     BuildConfig,
     UnknownConfigError,
+    artifact_names,
     config_names,
     emit_artifact,
     get_config,
@@ -361,7 +363,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--emit",
         action="append",
         metavar="KIND[,KIND...]",
-        help=f"stage artifact(s) to dump: {', '.join(sorted(ARTIFACTS))} "
+        # Derived from the artifact registry: a new stage artifact shows
+        # up here (and in the unknown-artifact error) automatically.
+        help=f"stage artifact(s) to dump: {', '.join(artifact_names())} "
         "(default: summary; repeatable)",
     )
     p_build.set_defaults(func=cmd_build)

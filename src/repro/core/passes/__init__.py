@@ -7,7 +7,8 @@ The subsystem has four parts:
   timing + diagnostics), and pipeline fingerprinting;
 * :mod:`~repro.core.passes.stages` -- the concrete Figure 3 passes
   (shape, validate, lower, verify, taint, policies, inference, WAR,
-  check);
+  check) plus the IR check optimizer (``OptimizeChecks``, backed by
+  :mod:`repro.ir.opt`);
 * :mod:`~repro.core.passes.config` -- :class:`BuildConfig` and the
   config registry: the three paper configurations plus derived
   ablations, all declared as pass pipelines;
@@ -15,7 +16,7 @@ The subsystem has four parts:
   intermediate stage artifact (``repro build --emit ...``).
 """
 
-from repro.core.passes.artifacts import ARTIFACTS, emit_artifact
+from repro.core.passes.artifacts import ARTIFACTS, artifact_names, emit_artifact
 from repro.core.passes.base import (
     BuildContext,
     CompiledProgram,
@@ -33,8 +34,12 @@ from repro.core.passes.config import (
     ATOMICS,
     ATOMICS_TRIVIAL,
     JIT,
+    JIT_OPT,
     OCELOT,
+    OCELOT_NOCOALESCE,
     OCELOT_NOGUARD,
+    OCELOT_NOHOIST,
+    OCELOT_OPT,
     BuildConfig,
     UnknownConfigError,
     config_names,
@@ -49,6 +54,7 @@ from repro.core.passes.stages import (
     Check,
     InferRegions,
     Lower,
+    OptimizeChecks,
     ShapeAtomicsOnly,
     Taint,
     Validate,
@@ -57,6 +63,7 @@ from repro.core.passes.stages import (
 
 __all__ = [
     "ARTIFACTS",
+    "artifact_names",
     "emit_artifact",
     "BuildContext",
     "CompiledProgram",
@@ -72,8 +79,12 @@ __all__ = [
     "ATOMICS",
     "ATOMICS_TRIVIAL",
     "JIT",
+    "JIT_OPT",
     "OCELOT",
+    "OCELOT_NOCOALESCE",
     "OCELOT_NOGUARD",
+    "OCELOT_NOHOIST",
+    "OCELOT_OPT",
     "BuildConfig",
     "UnknownConfigError",
     "config_names",
@@ -86,6 +97,7 @@ __all__ = [
     "Check",
     "InferRegions",
     "Lower",
+    "OptimizeChecks",
     "ShapeAtomicsOnly",
     "Taint",
     "Validate",

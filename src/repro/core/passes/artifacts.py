@@ -101,7 +101,62 @@ def _diagnostics(compiled: CompiledProgram) -> str:
     return "\n".join(d.render() for d in compiled.diagnostics)
 
 
-#: artifact name -> renderer; ``--emit`` accepts exactly these names.
+def _dataflow(compiled: CompiledProgram) -> str:
+    """Availability facts behind the check optimizer's decisions."""
+    info = compiled.dataflow
+    if info is None:
+        return (
+            "(no dataflow summary: this configuration ran no OptimizeChecks "
+            "pass; try an *-opt configuration)"
+        )
+    lines = [
+        f"availability: {info.contexts} context(s) analyzed, "
+        f"{info.rounds} solver round(s)"
+    ]
+    for site in sorted(info.at_sites):
+        chains = info.at_sites[site]
+        rendered = ", ".join(str(c) for c in sorted(chains)) or "-"
+        lines.append(f"  at {site}: must-available {{{rendered}}}")
+    return "\n".join(lines)
+
+
+def _opt(compiled: CompiledProgram) -> str:
+    """The optimized check plan: per-pass counts and per-site actions."""
+    plan = compiled.check_plan
+    if plan is None:
+        return (
+            "(no optimized plan: this configuration ran no OptimizeChecks "
+            "pass; try an *-opt configuration)"
+        )
+    lines = [stats.render() for stats in plan.passes]
+    lines.append(
+        f"total: {plan.baseline_checks} baseline check(s) -> "
+        f"{plan.static_queries} static quer(y/ies), "
+        f"{len(plan.elided)} dropped outright"
+    )
+    from repro.runtime.detector import OP_CONSUME, OP_FULL, OP_MARKER
+
+    mode_names = {OP_FULL: "full", OP_MARKER: "marker", OP_CONSUME: "consume"}
+    for site in sorted(plan.actions):
+        actions = plan.actions[site]
+        parts = [
+            f"{mode_names[op.mode]}:{op.check.pid}"
+            + (f"@q{op.hid}" if op.hid >= 0 else "")
+            for op in actions.ops
+        ]
+        parts.extend(f"hoist:q{h.hid}[{len(h.required)}]" for h in actions.hoists)
+        if actions.fused is not None:
+            parts.append(f"fused[{len(actions.fused)}]")
+        lines.append(f"  site {site}: " + ", ".join(parts))
+    for check in plan.elided:
+        lines.append(f"  elided {check.pid} at {check.site}")
+    return "\n".join(lines)
+
+
+#: artifact name -> renderer.  This is the single registry every surface
+#: derives from: ``--emit`` accepts exactly these names, the CLI help
+#: text and unknown-artifact errors list them via :func:`artifact_names`,
+#: so new artifacts cannot drift out of the CLI.
 ARTIFACTS: dict[str, Callable[[CompiledProgram], str]] = {
     "summary": _summary,
     "ast": _ast,
@@ -110,9 +165,16 @@ ARTIFACTS: dict[str, Callable[[CompiledProgram], str]] = {
     "policies": _policies,
     "regions": _regions,
     "check": _check,
+    "dataflow": _dataflow,
+    "opt": _opt,
     "timings": _timings,
     "diagnostics": _diagnostics,
 }
+
+
+def artifact_names() -> tuple[str, ...]:
+    """Every registered artifact name, sorted (the CLI's source of truth)."""
+    return tuple(sorted(ARTIFACTS))
 
 
 def emit_artifact(compiled: CompiledProgram, kind: str) -> str:
@@ -120,6 +182,6 @@ def emit_artifact(compiled: CompiledProgram, kind: str) -> str:
     try:
         renderer = ARTIFACTS[kind]
     except KeyError:
-        known = ", ".join(sorted(ARTIFACTS))
+        known = ", ".join(artifact_names())
         raise ValueError(f"unknown artifact '{kind}' (known: {known})") from None
     return renderer(compiled)

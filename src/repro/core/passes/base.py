@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Protocol, Sequence, runtime_checkable
@@ -33,13 +34,24 @@ from repro.analysis.taint import TaintResult
 from repro.core.checker import CheckReport
 from repro.core.inference import InferredRegion
 from repro.core.war import RegionInfo
-from repro.ir.module import Module
+from repro.ir.module import IRError, Module
+from repro.ir.verify import verify_module
 from repro.lang import ast
 from repro.lang.validate import ProgramInfo
 
 DIAG_INFO = "info"
 DIAG_WARNING = "warning"
 DIAG_ERROR = "error"
+
+#: Environment switch for :attr:`BuildContext.debug`; the test suite and
+#: CI export ``REPRO_DEBUG_VERIFY=1`` so every transforming pass is
+#: followed by a full IR verification (optimizer bugs fail fast with the
+#: offending pass named).
+DEBUG_ENV_VAR = "REPRO_DEBUG_VERIFY"
+
+
+def _debug_default() -> bool:
+    return os.environ.get(DEBUG_ENV_VAR, "") not in ("", "0")
 
 
 class CompileError(Exception):
@@ -117,9 +129,16 @@ class BuildContext:
     regions: list[InferredRegion] = field(default_factory=list)
     region_infos: list[RegionInfo] = field(default_factory=list)
     check: Optional[CheckReport] = None
+    #: optimized detector plan + dataflow summary (the OptimizeChecks pass)
+    check_plan: Optional[object] = None
+    dataflow: Optional[object] = None
     #: bookkeeping the PassManager and passes append to
     diagnostics: list[Diagnostic] = field(default_factory=list)
     timings: list[StageTiming] = field(default_factory=list)
+    #: when set (default: the REPRO_DEBUG_VERIFY env var), the pass
+    #: manager re-verifies the IR after every pass that produced or
+    #: mutated a module, naming the offending pass on failure
+    debug: bool = field(default_factory=_debug_default)
 
     def diag(self, stage: str, message: str, level: str = DIAG_INFO) -> None:
         self.diagnostics.append(Diagnostic(stage=stage, level=level, message=message))
@@ -171,6 +190,8 @@ class BuildContext:
             source=self.source,
             timings=list(self.timings),
             diagnostics=list(self.diagnostics),
+            check_plan=self.check_plan,
+            dataflow=self.dataflow,
         )
 
 
@@ -224,6 +245,14 @@ class PassManager:
                     seconds=time.perf_counter() - started,
                 )
             )
+            if ctx.debug and ctx.module is not None:
+                try:
+                    verify_module(ctx.module)
+                except IRError as exc:
+                    raise PipelineError(
+                        f"debug IR verification failed after pass "
+                        f"'{stage.name}' in config '{ctx.config_name}': {exc}"
+                    ) from exc
         return ctx
 
 
@@ -244,6 +273,13 @@ class CompiledProgram:
     #: per-pass wall times and structured notes from the build
     timings: list[StageTiming] = field(default_factory=list)
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: optimized detector plan (OptimizeChecks); when present it *is* the
+    #: build's detector plan, so the compile cache -- keyed on the pass
+    #: pipeline fingerprint, which includes the optimizer's parameters --
+    #: effectively keys engines and decoded code on the optimized plan
+    check_plan: object = field(default=None, repr=False, compare=False)
+    #: dataflow summary behind the optimized plan (--emit dataflow)
+    dataflow: object = field(default=None, repr=False, compare=False)
     #: lazily built and cached; the harness asks once per activation
     _detector_plan: object = field(default=None, repr=False, compare=False)
     #: pre-decoded execution code, one entry per (detector plan, cost
@@ -260,6 +296,8 @@ class CompiledProgram:
         return self.check.ok
 
     def detector_plan(self):
+        if self.check_plan is not None:
+            return self.check_plan
         if self._detector_plan is None:
             from repro.runtime.detector import build_detector_plan
 

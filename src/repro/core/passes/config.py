@@ -21,6 +21,7 @@ from repro.core.passes.stages import (
     Check,
     InferRegions,
     Lower,
+    OptimizeChecks,
     ShapeAtomicsOnly,
     Taint,
     Validate,
@@ -220,5 +221,47 @@ ATOMICS_TRIVIAL = register_config(
         "ablation: Atomics-only keeping trivially-enforced inferred regions",
         infer_regions=InferRegions(include_trivial=True),
         check=Check(include_trivial=True),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Check-optimizer configurations: the tuned pipeline plus per-pass
+# ablations.  ``ocelot-opt`` is ``ocelot`` with the IR check optimizer
+# appended -- same regions, same policies, same checker verdict, but the
+# detector plan is rewritten to execute strictly fewer runtime checks
+# with bit-exact observation parity (see ``tests/test_opt_parity.py``).
+
+OCELOT_OPT = register_config(
+    BuildConfig(
+        name="ocelot-opt",
+        description="tuned Ocelot: + redundant-check elimination, check "
+        "hoisting, and check coalescing over the detector plan",
+        passes=(*OCELOT.passes, OptimizeChecks()),
+    )
+)
+
+OCELOT_NOHOIST = register_config(
+    BuildConfig(
+        name="ocelot-nohoist",
+        description="ablation: the check optimizer without check hoisting",
+        passes=(*OCELOT.passes, OptimizeChecks(hoist=False)),
+    )
+)
+
+OCELOT_NOCOALESCE = register_config(
+    BuildConfig(
+        name="ocelot-nocoalesce",
+        description="ablation: the check optimizer without check coalescing",
+        passes=(*OCELOT.passes, OptimizeChecks(coalesce=False)),
+    )
+)
+
+JIT_OPT = register_config(
+    BuildConfig(
+        name="jit-opt",
+        description="JIT-only baseline + check optimizer: no regions, so "
+        "elimination is inert and hoisting/coalescing carry the plan -- "
+        "the configuration that stress-tests optimized checks that fire",
+        passes=(*JIT.passes, OptimizeChecks()),
     )
 )

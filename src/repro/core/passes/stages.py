@@ -22,6 +22,7 @@ from repro.core.passes.base import (
     DIAG_ERROR,
     BuildContext,
     CompileError,
+    PipelineError,
 )
 from repro.core.war import annotate_omegas
 from repro.ir.lowering import LoweringOptions, lower_program
@@ -202,3 +203,53 @@ class Check:
                 f"{ctx.config_name} build failed policy checks: "
                 f"{ctx.check.failures[:3]}"
             )
+
+
+@dataclass(frozen=True)
+class OptimizeChecks:
+    """The check optimizer: rewrite the detector plan with fewer queries.
+
+    Runs the :mod:`repro.ir.opt` passes -- redundant-check elimination,
+    check hoisting, check coalescing (each toggleable for the ablation
+    configs) -- over the final analyzed module and stores the resulting
+    :class:`~repro.ir.opt.OptimizedPlan` as the build's detector plan.
+    Observation-stream equivalence with the unoptimized plan is the
+    pass's contract (the parity suite enforces it bit-exactly); under
+    ``BuildContext.debug`` the plan's structural soundness invariants
+    are re-verified here, failing the build with this stage named.
+    """
+
+    name: ClassVar[str] = "opt-checks"
+
+    eliminate: bool = True
+    hoist: bool = True
+    coalesce: bool = True
+
+    def run(self, ctx: BuildContext) -> None:
+        from repro.ir.opt import optimize_checks, verify_plan
+
+        result = optimize_checks(
+            ctx.need_module(),
+            ctx.need_policies(),
+            eliminate=self.eliminate,
+            hoist=self.hoist,
+            coalesce=self.coalesce,
+        )
+        if ctx.debug:
+            try:
+                verify_plan(result.baseline, result.plan)
+            except ValueError as exc:
+                raise PipelineError(
+                    f"optimized check plan failed verification in pass "
+                    f"'{self.name}' of config '{ctx.config_name}': {exc}"
+                ) from exc
+        ctx.check_plan = result.plan
+        ctx.dataflow = result.dataflow
+        for stats in result.plan.passes:
+            ctx.diag(self.name, stats.render())
+        ctx.diag(
+            self.name,
+            f"{result.plan.baseline_checks} check(s) -> "
+            f"{result.plan.static_queries} static quer(y/ies), "
+            f"{len(result.plan.elided)} elided outright",
+        )

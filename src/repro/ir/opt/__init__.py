@@ -1,0 +1,33 @@
+"""IR-level check optimization (the ``opt-checks`` toolchain pass).
+
+The paper's claim is that enforcing fresh/consistent inputs is cheap
+because the compiler only places the checks the policies require; this
+layer closes the remaining gap between "the checks the policies require"
+and "the checks the runtime must actually execute".  Built on the
+dataflow substrate (:mod:`repro.analysis.dataflow` +
+:mod:`repro.analysis.availability`), it rewrites the detector plan with
+three passes -- redundant-check elimination, check hoisting, and check
+coalescing -- while preserving bit-exact observation parity with the
+unoptimized plan (enforced by ``tests/test_opt_parity.py``).
+
+Public API: :func:`optimize_checks` produces an :class:`OptimizedPlan`
+(a drop-in detector plan); :func:`verify_plan` checks its soundness
+invariants (run automatically under ``BuildContext.debug``).
+"""
+
+from repro.ir.opt.passes import OptimizeResult, optimize_checks
+from repro.ir.opt.plan import (
+    DataflowInfo,
+    OptimizedPlan,
+    PassStats,
+    verify_plan,
+)
+
+__all__ = [
+    "DataflowInfo",
+    "OptimizeResult",
+    "OptimizedPlan",
+    "PassStats",
+    "optimize_checks",
+    "verify_plan",
+]

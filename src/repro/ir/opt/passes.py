@@ -1,0 +1,465 @@
+"""The check-optimization passes (redundancy, hoisting, coalescing).
+
+Rewrites a baseline :class:`~repro.runtime.detector.DetectorPlan` into an
+:class:`~repro.ir.opt.plan.OptimizedPlan` with strictly fewer detector
+queries while keeping the emitted observation stream bit-identical to
+the baseline in *every* power-failure interleaving.  Three passes run in
+order, each individually toggleable (the ``ocelot-nohoist`` /
+``ocelot-nocoalesce`` ablation configs):
+
+1. **Redundant-check elimination** -- a check whose required chains are
+   all must-available at its site (:mod:`repro.analysis.availability`)
+   can never fire: a dominating execution of the same taint chain's
+   inputs -- within the same atomic region, hence replayed after any
+   reboot -- already established every bit the check would test.
+   Consistent checks (which emit nothing unless they fire) are dropped
+   outright; fresh checks keep their unconditional ``use`` observation
+   as a query-free marker.  Additionally, a check dominated by an
+   equivalent-or-stronger FULL check (required superset, no required
+   input executing in between) is *subsumed*: it consumes the dominating
+   query's cached missing-set instead of re-scanning the bit vector.
+   The cache is volatile -- cleared on every reboot -- and a cache miss
+   falls back to a direct scan, so the derived observations are exact.
+
+2. **Check hoisting** -- sibling checks with the same required set on
+   all paths out of a branch (e.g. the use sites in both arms of
+   ``if x > t``) move their *query* to the closest common dominator: a
+   single hoisted scan at the dominator's terminator feeds every arm's
+   check by consumption.  A backward all-paths analysis guarantees every
+   path from the anchor reaches a consuming site, so the hoisted query
+   never executes more often than the checks it replaced.
+
+3. **Check coalescing** -- the FULL queries remaining at one site fuse
+   into a single scan over the ordered union of their required chains
+   (adjacent checks over the same region/omega window become one
+   detector query); each check's missing-set is then sliced out of the
+   shared result, preserving per-check observation order and content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.availability import AvailabilityAnalysis, AvailabilityResult
+from repro.analysis.dataflow import (
+    BACKWARD,
+    AllPathsLattice,
+    FunctionDataflow,
+    ReachInfo,
+)
+from repro.analysis.policies import PolicyDecls
+from repro.analysis.provenance import Chain, Context
+from repro.ir import instructions as ir
+from repro.ir.module import IRFunction, Module
+from repro.ir.opt.plan import DataflowInfo, OptimizedPlan, PassStats
+from repro.runtime.detector import (
+    OP_CONSUME,
+    OP_FULL,
+    OP_MARKER,
+    Check,
+    CheckOp,
+    DetectorPlan,
+    HoistedQuery,
+    SiteActions,
+    build_detector_plan,
+)
+
+
+@dataclass
+class OptimizeResult:
+    """Everything the OptimizeChecks pass stores on the build context."""
+
+    plan: OptimizedPlan
+    baseline: DetectorPlan
+    dataflow: DataflowInfo
+
+
+class _Entry:
+    """One baseline check's mutable state while the passes rewrite it."""
+
+    __slots__ = ("check", "mode", "hid")
+
+    def __init__(self, check: Check):
+        self.check = check
+        self.mode = OP_FULL
+        self.hid = -1
+
+
+@dataclass
+class _Scope:
+    """Per-(context, function) geometry shared by subsumption and hoisting."""
+
+    context: Context
+    func: IRFunction
+    flow: FunctionDataflow
+    reach: ReachInfo
+    #: uid -> (block name, position; terminators sit at len(instrs))
+    positions: dict[ir.InstrId, tuple[str, int]] = field(default_factory=dict)
+
+    @staticmethod
+    def of(context: Context, func: IRFunction) -> "_Scope":
+        flow = FunctionDataflow(func)
+        positions: dict[ir.InstrId, tuple[str, int]] = {}
+        for name, block in func.blocks.items():
+            for idx, instr in enumerate(block.instrs):
+                positions[instr.uid] = (name, idx)
+            if block.terminator is not None:
+                positions[block.terminator.uid] = (name, len(block.instrs))
+        return _Scope(
+            context=context,
+            func=func,
+            flow=flow,
+            reach=ReachInfo.of(flow),
+            positions=positions,
+        )
+
+    def executes_before(
+        self, a: tuple[str, int], b: tuple[str, int]
+    ) -> bool:
+        """Does position ``a`` execute before ``b`` on every path to ``b``?"""
+        if a[0] == b[0]:
+            return a[1] < b[1]
+        return self.flow.domtree.strictly_dominates(a[0], b[0])
+
+    def path_clear(
+        self,
+        a: tuple[str, int],
+        b: tuple[str, int],
+        required: frozenset[Chain],
+    ) -> bool:
+        """No input chain of ``required`` can execute between ``a`` and ``b``.
+
+        Conservatively scans every block on some ``a``-to-``b`` path
+        (including cycles through either endpoint's block); a kill is an
+        input instruction whose chain is in ``required`` or a call whose
+        subtree could execute one.
+        """
+        context = self.context
+        blocks = self.func.blocks
+
+        def kills(instr: ir.Instr) -> bool:
+            if isinstance(instr, ir.InputInstr):
+                return Chain.of(context, instr.uid) in required
+            if isinstance(instr, ir.CallInstr):
+                prefix = context + (instr.uid,)
+                return any(r.extends(prefix) for r in required)
+            return False
+
+        a_block, a_idx = a
+        b_block, b_idx = b
+        for name in self.reach.between(a_block, b_block):
+            instrs = blocks[name].instrs
+            if name == a_block and name == b_block:
+                ranges = [range(a_idx + 1, min(b_idx, len(instrs)))]
+                if self.reach.cyclic(name):
+                    ranges = [range(len(instrs))]
+            elif name == a_block:
+                # Positions before the anchor are always followed by the
+                # anchor itself within the block, so they can never sit
+                # between its *last* execution and the site.
+                ranges = [range(a_idx + 1, len(instrs))]
+            elif name == b_block:
+                if self.reach.cyclic(name):
+                    # A cycle through the site's block can execute the
+                    # block tail between consecutive site visits without
+                    # re-passing the anchor: scan the whole block.
+                    ranges = [range(len(instrs))]
+                else:
+                    ranges = [range(min(b_idx, len(instrs)))]
+            else:
+                ranges = [range(len(instrs))]
+            for rng in ranges:
+                for idx in rng:
+                    if kills(instrs[idx]):
+                        return False
+        return True
+
+
+class _Anticipable:
+    """Backward all-paths problem: every path ahead hits a consuming site."""
+
+    name = "hoist-anticipability"
+    direction = BACKWARD
+    lattice = AllPathsLattice()
+
+    def __init__(self, func: IRFunction, site_blocks: frozenset[str]):
+        self._func = func
+        self._site_blocks = site_blocks
+
+    def boundary(self) -> bool:
+        return False  # past the exit there are no more sites
+
+    def transfer(self, block_name: str, fact: bool) -> bool:
+        return block_name in self._site_blocks or fact
+
+
+# ---------------------------------------------------------------------------
+# The optimizer driver
+
+
+def optimize_checks(
+    module: Module,
+    policies: PolicyDecls,
+    eliminate: bool = True,
+    hoist: bool = True,
+    coalesce: bool = True,
+) -> OptimizeResult:
+    """Build the baseline plan for ``policies`` and optimize its checks."""
+    baseline = build_detector_plan(policies)
+    avail = AvailabilityAnalysis(module).run()
+
+    sites: dict[Chain, list[_Entry]] = {
+        site: [_Entry(check) for check in checks]
+        for site, checks in baseline.checks.items()
+    }
+    hoists: dict[Chain, list[HoistedQuery]] = {}
+    fused_sites: set[Chain] = set()
+    elided: list[Check] = []
+    passes: list[PassStats] = []
+    next_hid = 0
+
+    def count_queries() -> int:
+        total = sum(len(queries) for queries in hoists.values())
+        for site, entries in sites.items():
+            full = sum(1 for e in entries if e.mode == OP_FULL)
+            total += 1 if site in fused_sites and full else full
+        return total
+
+    scopes: dict[tuple[Context, str], _Scope] = {}
+
+    def scope_of(site: Chain) -> _Scope:
+        key = (site.context, site.op.func)
+        scope = scopes.get(key)
+        if scope is None:
+            scope = _Scope.of(site.context, module.function(site.op.func))
+            scopes[key] = scope
+        return scope
+
+    # -- pass 1: redundant-check elimination --------------------------------------
+    before = count_queries()
+    if eliminate:
+        dropped = markers = consumed = 0
+        for site, entries in sites.items():
+            available = avail.at(site)
+            for entry in list(entries):
+                if not frozenset(entry.check.required) <= available:
+                    continue
+                if entry.check.kind == "consistent":
+                    entries.remove(entry)
+                    elided.append(entry.check)
+                    dropped += 1
+                else:
+                    entry.mode = OP_MARKER
+                    markers += 1
+
+        # Dominating-check subsumption: group surviving FULL checks per
+        # (context, function) scope and let dominated ones consume.
+        by_scope: dict[tuple[Context, str], list[tuple[Chain, _Entry]]] = {}
+        for site, entries in sites.items():
+            for entry in entries:
+                if entry.mode == OP_FULL:
+                    by_scope.setdefault(
+                        (site.context, site.op.func), []
+                    ).append((site, entry))
+        for (context, _func_name), refs in sorted(
+            by_scope.items(), key=lambda kv: (kv[0][0], kv[0][1])
+        ):
+            scope = scope_of(refs[0][0])
+            ordered = sorted(
+                refs,
+                key=lambda ref: (
+                    scope.flow.domtree.depth(scope.positions[ref[0].op][0])
+                    if scope.positions[ref[0].op][0]
+                    in scope.flow.domtree.idom
+                    else 0,
+                    scope.positions[ref[0].op],
+                    ref[1].check.pid,
+                ),
+            )
+            for idx, (site, entry) in enumerate(ordered):
+                pos = scope.positions[site.op]
+                if pos[0] not in scope.flow.domtree.idom:
+                    continue  # unreachable block: leave the check alone
+                need = frozenset(entry.check.required)
+                for a_site, a_entry in ordered[:idx]:
+                    if a_entry.mode != OP_FULL:
+                        continue
+                    if scope.positions[a_site.op][0] not in scope.flow.domtree.idom:
+                        continue
+                    if not need <= frozenset(a_entry.check.required):
+                        continue
+                    a_pos = scope.positions[a_site.op]
+                    if a_pos == pos:
+                        continue  # same instruction: coalescing territory
+                    if not scope.executes_before(a_pos, pos):
+                        continue
+                    if not scope.path_clear(a_pos, pos, need):
+                        continue
+                    if a_entry.hid < 0:
+                        a_entry.hid = next_hid
+                        next_hid += 1
+                    entry.mode = OP_CONSUME
+                    entry.hid = a_entry.hid
+                    consumed += 1
+                    break
+        passes.append(
+            PassStats(
+                "redundant-check elimination",
+                before,
+                count_queries(),
+                detail=(
+                    f"{dropped} dropped, {markers} downgraded to use "
+                    f"markers, {consumed} subsumed by dominating checks"
+                ),
+            )
+        )
+    else:
+        passes.append(
+            PassStats("redundant-check elimination", before, before, "disabled")
+        )
+
+    # -- pass 2: check hoisting -----------------------------------------------------
+    before = count_queries()
+    if hoist:
+        hoisted_groups = 0
+        by_group: dict[
+            tuple[Context, str, frozenset[Chain]],
+            list[tuple[Chain, _Entry]],
+        ] = {}
+        for site, entries in sites.items():
+            for entry in entries:
+                # Subsumption anchors (hid >= 0) already feed consumers;
+                # converting them to CONSUME would orphan those query
+                # ids, so they stay behind as direct queries.
+                if entry.mode == OP_FULL and entry.hid < 0:
+                    by_group.setdefault(
+                        (
+                            site.context,
+                            site.op.func,
+                            frozenset(entry.check.required),
+                        ),
+                        [],
+                    ).append((site, entry))
+        for (context, _func_name, need), members in sorted(
+            by_group.items(),
+            key=lambda kv: (kv[0][0], kv[0][1], sorted(kv[0][2])),
+        ):
+            if len(members) < 2:
+                continue
+            scope = scope_of(members[0][0])
+            domtree = scope.flow.domtree
+            blocks = [scope.positions[site.op][0] for site, _ in members]
+            if any(name not in domtree.idom for name in blocks):
+                continue  # a site in unreachable code: leave it alone
+            anchor_block = domtree.common_ancestor(blocks)
+            anchor_pos = (
+                anchor_block,
+                len(scope.func.blocks[anchor_block].instrs),
+            )
+            converted = [
+                (site, entry)
+                for site, entry in members
+                if scope.positions[site.op][0] != anchor_block
+                and scope.path_clear(
+                    anchor_pos, scope.positions[site.op], need
+                )
+            ]
+            if len(converted) < 2:
+                continue
+            site_blocks = frozenset(
+                scope.positions[site.op][0] for site, _ in converted
+            )
+            anticipable = scope.flow.solve(
+                _Anticipable(scope.func, site_blocks)
+            )
+            succs = scope.flow.successors[anchor_block]
+            if not succs or not all(
+                anticipable.out_fact(succ, False) for succ in succs
+            ):
+                continue
+            anchor_term = scope.func.blocks[anchor_block].terminator
+            assert anchor_term is not None  # verified IR
+            anchor_chain = Chain.of(context, anchor_term.uid)
+            query = HoistedQuery(hid=next_hid, required=tuple(sorted(need)))
+            next_hid += 1
+            hoists.setdefault(anchor_chain, []).append(query)
+            for _site, entry in converted:
+                entry.mode = OP_CONSUME
+                entry.hid = query.hid
+            hoisted_groups += 1
+        passes.append(
+            PassStats(
+                "check hoisting",
+                before,
+                count_queries(),
+                detail=f"{hoisted_groups} query group(s) hoisted to dominators",
+            )
+        )
+    else:
+        passes.append(PassStats("check hoisting", before, before, "disabled"))
+
+    # -- pass 3: check coalescing ------------------------------------------------
+    before = count_queries()
+    if coalesce:
+        for site, entries in sites.items():
+            full = sum(1 for e in entries if e.mode == OP_FULL)
+            if full >= 2:
+                fused_sites.add(site)
+        passes.append(
+            PassStats(
+                "check coalescing",
+                before,
+                count_queries(),
+                detail=f"{len(fused_sites)} site(s) fused into single scans",
+            )
+        )
+    else:
+        passes.append(PassStats("check coalescing", before, before, "disabled"))
+
+    # -- assemble the plan ---------------------------------------------------------
+    actions: dict[Chain, SiteActions] = {}
+    for site, entries in sites.items():
+        ops = tuple(
+            CheckOp(check=e.check, mode=e.mode, hid=e.hid) for e in entries
+        )
+        site_hoists = tuple(hoists.pop(site, ()))
+        if not ops and not site_hoists:
+            continue  # statically proven redundant: no closure at all
+        fused = None
+        if site in fused_sites:
+            union: list[Chain] = []
+            seen: set[Chain] = set()
+            for op in ops:
+                if op.mode == OP_FULL:
+                    for chain in op.check.required:
+                        if chain not in seen:
+                            seen.add(chain)
+                            union.append(chain)
+            fused = tuple(union)
+        actions[site] = SiteActions(
+            site=site, ops=ops, hoists=site_hoists, fused=fused
+        )
+    for site, queries in hoists.items():  # anchors at check-free sites
+        actions[site] = SiteActions(site=site, hoists=tuple(queries))
+
+    plan = OptimizedPlan(
+        bit_chains=baseline.bit_chains,
+        checks=baseline.checks,
+        trigger_uids=frozenset(site.op for site in actions),
+        actions=actions,
+        elided=tuple(elided),
+        passes=tuple(passes),
+        baseline_checks=baseline.total_checks,
+    )
+    dataflow = _dataflow_info(baseline, avail)
+    return OptimizeResult(plan=plan, baseline=baseline, dataflow=dataflow)
+
+
+def _dataflow_info(
+    baseline: DetectorPlan, avail: AvailabilityResult
+) -> DataflowInfo:
+    return DataflowInfo(
+        contexts=avail.contexts,
+        rounds=avail.rounds,
+        at_sites={site: avail.at(site) for site in baseline.checks},
+    )

@@ -1,0 +1,200 @@
+"""Optimized check plans: the artifact the check optimizer produces.
+
+An :class:`OptimizedPlan` is a drop-in :class:`~repro.runtime.detector.
+DetectorPlan` whose runtime form (:meth:`runtime_actions`) was rewritten
+by the :mod:`repro.ir.opt.passes` pipeline.  The inherited ``checks``
+mapping keeps the *baseline* site -> checks view (introspection, failure
+injection, and ``total_checks`` stay meaningful), while ``actions``
+carries what the engines actually execute.  ``verify_plan`` checks the
+structural soundness invariants and runs after the optimizer under
+``BuildContext.debug`` so optimizer bugs fail the build with the
+offending detail named.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.provenance import Chain
+from repro.runtime.detector import (
+    OP_CONSUME,
+    OP_FULL,
+    OP_MARKER,
+    Check,
+    DetectorPlan,
+    SiteActions,
+)
+
+
+@dataclass(frozen=True)
+class PassStats:
+    """One optimization pass's before/after static-query counts.
+
+    ``checks_before``/``checks_after`` count *static detector queries*:
+    the bit-vector scans one execution of every site would perform (FULL
+    ops plus hoisted queries; markers, consumes, and elided checks count
+    zero).  This is the "checks before/after" diagnostic the build
+    surfaces per pass.
+    """
+
+    pass_name: str
+    checks_before: int
+    checks_after: int
+    detail: str = ""
+
+    def render(self) -> str:
+        return (
+            f"{self.pass_name}: {self.checks_before} -> "
+            f"{self.checks_after} static queries"
+            + (f" ({self.detail})" if self.detail else "")
+        )
+
+
+@dataclass
+class DataflowInfo:
+    """Summary of the dataflow runs behind one optimized plan.
+
+    ``at_sites`` maps every baseline check site to the input chains the
+    availability analysis proved must-executed there -- the evidence for
+    each elimination decision (``python -m repro build --emit dataflow``).
+    """
+
+    contexts: int = 0
+    rounds: int = 0
+    at_sites: dict[Chain, frozenset[Chain]] = field(default_factory=dict)
+
+
+@dataclass
+class OptimizedPlan(DetectorPlan):
+    """A detector plan with an optimized runtime form.
+
+    Inherited fields keep their baseline meaning (``checks`` is the
+    unoptimized site -> checks map; ``bit_chains`` is untouched -- bit
+    *setting* is never optimized away, which is what keeps nonvolatile
+    state bit-identical to the baseline build).  ``trigger_uids`` is
+    recomputed from the optimized actions, so sites whose every check
+    was eliminated vanish from the engines' trigger set entirely: no
+    closure, no chain build, no per-step cost.
+    """
+
+    actions: dict[Chain, SiteActions] = field(default_factory=dict)
+    #: checks statically proven non-firing and dropped outright
+    elided: tuple[Check, ...] = ()
+    passes: tuple[PassStats, ...] = ()
+    #: the baseline plan's total check count (static)
+    baseline_checks: int = 0
+
+    def runtime_actions(self) -> dict[Chain, SiteActions]:
+        return self.actions
+
+    @property
+    def static_queries(self) -> int:
+        """Static detector queries across all sites (one execution each)."""
+        return sum(a.static_queries for a in self.actions.values())
+
+
+def _query_requirements(plan: OptimizedPlan) -> dict[int, frozenset[Chain]]:
+    """Query id -> required set, over FULL anchors and hoisted queries."""
+    queries: dict[int, frozenset[Chain]] = {}
+    for actions in plan.actions.values():
+        for hoist in actions.hoists:
+            queries[hoist.hid] = frozenset(hoist.required)
+        for op in actions.ops:
+            if op.mode == OP_FULL and op.hid >= 0:
+                queries[op.hid] = frozenset(op.check.required)
+    return queries
+
+
+def verify_plan(baseline: DetectorPlan, plan: OptimizedPlan) -> None:
+    """Check the soundness invariants of an optimized plan.
+
+    Raises :class:`ValueError` naming the first violated invariant.  The
+    invariants are exactly the preconditions of the bit-exact parity
+    argument: every baseline check is accounted for exactly once, only
+    consistent checks may be dropped silently, consumed results always
+    come from a query at least as strong, fused scans cover their ops,
+    and the bit-setting side of the detector is untouched.
+    """
+    elided_by_site: dict[Chain, list[Check]] = {}
+    for check in plan.elided:
+        elided_by_site.setdefault(check.site, []).append(check)
+        if check.kind != "consistent":
+            raise ValueError(
+                f"elided check at {check.site} is '{check.kind}'; only "
+                "consistent checks may be dropped without a use marker"
+            )
+
+    queries = _query_requirements(plan)
+
+    for site, checks in baseline.checks.items():
+        actions = plan.actions.get(site)
+        kept = list(actions.ops) if actions is not None else []
+        elided = list(elided_by_site.get(site, []))
+        # `kept` must be `checks` with the elided ones removed, in order.
+        walk = iter(checks)
+        for op in kept:
+            for candidate in walk:
+                if candidate == op.check:
+                    break
+                if candidate not in elided:
+                    raise ValueError(
+                        f"check {candidate.pid} at {site} is neither kept "
+                        "nor recorded as elided"
+                    )
+                elided.remove(candidate)
+            else:
+                raise ValueError(
+                    f"op for {op.check.pid} at {site} does not match any "
+                    "baseline check"
+                )
+        for candidate in walk:
+            if candidate not in elided:
+                raise ValueError(
+                    f"trailing check {candidate.pid} at {site} is neither "
+                    "kept nor recorded as elided"
+                )
+            elided.remove(candidate)
+        if elided:
+            raise ValueError(f"extra elided checks recorded at {site}")
+
+        for op in kept:
+            if op.mode == OP_MARKER and op.check.kind != "fresh":
+                raise ValueError(
+                    f"marker for non-fresh check {op.check.pid} at {site}"
+                )
+            if op.mode == OP_CONSUME:
+                required = queries.get(op.hid)
+                if required is None:
+                    raise ValueError(
+                        f"consume at {site} references unknown query "
+                        f"{op.hid}"
+                    )
+                if not frozenset(op.check.required) <= required:
+                    raise ValueError(
+                        f"consume at {site} needs chains its query {op.hid} "
+                        "does not cover"
+                    )
+
+    for site, actions in plan.actions.items():
+        if site not in baseline.checks and not actions.hoists:
+            raise ValueError(f"action site {site} has no baseline checks")
+        if actions.fused is not None:
+            union: set[Chain] = set()
+            for op in actions.ops:
+                if op.mode == OP_FULL:
+                    union.update(op.check.required)
+            if union != set(actions.fused):
+                raise ValueError(
+                    f"fused scan at {site} does not cover its FULL ops"
+                )
+
+    if plan.bit_chains != baseline.bit_chains:
+        raise ValueError("optimized plan altered the detector bit positions")
+    expected_triggers = frozenset(site.op for site in plan.actions)
+    if plan.trigger_uids != expected_triggers:
+        raise ValueError("optimized trigger uids disagree with the actions")
+    if plan.static_queries > baseline.total_checks:
+        raise ValueError(
+            f"optimized plan has {plan.static_queries} static queries, "
+            f"more than the baseline's {baseline.total_checks}"
+        )

@@ -37,6 +37,7 @@ same annotated source.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.analysis.policies import PolicyDecls
 from repro.analysis.provenance import Chain
@@ -53,6 +54,72 @@ class Check:
     required: tuple[Chain, ...]
 
 
+# -- runtime check programs ----------------------------------------------------
+#
+# Both engines execute checks through one uniform per-site "actions"
+# record (`MachineCore._run_site_actions`), so the optimized plans the
+# check optimizer produces (:mod:`repro.ir.opt`) need no engine-specific
+# support.  A check op runs in one of three modes:
+#
+# * FULL    -- query the bit vector directly (the baseline behavior);
+#              when `hid >= 0` the missing-set is also cached so
+#              dominated CONSUME ops can reuse it;
+# * MARKER  -- the check is statically proven non-firing; only the
+#              unconditional `use` observation of a fresh check remains
+#              (consistent checks proven non-firing are dropped outright,
+#              no op at all);
+# * CONSUME -- reuse the cached missing-set of a dominating query
+#              (`hid`); the cache is cleared on every reboot, and a miss
+#              falls back to a direct query, which keeps the emitted
+#              observations bit-identical to the baseline in every
+#              power-failure interleaving.
+
+OP_FULL = 0
+OP_MARKER = 1
+OP_CONSUME = 2
+
+
+@dataclass(frozen=True)
+class CheckOp:
+    """One check's runtime form (original check + execution mode)."""
+
+    check: Check
+    mode: int = OP_FULL
+    #: query id this op caches (FULL anchors) or consumes (CONSUME)
+    hid: int = -1
+
+
+@dataclass(frozen=True)
+class HoistedQuery:
+    """A detector query hoisted to a dominating anchor site."""
+
+    hid: int
+    required: tuple[Chain, ...]
+
+
+@dataclass(frozen=True)
+class SiteActions:
+    """Everything the detector does when one trigger site executes.
+
+    ``ops`` preserves the baseline per-site check order, so the emitted
+    observation stream is position-for-position identical to the
+    unoptimized plan.  ``fused`` (check coalescing) is the ordered union
+    of the FULL ops' required chains: one bit-vector scan serves every
+    FULL op at the site.
+    """
+
+    site: Chain
+    ops: tuple[CheckOp, ...] = ()
+    hoists: tuple[HoistedQuery, ...] = ()
+    fused: Optional[tuple[Chain, ...]] = None
+
+    @property
+    def static_queries(self) -> int:
+        """Detector queries one execution of this site performs."""
+        full = sum(1 for op in self.ops if op.mode == OP_FULL)
+        return len(self.hoists) + (1 if self.fused is not None else full)
+
+
 @dataclass
 class DetectorPlan:
     """All checks, indexed by the (context-qualified) trigger site."""
@@ -64,6 +131,25 @@ class DetectorPlan:
     #: instruction uids that terminate at least one trigger chain -- the
     #: executor's fast path: only these uids warrant building the chain
     trigger_uids: frozenset[InstrId] = frozenset()
+    #: lazily built runtime form (see :meth:`runtime_actions`)
+    _actions: Optional[dict] = field(default=None, repr=False, compare=False)
+
+    def runtime_actions(self) -> dict[Chain, SiteActions]:
+        """The per-site runtime form both engines execute.
+
+        The baseline plan runs every check as a FULL query in plan
+        order; optimized plans (:class:`repro.ir.opt.OptimizedPlan`)
+        override this with their rewritten actions.
+        """
+        if self._actions is None:
+            self._actions = {
+                site: SiteActions(
+                    site=site,
+                    ops=tuple(CheckOp(check=check) for check in checks),
+                )
+                for site, checks in self.checks.items()
+            }
+        return self._actions
 
     def checks_at(self, chain: Chain) -> tuple[Check, ...]:
         """Checks evaluated just before ``chain`` executes.

@@ -312,19 +312,19 @@ def _decode_instr(
     plan: DetectorPlan,
     costs: CostModel,
     bit_uids: frozenset[ir.InstrId],
+    actions_map: dict,
     blocks: dict[str, list[Op]],
     functions: dict[str, FastFunction],
 ) -> Op:
     uid = instr.uid
     trigger = uid in plan.trigger_uids
-    checks_map = plan.checks
     chain_cache: dict[tuple, tuple] = {}
 
     def chain_at(sites, _cache=chain_cache):
         entry = _cache.get(sites)
         if entry is None:
             chain = Chain(ids=sites + (uid,))
-            entry = (chain, tuple(checks_map.get(chain, ())))
+            entry = (chain, actions_map.get(chain))
             _cache[sites] = entry
         return entry
 
@@ -651,6 +651,7 @@ def compile_code(
     decode-time analogue of the reference machine's fetch assertion.
     """
     bit_uids = frozenset(chain.op for chain in plan.bit_chains)
+    actions_map = plan.runtime_actions()
     functions: dict[str, FastFunction] = {}
     for name, fn in module.functions.items():
         fast = FastFunction(name, fn.entry)
@@ -663,7 +664,8 @@ def compile_code(
             for instr in block.instrs:
                 ops.append(
                     _decode_instr(
-                        instr, module, plan, costs, bit_uids, fast.blocks, functions
+                        instr, module, plan, costs, bit_uids,
+                        actions_map, fast.blocks, functions,
                     )
                 )
             if block.terminator is not None:
@@ -674,6 +676,7 @@ def compile_code(
                         plan,
                         costs,
                         bit_uids,
+                        actions_map,
                         fast.blocks,
                         functions,
                     )
@@ -687,7 +690,7 @@ def compile_code(
                         0,
                         None,
                         False,
-                        lambda sites: (Chain(ids=sites + (uid,)), ()),
+                        lambda sites: (Chain(ids=sites + (uid,)), None),
                     )
                 )
     return CompiledCode(
@@ -782,6 +785,9 @@ class FastMachine(MachineCore):
         self.tau = start_tau
         self.trace = obs.Trace()
         self.stats = obs.RunStats()
+        #: bit-vector scans performed; see the reference machine's note
+        self.detector_queries = 0
+        self._hoist_cache: dict[int, frozenset] = {}
         self._frames: list[FastFrame] = []
         self._jit_ctx: Optional[JitContext] = None
         self._atom_ctx: Optional[AtomContext] = None
@@ -884,9 +890,9 @@ class FastMachine(MachineCore):
                     continue
 
             if op.trigger:
-                checks = op.chain_at(frame.sites)[1]
-                if checks:
-                    self._run_checks(op.uid, checks)
+                actions = op.chain_at(frame.sites)[1]
+                if actions is not None:
+                    self._run_site_actions(op.uid, actions)
 
             cycles = op.run(self, frame)
             self.tau += cycles
@@ -908,28 +914,9 @@ class FastMachine(MachineCore):
         ret = self._ret_value.value if self._ret_value is not None else None
         return obs.RunResult(trace=self.trace, stats=stats, ret=ret)
 
-    # -- detector --------------------------------------------------------------
-
-    def _run_checks(self, uid: ir.InstrId, checks: tuple) -> None:
-        bits = self.nv.bits.bits
-        tau = self.tau
-        for check in checks:
-            if check.kind == "fresh":
-                self._emit(obs.UseObs(tau=tau, uid=uid, pid=check.pid))
-            missing = tuple(c for c in check.required if c not in bits)
-            if missing:
-                self._emit(
-                    obs.ViolationObs(
-                        tau=tau,
-                        uid=uid,
-                        pid=check.pid,
-                        kind=check.kind,
-                        missing=missing,
-                    )
-                )
-
-    # Power failure, reboot, _deref, _write_global, _assert_logged, and
-    # _emit are the shared MachineCore bodies.
+    # Detector check execution (_run_site_actions), power failure,
+    # reboot, _deref, _write_global, _assert_logged, and _emit are the
+    # shared MachineCore bodies.
 
 
 # ---------------------------------------------------------------------------

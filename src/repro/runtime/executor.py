@@ -41,7 +41,7 @@ from repro.ir import instructions as ir
 from repro.ir.module import Module
 from repro.lang import ast as lang_ast
 from repro.runtime import observations as obs
-from repro.runtime.detector import BitVector, DetectorPlan
+from repro.runtime.detector import OP_CONSUME, OP_MARKER, BitVector, DetectorPlan
 from repro.analysis.provenance import Chain
 from repro.analysis.taint import consistent_pid, fresh_pid
 from repro.runtime.supply import ContinuousPower, PowerSupply
@@ -182,6 +182,10 @@ class MachineCore:
         self.stats.cycles_off += off
         self.stats.reboots += 1
         self.nv.bits.clear()  # the detector's power-failure reset
+        # Hoisted/anchored query results are volatile: stale missing-sets
+        # must never survive a reboot (consumers fall back to a direct
+        # scan, which keeps optimized traces bit-exact).
+        self._hoist_cache.clear()
 
         restore_cycles = self._costs.restore
         self.tau += restore_cycles
@@ -247,6 +251,74 @@ class MachineCore:
         if self._config.emit_observations:
             self.trace.emit(event)
 
+    # -- detector check execution -------------------------------------------------
+
+    def _run_site_actions(self, uid: ir.InstrId, actions) -> None:
+        """Execute one trigger site's detector actions (both engines).
+
+        Runs the (possibly optimized) per-site check program: hoisted
+        queries populate the volatile cache, then the check ops emit
+        their observations in baseline order -- FULL ops scan the bit
+        vector (once per op, or once per site when fused), MARKER ops
+        emit only the unconditional ``use`` observation, and CONSUME ops
+        derive their missing-set from a cached dominating query, falling
+        back to a direct scan when the cache was cleared by a reboot.
+        ``detector_queries`` counts bit-vector scans -- the
+        ``checks_executed`` metric the benchmarks gate on.
+        """
+        bits = self.nv.bits.bits
+        tau = self.tau
+        cache = self._hoist_cache
+        for hoist in actions.hoists:
+            cache[hoist.hid] = frozenset(
+                c for c in hoist.required if c not in bits
+            )
+            self.detector_queries += 1
+        fused = actions.fused
+        fused_missing: Optional[frozenset] = None
+        if fused is not None:
+            fused_missing = frozenset(c for c in fused if c not in bits)
+            self.detector_queries += 1
+        for op in actions.ops:
+            check = op.check
+            if check.kind == "fresh":
+                self._emit(obs.UseObs(tau=tau, uid=uid, pid=check.pid))
+            mode = op.mode
+            if mode == OP_MARKER:
+                continue
+            if mode == OP_CONSUME:
+                cached = cache.get(op.hid)
+                if cached is None:
+                    missing = tuple(
+                        c for c in check.required if c not in bits
+                    )
+                    self.detector_queries += 1
+                else:
+                    missing = tuple(
+                        c for c in check.required if c in cached
+                    )
+            elif fused_missing is not None:
+                missing = tuple(
+                    c for c in check.required if c in fused_missing
+                )
+                if op.hid >= 0:
+                    cache[op.hid] = frozenset(missing)
+            else:
+                missing = tuple(c for c in check.required if c not in bits)
+                self.detector_queries += 1
+                if op.hid >= 0:
+                    cache[op.hid] = frozenset(missing)
+            if missing:
+                self._emit(
+                    obs.ViolationObs(
+                        tau=tau,
+                        uid=uid,
+                        pid=check.pid,
+                        kind=check.kind,
+                        missing=missing,
+                    )
+                )
+
 
 class Machine(MachineCore):
     """One intermittent (or continuous) execution of ``main``.
@@ -274,6 +346,7 @@ class Machine(MachineCore):
         self._costs = costs
         self._plan = plan or DetectorPlan()
         self._bit_uids = frozenset(chain.op for chain in self._plan.bit_chains)
+        self._actions = self._plan.runtime_actions()
         watched = getattr(supply, "watched_uids", None)
         self._watched_uids: frozenset = watched() if watched else frozenset()
         self.nv = nv or NVState.initial(module)
@@ -282,6 +355,11 @@ class Machine(MachineCore):
         self.tau = start_tau
         self.trace = obs.Trace()
         self.stats = obs.RunStats()
+        #: bit-vector scans performed (the `checks_executed` metric);
+        #: deliberately outside RunStats so optimized builds stay
+        #: stat-identical to their baselines while executing fewer checks
+        self.detector_queries = 0
+        self._hoist_cache: dict[int, frozenset] = {}
         self._frames: list[Frame] = []
         self._jit_ctx: Optional[JitContext] = None
         self._atom_ctx: Optional[AtomContext] = None
@@ -400,21 +478,9 @@ class Machine(MachineCore):
     def _run_detector_checks(self, uid: ir.InstrId) -> None:
         if uid not in self._plan.trigger_uids:
             return
-        chain = self._current_chain(uid)
-        for check in self._plan.checks_at(chain):
-            if check.kind == "fresh":
-                self._emit(obs.UseObs(tau=self.tau, uid=uid, pid=check.pid))
-            missing = self.nv.bits.missing(check.required)
-            if missing:
-                self._emit(
-                    obs.ViolationObs(
-                        tau=self.tau,
-                        uid=uid,
-                        pid=check.pid,
-                        kind=check.kind,
-                        missing=missing,
-                    )
-                )
+        actions = self._actions.get(self._current_chain(uid))
+        if actions is not None:
+            self._run_site_actions(uid, actions)
 
     # -- expression evaluation -----------------------------------------------------------
 

@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
-import pytest
+import os
 
-from repro.core.pipeline import compile_source
-from repro.sensors.environment import Environment, steps
+# Debug builds throughout the suite: the pass manager re-verifies the IR
+# after every pass and the check optimizer re-verifies its plan, so a
+# broken transform fails the offending test with the pass named.
+os.environ.setdefault("REPRO_DEBUG_VERIFY", "1")
+
+import pytest  # noqa: E402
+
+from repro.core.pipeline import compile_source  # noqa: E402
+from repro.sensors.environment import Environment, steps  # noqa: E402
 
 #: The weather-station program of Figure 2: a thermometer alarm (freshness)
 #: plus a pressure/humidity log pair (temporal consistency).

@@ -55,8 +55,15 @@ def _int_expr(draw, vars_in_scope: list[str]) -> ast.Expr:
 
 
 @st.composite
-def programs(draw) -> ast.Program:
-    """A random valid annotated program."""
+def programs(draw, min_annotations: int = 0) -> ast.Program:
+    """A random valid annotated program.
+
+    ``min_annotations`` guarantees at least that many annotated (check
+    seeding) sites: when the drawn body falls short, fresh-annotated
+    sense/use patterns are appended, so strategies like
+    ``program_sources(min_annotations=1)`` always produce detector
+    check sites (the optimizer parity suite relies on this).
+    """
     state = _GenState()
     channels = CHANNELS[: draw(st.integers(1, 3))]
 
@@ -223,6 +230,17 @@ def programs(draw) -> ast.Program:
     if not main_body:
         main_body.append(ast.Skip())
 
+    while len(annotated) < min_annotations:
+        name = state.fresh_name("seed")
+        main_body.append(
+            ast.Let(name=name, expr=ast.Input(channel=draw(st.sampled_from(channels))))
+        )
+        main_body.append(ast.AnnotStmt(kind=ast.AnnotKind.FRESH, var=name))
+        main_body.append(
+            ast.ExprStmt(expr=ast.Call(func="log", args=[ast.Var(name=name)]))
+        )
+        annotated.append(name)
+
     functions["main"] = ast.FuncDecl(name="main", params=[], body=main_body)
     program = ast.Program(
         functions=functions, globals=globals_, arrays={}, channels=channels
@@ -232,11 +250,11 @@ def programs(draw) -> ast.Program:
 
 
 @st.composite
-def program_sources(draw) -> str:
+def program_sources(draw, min_annotations: int = 0) -> str:
     """Source text of a random valid program."""
     from repro.lang.printer import print_program
 
-    return print_program(draw(programs()))
+    return print_program(draw(programs(min_annotations=min_annotations)))
 
 
 # ---------------------------------------------------------------------------
