@@ -1,8 +1,9 @@
-"""Benchmark: fleet throughput, serial vs. sharded multiprocessing.
+"""Benchmark: fleet throughput -- serial, sharded, and vectorized.
 
-The fleet engine's pitch is linear device scaling: N independent devices
-shard across worker processes with no coordination beyond a final
-aggregate merge.  This benchmark times the same fleet both ways and, run
+The fleet engine's pitch is device scaling: N independent devices shard
+across worker processes, and same-class devices batch through the
+memoizing vector executor, which replays equivalent activations instead
+of stepping them.  This benchmark times the same fleet all ways and, run
 as a script, records devices/second in ``BENCH_fleet.json`` at the repo
 root so the scaling trajectory is tracked alongside the code::
 
@@ -10,12 +11,19 @@ root so the scaling trajectory is tracked alongside the code::
     python benchmarks/bench_fleet.py --quick  # CI gate: small fleet, no record
     pytest benchmarks/bench_fleet.py          # pytest-benchmark timings
 
-``--quick`` runs a >=200-device fleet, verifies serial/sharded aggregate
-parity byte-for-byte, and *fails* (exit 1) if sharding stops beating the
-serial executor -- on a multi-core box a parallelism regression in the
-fleet engine fails the build.  On a single-core box the speedup gate is
-reported but not enforced (there is nothing to win there); parity is
-enforced everywhere.
+Two tiers:
+
+* **heterogeneous** -- the classic serial-vs-sharded comparison on a
+  mixed 3-class fleet (parity enforced everywhere; the sharding speedup
+  is gated only on multi-core hosts, where there is something to win);
+* **memo** -- a homogeneous fleet (one device class, deterministic
+  supply randomness) through the vector executor, recording the memo
+  hit rate and devices/second against a serial baseline measured on a
+  sample of the same class.  The full run sizes this tier at 100k
+  devices; ``--quick`` runs a small version and *fails* (exit 1) if
+  the vector executor stops beating serial by at least 10x -- the
+  memoizer's win is core-count independent, so this gate holds on
+  single-core CI too.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from repro.fleet import (
     FleetSpec,
     SerialFleetExecutor,
     ShardedFleetExecutor,
+    VectorFleetExecutor,
     aggregate_fingerprint,
     precompile_fleet,
     run_fleet,
@@ -78,6 +87,34 @@ def bench_spec(devices: int = 240, budget: int = 25_000) -> FleetSpec:
         ),
     )
     return spec.with_total_devices(devices)
+
+
+def uniform_spec(devices: int, budget: int = 25_000) -> FleetSpec:
+    """A homogeneous fleet: the vector executor's representative case.
+
+    One class, deterministic supply randomness (no harvest spread,
+    degenerate boot band), no per-device jitter -- every device provably
+    repeats device zero, so the memoizer replays nearly everything.
+    """
+    return FleetSpec(
+        name="bench-fleet-uniform",
+        fleet_seed=23,
+        budget_cycles=budget,
+        classes=(
+            DeviceClass(
+                name="tire-uniform",
+                app="tire",
+                config="ocelot",
+                count=devices,
+                supply=SupplySpec(
+                    name="rf",
+                    harvest_rate=300,
+                    harvest_spread=1.0,
+                    boot_fraction=(1.0, 1.0),
+                ),
+            ),
+        ),
+    )
 
 
 def test_fleet_serial(benchmark):
@@ -142,18 +179,77 @@ def measure(devices: int = 240, budget: int = 25_000, rounds: int = 3) -> dict:
     }
 
 
+def measure_memo_tier(
+    devices: int = 100_000,
+    budget: int = 25_000,
+    serial_sample: int = 200,
+) -> dict:
+    """Vectorized throughput on a homogeneous fleet vs. a serial baseline.
+
+    The serial baseline runs on a ``serial_sample``-device slice of the
+    same class (serial cost is linear in devices, so per-device rates
+    compare directly); byte parity is asserted on that slice before the
+    full vectorized run is timed.
+    """
+    sample_count = min(serial_sample, devices)
+    sample = uniform_spec(sample_count, budget=budget)
+    precompile_fleet(sample)
+
+    started = time.perf_counter()
+    serial = run_fleet(sample, SerialFleetExecutor())
+    serial_s = time.perf_counter() - started
+    vector_sample = run_fleet(sample, VectorFleetExecutor())
+    assert aggregate_fingerprint(vector_sample) == aggregate_fingerprint(
+        serial
+    ), "serial and vector aggregates differ"
+
+    full = uniform_spec(devices, budget=budget)
+    started = time.perf_counter()
+    vector = run_fleet(full, VectorFleetExecutor())
+    vector_s = time.perf_counter() - started
+
+    serial_dps = sample_count / serial_s
+    vector_dps = devices / vector_s
+    return {
+        "devices": devices,
+        "serial_sample_devices": sample_count,
+        "budget_cycles": budget,
+        "activations": vector.aggregate.total_activations,
+        "serial_seconds": round(serial_s, 4),
+        "vector_seconds": round(vector_s, 4),
+        "serial_devices_per_second": round(serial_dps, 2),
+        "vector_devices_per_second": round(vector_dps, 2),
+        "vector_speedup": round(vector_dps / serial_dps, 2),
+        "memo_hit_rate": round(vector.memo["hit_rate"], 6),
+        "memo_hits": vector.memo["hits"],
+        "memo_misses": vector.memo["misses"],
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="fleet throughput benchmark")
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI gate: >=200 devices, parity always, speedup on multi-core",
+        help="CI gate: >=200 devices, parity always, speedup on multi-core, "
+        "vector >=10x serial on a homogeneous fleet",
     )
     args = parser.parse_args(argv)
 
     if args.quick:
         record = measure(devices=200, budget=20_000, rounds=1)
+        record["memo_tier"] = measure_memo_tier(
+            devices=2_000, budget=20_000, serial_sample=100
+        )
         print(json.dumps(record, indent=2))
+        vector_speedup = record["memo_tier"]["vector_speedup"]
+        if vector_speedup < 10.0:
+            print(
+                "FAIL: vector executor below 10x serial on a homogeneous "
+                f"fleet ({vector_speedup=})"
+            )
+            return 1
+        print(f"ok: vector speedup {vector_speedup}x (memoized)")
         speedup = record["sharding_speedup"]
         if record["cores"] < 2:
             print(
@@ -168,6 +264,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     record = measure()
+    record["memo_tier"] = measure_memo_tier(devices=100_000)
     RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record, indent=2))
     print(f"record written to {RECORD_PATH}")

@@ -270,7 +270,15 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             spec = spec.with_total_devices(args.devices)
     except FleetError as exc:
         raise SystemExit(f"bad fleet spec '{args.spec}': {exc}") from None
-    executor = "sharded" if args.parallel else "serial"
+    if args.executor is not None:
+        if args.parallel and args.executor != "sharded":
+            raise SystemExit(
+                f"--parallel conflicts with --executor {args.executor}; "
+                "pick one"
+            )
+        executor = args.executor
+    else:
+        executor = "sharded" if args.parallel else "serial"
     try:
         result = run_fleet(
             spec,
@@ -439,9 +447,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="rescale the fleet to exactly N devices (keeps the class mix)",
     )
     p_fleet.add_argument(
+        "--executor",
+        choices=("serial", "sharded", "vector"),
+        default=None,
+        help="fleet executor (vector = memoized batch execution; "
+        "all three produce bit-identical aggregates)",
+    )
+    p_fleet.add_argument(
         "--parallel",
         action="store_true",
-        help="use the sharded multiprocessing executor",
+        help="use the sharded multiprocessing executor "
+        "(shorthand for --executor sharded)",
     )
     p_fleet.add_argument(
         "--jobs",

@@ -34,6 +34,17 @@ class ConstantHarvester:
     def reseed(self, seed: int) -> None:
         """No RNG state to reset; kept for supply-spawning uniformity."""
 
+    def memo_token(self):
+        """Hashable identity of future behavior (see ``energy.segments``)."""
+        return ("const", self.rate_per_kilocycle)
+
+    def memo_capture(self):
+        """Mutable state snapshot for memo replay; nothing to capture."""
+        return None
+
+    def memo_restore(self, state) -> None:
+        """Apply a captured snapshot; stateless, so nothing to do."""
+
 
 @dataclass
 class NoisyHarvester:
@@ -77,6 +88,33 @@ class NoisyHarvester:
         self.seed = seed
         self._rng = random.Random(seed)
 
+    def memo_token(self):
+        """Hashable identity of future behavior.
+
+        With ``spread == 1.0`` the jitter factor is identically 1.0 --
+        the RNG is drawn but its value cannot influence any off-time --
+        so the stream position is excluded and devices on different
+        per-device seeds still compare equal.  A real spread folds the
+        exact RNG state in: only a device at the *same* stream position
+        provably repeats.
+        """
+        if self.spread == 1.0:
+            return ("noisy", self.rate_per_kilocycle, 1.0)
+        return (
+            "noisy",
+            self.rate_per_kilocycle,
+            self.spread,
+            self._rng.getstate(),
+        )
+
+    def memo_capture(self):
+        """Snapshot the jitter stream position for memo replay."""
+        return self._rng.getstate()
+
+    def memo_restore(self, state) -> None:
+        """Rewind the jitter stream to a captured position."""
+        self._rng.setstate(state)
+
 
 @dataclass
 class TraceHarvester:
@@ -102,3 +140,15 @@ class TraceHarvester:
     def reseed(self, seed: int) -> None:
         """Rewind the trace in place."""
         self._idx = 0
+
+    def memo_token(self):
+        """Hashable identity: the trace plus the replay position."""
+        return ("trace", tuple(self.off_times), self._idx)
+
+    def memo_capture(self):
+        """Snapshot the replay position for memo replay."""
+        return self._idx
+
+    def memo_restore(self, state) -> None:
+        """Rewind/advance the replay position to a captured snapshot."""
+        self._idx = state

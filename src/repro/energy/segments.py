@@ -1,0 +1,51 @@
+"""Segment quantization: when do two devices provably repeat each other?
+
+Surbatovich et al.'s formal account of intermittent execution ("Towards
+a Formal Foundation of Intermittent Computing") characterizes an
+activation's behavior as a function of its resume-point state plus the
+input environment.  In our model that state splits into three parts,
+each with its own equivalence token:
+
+* **program** -- interned by the compile cache (one
+  :class:`~repro.core.pipeline.CompiledProgram` per source x pipeline);
+* **environment time** -- :meth:`Environment.segment_token
+  <repro.sensors.environment.Environment.segment_token>` collapses
+  logical times congruent modulo the environment's exact period;
+* **supply** -- the ``memo_token`` hooks below: a hashable snapshot of
+  everything the supply's future answers can depend on (charge level,
+  failure schedule bookkeeping, RNG stream positions where randomness
+  can actually reach an outcome).
+
+Two devices running the same program whose nonvolatile state, supply
+token, and environment-time token agree must produce identical
+activation outcomes -- the soundness fact the fleet memoizer
+(:mod:`repro.fleet.vector`) builds on.  Everything here is *conservative*:
+a supply without hooks is opaque (``None``), which only costs cache hits.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+
+def supply_memo_token(supply) -> Optional[Hashable]:
+    """The supply's behavioral-equivalence token, or ``None`` if opaque.
+
+    Dispatches on the optional ``memo_token`` hook so third-party supply
+    implementations that predate the hooks degrade to "never equivalent"
+    instead of breaking.
+    """
+    token = getattr(supply, "memo_token", None)
+    if token is None:
+        return None
+    return token()
+
+
+def capture_supply_state(supply):
+    """Snapshot the supply's mutable state for later memo replay."""
+    return supply.memo_capture()
+
+
+def restore_supply_state(supply, state) -> None:
+    """Put a supply into a previously captured state."""
+    supply.memo_restore(state)

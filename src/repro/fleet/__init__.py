@@ -16,23 +16,29 @@ simulation:
 * :mod:`repro.fleet.engine` -- serial and sharded-multiprocessing
   executors with bit-identical aggregates, plus checkpoint/resume so long
   runs split across invocations;
+* :mod:`repro.fleet.vector` -- the vectorized executor: activation
+  memoization plus struct-of-arrays batching over same-class devices,
+  still bit-identical to the serial path;
 * :mod:`repro.fleet.report` -- tables and parity fingerprints.
 
-Entry point: ``python -m repro fleet SPEC.json --devices N --parallel``.
+Entry point: ``python -m repro fleet SPEC.json --devices N --executor vector``.
 """
 
 from repro.fleet.aggregate import ClassAggregate, FleetAggregator
 from repro.fleet.device import DeviceFactory, FleetDevice
 from repro.fleet.engine import (
+    AGGREGATE_PARITY_SCHEME,
     FleetCheckpoint,
     FleetResult,
     SerialFleetExecutor,
     ShardedFleetExecutor,
+    checkpoint_fingerprint,
     make_fleet_executor,
     precompile_fleet,
     run_fleet,
     run_shard,
 )
+from repro.fleet.vector import ActivationMemo, NVCodec, VectorFleetExecutor
 from repro.fleet.report import (
     aggregate_fingerprint,
     duty_table,
@@ -43,14 +49,19 @@ from repro.fleet.scheduler import FleetScheduler
 from repro.fleet.spec import DeviceClass, DeviceSpec, FleetError, FleetSpec
 
 __all__ = [
+    "AGGREGATE_PARITY_SCHEME",
+    "ActivationMemo",
     "ClassAggregate",
     "FleetAggregator",
     "DeviceFactory",
     "FleetDevice",
     "FleetCheckpoint",
     "FleetResult",
+    "NVCodec",
     "SerialFleetExecutor",
     "ShardedFleetExecutor",
+    "VectorFleetExecutor",
+    "checkpoint_fingerprint",
     "make_fleet_executor",
     "precompile_fleet",
     "run_fleet",

@@ -95,6 +95,37 @@ class ClassAggregate:
                 min(DUTY_BINS - 1, (record.cycles_on * DUTY_BINS) // total)
             ] += 1
 
+    def observe_many(self, record, count: int) -> None:
+        """Fold ``count`` identical activation records at once.
+
+        The vectorized executor replays one memoized record for a whole
+        group of equivalent devices; since every counter is a sum, the
+        multiplied fold equals ``count`` repetitions of :meth:`observe`
+        exactly -- no rounding, so byte determinism survives batching.
+        """
+        if count <= 0:
+            return
+        self.activations += count
+        self.cycles_on += record.cycles_on * count
+        self.cycles_off += record.cycles_off * count
+        self.reboots += record.reboots * count
+        self.violations += record.violations * count
+        self.fresh_violations += record.fresh_violations * count
+        self.consistent_violations += record.consistent_violations * count
+        if not record.completed:
+            self.stuck_devices += count
+            return
+        self.completed_runs += count
+        if record.violating:
+            self.violating_runs += count
+        self.fresh_hist[_bucket(record.fresh_violations)] += count
+        self.consistent_hist[_bucket(record.consistent_violations)] += count
+        total = record.cycles_on + record.cycles_off
+        if total > 0:
+            self.duty_hist[
+                min(DUTY_BINS - 1, (record.cycles_on * DUTY_BINS) // total)
+            ] += count
+
     def merge(self, other: "ClassAggregate") -> None:
         if (self.app, self.config) != (other.app, other.config):
             raise ValueError(
@@ -184,6 +215,12 @@ class FleetAggregator:
     def observe(self, spec, record) -> None:
         """The scheduler sink: fold one activation of one device."""
         self._class(spec.class_name, spec.app, spec.config).observe(record)
+
+    def observe_many(self, spec, record, count: int) -> None:
+        """Batch sink: fold ``count`` devices replaying one record."""
+        self._class(spec.class_name, spec.app, spec.config).observe_many(
+            record, count
+        )
 
     # -- views ---------------------------------------------------------------
 

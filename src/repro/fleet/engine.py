@@ -18,6 +18,7 @@ The engine turns a :class:`FleetSpec` into an aggregate:
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 import multiprocessing
@@ -175,16 +176,51 @@ def make_fleet_executor(
     name: str,
     processes: Optional[int] = None,
     engine: str = ENGINE_FAST,
-) -> SerialFleetExecutor | ShardedFleetExecutor:
+) -> FleetExecutor:
     if name == "serial":
         return SerialFleetExecutor(engine=engine)
     if name in ("sharded", "parallel"):
         return ShardedFleetExecutor(processes=processes, engine=engine)
-    raise FleetError(f"unknown fleet executor '{name}' (serial | sharded)")
+    if name == "vector":
+        from repro.fleet.vector import VectorFleetExecutor
+
+        return VectorFleetExecutor(engine=engine)
+    raise FleetError(
+        f"unknown fleet executor '{name}' (serial | sharded | vector)"
+    )
 
 
 # ---------------------------------------------------------------------------
 # Checkpointing
+
+#: Version of the cross-executor aggregate-parity contract.  All three
+#: executor families (serial, sharded, vector) fold activations with
+#: commutative integer sums into the same canonical aggregate encoding,
+#: so a checkpoint written by one family resumes under another and the
+#: final bytes match an uninterrupted run.  If a future change breaks
+#: that equivalence, bump this string: checkpoint fingerprints bind it
+#: (the same pattern as the seed-scheme fingerprint binding), so every
+#: older checkpoint is rejected instead of silently mixing families.
+AGGREGATE_PARITY_SCHEME = "fleet-parity-1"
+
+
+def checkpoint_fingerprint(spec: FleetSpec) -> str:
+    """What a checkpoint must match to be resumable against ``spec``.
+
+    Binds the spec fingerprint (itself seed-scheme-bound) together with
+    the aggregate-parity scheme, so a resume is accepted exactly when
+    the remaining devices *and* the fold semantics are provably the
+    same as the run that wrote the checkpoint -- regardless of which
+    executor family wrote it.
+    """
+    payload = json.dumps(
+        {
+            "parity": AGGREGATE_PARITY_SCHEME,
+            "spec": spec.fingerprint(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -195,17 +231,21 @@ class FleetCheckpoint:
     spec fingerprint fully determines the remaining work.  The aggregate
     is stored in its canonical dict form; resuming merges it and
     continues -- sums make the split invisible in the final bytes.
+    ``executor_family`` records who wrote the checkpoint, so a resumed
+    run can report every family that contributed to its aggregate.
     """
 
     fingerprint: str
     devices_done: int
     aggregate: dict
+    executor_family: str = ""
 
     def save(self, path: Path | str) -> None:
         payload = {
             "fingerprint": self.fingerprint,
             "devices_done": self.devices_done,
             "aggregate": self.aggregate,
+            "executor_family": self.executor_family,
         }
         target = Path(path)
         # Write-then-rename so a crash mid-save never corrupts the
@@ -225,6 +265,7 @@ class FleetCheckpoint:
                 fingerprint=data["fingerprint"],
                 devices_done=int(data["devices_done"]),
                 aggregate=data["aggregate"],
+                executor_family=str(data.get("executor_family", "")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise FleetError(f"malformed fleet checkpoint: {exc}") from None
@@ -248,6 +289,8 @@ class FleetResult:
     devices: int = 0
     wall_time: float = 0.0
     resumed_devices: int = 0
+    #: activation-memo accounting (vector executor only; None otherwise)
+    memo: Optional[dict] = None
 
     @property
     def devices_per_second(self) -> float:
@@ -269,7 +312,7 @@ class FleetResult:
         return fleet_table(self)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "spec": self.spec.to_dict(),
             "executor": self.executor,
             "executor_used": self.executor_used,
@@ -279,6 +322,9 @@ class FleetResult:
             "resumed_devices": self.resumed_devices,
             "aggregate": self.aggregate.to_dict(),
         }
+        if self.memo is not None:
+            payload["memo"] = self.memo
+        return payload
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -337,14 +383,28 @@ def run_fleet(
     devices = spec.expand()
     aggregate = FleetAggregator()
     start_index = 0
-    fingerprint = spec.fingerprint() if checkpoint_path is not None else ""
+    used: list[str] = []
+    fingerprint = (
+        checkpoint_fingerprint(spec) if checkpoint_path is not None else ""
+    )
 
     if checkpoint_path is not None and Path(checkpoint_path).exists():
         checkpoint = FleetCheckpoint.load(checkpoint_path)
         if checkpoint.fingerprint != fingerprint:
+            # Covers both a different fleet spec and a checkpoint written
+            # under an older parity scheme: either way the remaining work
+            # or the fold semantics are not provably the same, so resuming
+            # -- even within the same executor family -- is refused.
             raise FleetError(
                 f"checkpoint '{checkpoint_path}' belongs to a different "
-                "fleet spec; delete it or point --checkpoint elsewhere"
+                "fleet spec or aggregate-parity scheme; delete it or "
+                "point --checkpoint elsewhere"
+            )
+        if not checkpoint.executor_family:
+            raise FleetError(
+                f"checkpoint '{checkpoint_path}' does not record which "
+                "executor family wrote it; cannot prove its aggregate "
+                "matches this run -- delete it to restart"
             )
         if checkpoint.devices_done > len(devices):
             raise FleetError(
@@ -353,6 +413,11 @@ def run_fleet(
             )
         aggregate = FleetAggregator.from_dict(checkpoint.aggregate)
         start_index = checkpoint.devices_done
+        # Cross-family resume is sound (that is what the parity
+        # fingerprint just proved); report every family that built the
+        # final aggregate, not just this process's.
+        if checkpoint.devices_done > 0:
+            used.append(checkpoint.executor_family)
 
     precompile_fleet(spec)
     chunk = (
@@ -360,7 +425,6 @@ def run_fleet(
         if checkpoint_every is not None
         else (256 if checkpoint_path is not None else len(devices) or 1)
     )
-    used: list[str] = []
     for lo in itertools.count(start_index, chunk):
         if lo >= len(devices):
             break
@@ -374,8 +438,10 @@ def run_fleet(
                 fingerprint=fingerprint,
                 devices_done=lo + len(batch),
                 aggregate=aggregate.to_dict(),
+                executor_family=executor.name,
             ).save(checkpoint_path)
 
+    memo_stats = getattr(executor, "memo_stats", None)
     return FleetResult(
         spec=spec,
         aggregate=aggregate,
@@ -385,4 +451,5 @@ def run_fleet(
         devices=len(devices),
         wall_time=time.perf_counter() - started,
         resumed_devices=start_index,
+        memo=memo_stats() if memo_stats is not None else None,
     )

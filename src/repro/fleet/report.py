@@ -60,6 +60,13 @@ def fleet_table(result) -> Table:
             f"resumed from checkpoint: {result.resumed_devices} devices "
             "folded from a previous invocation"
         )
+    memo = getattr(result, "memo", None)
+    if memo:
+        table.add_note(
+            f"activation memo: {memo['hits']} hits / {memo['misses']} "
+            f"misses ({100.0 * memo['hit_rate']:.1f}% replayed, "
+            f"{memo['entries']} entries)"
+        )
     return table
 
 

@@ -1,0 +1,577 @@
+"""Vectorized fleet execution: memoized activations over class batches.
+
+A fleet's cost is dominated by stepping instructions, yet most of that
+work is redundant: devices of one class share a compiled program, and an
+activation's outcome is a pure function of its resume-point state --
+nonvolatile memory, supply state, and the environment's behavior from
+the start time (the observation behind the formal treatment in
+Surbatovich et al.).  This executor exploits that in three layers:
+
+* **Activation memoization** (:class:`ActivationMemo`).  Every executed
+  activation is cached under a key built from equivalence *tokens*:
+  program (app, build config, engine), environment identity, a
+  time token (:meth:`Environment.segment_token
+  <repro.sensors.environment.Environment.segment_token>` quantizes the
+  start time when the environment is exactly periodic and the
+  nonvolatile state carries no absolute-time taint), a structural
+  nonvolatile-state token, and a supply token
+  (:mod:`repro.energy.segments`).  A hit replays the cached
+  :class:`~repro.runtime.harness.ActivationRecord`, time delta, and
+  post-states without stepping a single instruction.
+
+* **Struct-of-arrays run state** (:class:`_SoAState`).  Per-device
+  logical clocks, activation counts, and stuck flags live in packed
+  numpy arrays, so liveness scans and batch advances are vectorized;
+  the nonvolatile token encoder (:class:`NVCodec`) likewise packs a
+  class's fixed global/array slots and detector bit-vector into an
+  int64 array + bitmask digest, amortizing digest cost across the
+  class.  Both degrade to pure-python fallbacks when numpy is absent.
+
+* **Wave batching**.  Devices advance in waves; devices in provably
+  identical situations (same tokens, same logical time) group together,
+  one representative executes (or a memo hit replays), and the whole
+  group folds into the aggregate with one
+  :meth:`~repro.fleet.aggregate.ClassAggregate.observe_many` call.
+  On a homogeneous fleet the first device misses and every other device
+  rides its entries -- hit rates approach (n-1)/n.
+
+Soundness: tokens are conservative.  A supply without memo hooks, an
+aperiodic environment, an unencodable nonvolatile state -- each only
+*loses cache hits*; it never manufactures a false equivalence.  The
+aggregate is commutative integer summation, so the vectorized fold is
+byte-identical to the serial and sharded executors (property-tested in
+``tests/test_fleet_vector.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, NamedTuple, Optional, Sequence
+
+try:  # numpy accelerates run-state scans and NV digests; optional.
+    import numpy as np
+except ModuleNotFoundError:  # pragma: no cover - baked into the CI image
+    np = None  # type: ignore[assignment]
+
+from repro.apps import BENCHMARKS
+from repro.core.cache import GLOBAL_CACHE
+from repro.energy.segments import (
+    capture_supply_state,
+    restore_supply_state,
+    supply_memo_token,
+)
+from repro.eval.campaign import SupplySpec
+from repro.fleet.aggregate import FleetAggregator
+from repro.fleet.spec import DeviceSpec
+from repro.runtime.engine import ENGINE_FAST
+from repro.runtime.executor import NVState
+from repro.runtime.detector import BitVector
+from repro.runtime.harness import ActivationStepper
+from repro.sensors.environment import bind_signal_specs
+from repro.runtime.supply import PowerSupply
+
+
+# ---------------------------------------------------------------------------
+# Nonvolatile-state tokens
+
+
+class NVRef(NamedTuple):
+    """A tokenized nonvolatile state: hashable identity + replayable copy."""
+
+    #: hashable structural token; equal tokens => equal nonvolatile states
+    token: Hashable
+    #: immutable copy: (globals dict, arrays dict of tuples, bits frozenset)
+    snapshot: tuple
+    #: True when any cell carries input taint (absolute-time provenance)
+    tainted: bool
+
+
+def materialize_nv(ref: NVRef) -> NVState:
+    """A fresh mutable :class:`NVState` from a tokenized snapshot."""
+    globals_, arrays, bits = ref.snapshot
+    return NVState(
+        globals=dict(globals_),
+        arrays={name: list(cells) for name, cells in arrays.items()},
+        bits=BitVector(set(bits)),
+    )
+
+
+class NVCodec:
+    """Per-program struct-of-arrays encoder for nonvolatile state.
+
+    A compiled program fixes the nonvolatile layout: its global names,
+    array names and lengths, and the universe of detector bit chains.
+    The codec assigns each a slot once, then digests any state of that
+    program as (packed int64 values, bit mask, sparse taint list) --
+    with numpy, the value digest is one ``tobytes`` over a packed
+    array.  Anything outside the fixed layout (huge integers, an
+    unexpected chain, a shape drift) falls back to a slower but exact
+    structural tuple; the fallback only costs speed, never identity.
+    """
+
+    def __init__(self, module, plan) -> None:
+        self.global_names = tuple(sorted(module.globals))
+        self.array_names = tuple(sorted(module.arrays))
+        self._bit_index = {
+            chain: i for i, chain in enumerate(sorted(plan.bit_chains))
+        }
+
+    def encode(self, nv: NVState) -> NVRef:
+        """Tokenize ``nv``; the snapshot copies every mutable container."""
+        globals_ = nv.globals
+        arrays = nv.arrays
+        bits = nv.bits.bits
+        snapshot = (
+            dict(globals_),
+            {name: tuple(cells) for name, cells in arrays.items()},
+            frozenset(bits),
+        )
+        try:
+            token, tainted = self._packed(globals_, arrays, bits)
+        except (KeyError, OverflowError, TypeError, ValueError):
+            token, tainted = self._structural(globals_, arrays, bits)
+        return NVRef(token=token, snapshot=snapshot, tainted=tainted)
+
+    def _packed(self, globals_, arrays, bits):
+        if np is None:
+            raise ValueError("no numpy; use structural tokens")
+        if len(globals_) != len(self.global_names):
+            raise ValueError("global layout drifted")
+        if len(arrays) != len(self.array_names):
+            raise ValueError("array layout drifted")
+        values: list[int] = []
+        taints: list[tuple[int, frozenset]] = []
+        for name in self.global_names:
+            cell = globals_[name]
+            if cell.taint:
+                taints.append((len(values), cell.taint))
+            values.append(cell.value)
+        for name in self.array_names:
+            cells = arrays[name]
+            values.append(len(cells))
+            for cell in cells:
+                if cell.taint:
+                    taints.append((len(values), cell.taint))
+                values.append(cell.value)
+        mask = 0
+        for chain in bits:
+            mask |= 1 << self._bit_index[chain]
+        packed = np.asarray(values, dtype=np.int64)
+        # bytes objects cache their hash, so repeated dict probes on the
+        # same token re-digest nothing.
+        return ("v", packed.tobytes(), mask, tuple(taints)), bool(taints)
+
+    @staticmethod
+    def _structural(globals_, arrays, bits):
+        token = (
+            "s",
+            tuple((name, globals_[name]) for name in sorted(globals_)),
+            tuple((name, tuple(arrays[name])) for name in sorted(arrays)),
+            frozenset(bits),
+        )
+        tainted = any(cell.taint for cell in globals_.values()) or any(
+            cell.taint for cells in arrays.values() for cell in cells
+        )
+        return token, tainted
+
+
+# ---------------------------------------------------------------------------
+# The memo table
+
+
+@dataclass
+class MemoEntry:
+    """Everything needed to replay one memoized activation."""
+
+    record: object  # ActivationRecord; treated as immutable once cached
+    tau_delta: int
+    post_nv: NVRef
+    post_supply_token: Optional[Hashable]
+    post_supply_capture: object
+
+
+@dataclass
+class MemoStats:
+    """Hit/miss accounting, in device-activations."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def to_dict(self, entries: int = 0) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "entries": entries,
+        }
+
+
+class ActivationMemo:
+    """Bounded activation cache shared across batches and chunks.
+
+    Eviction drops the oldest quarter of entries (insertion order) when
+    the table fills; entries still referenced by in-flight devices stay
+    alive through those references, so eviction can only cause future
+    misses, never wrong replays.
+    """
+
+    def __init__(self, max_entries: int = 65_536) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = MemoStats()
+        self._entries: dict[Hashable, MemoEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[MemoEntry]:
+        return self._entries.get(key)
+
+    def put(self, key: Hashable, entry: MemoEntry) -> None:
+        if len(self._entries) >= self.max_entries:
+            drop = max(1, self.max_entries // 4)
+            for stale in list(self._entries)[:drop]:
+                del self._entries[stale]
+            self.stats.evictions += drop
+        self._entries[key] = entry
+
+
+# ---------------------------------------------------------------------------
+# Struct-of-arrays run state
+
+
+class _SoAState:
+    """Packed per-device run state for one class batch (numpy-backed)."""
+
+    def __init__(self, specs: Sequence[DeviceSpec]) -> None:
+        n = len(specs)
+        self.tau = np.zeros(n, dtype=np.int64)
+        self.index = np.zeros(n, dtype=np.int64)
+        self.stuck = np.zeros(n, dtype=bool)
+        self.budget = np.fromiter(
+            (s.budget_cycles for s in specs), dtype=np.int64, count=n
+        )
+        self.cap = np.fromiter(
+            (s.max_activations for s in specs), dtype=np.int64, count=n
+        )
+
+    def live(self) -> list[int]:
+        mask = (
+            ~self.stuck & (self.tau < self.budget) & (self.index < self.cap)
+        )
+        return np.flatnonzero(mask).tolist()
+
+    def tau_of(self, pos: int) -> int:
+        return int(self.tau[pos])
+
+    def index_of(self, pos: int) -> int:
+        return int(self.index[pos])
+
+    def advance(
+        self, positions: Sequence[int], tau_delta: int, completed: bool
+    ) -> None:
+        idx = np.asarray(positions, dtype=np.intp)
+        self.tau[idx] += tau_delta
+        self.index[idx] += 1
+        if not completed:
+            self.stuck[idx] = True
+
+
+class _ListState:
+    """Pure-python fallback with the same interface as :class:`_SoAState`."""
+
+    def __init__(self, specs: Sequence[DeviceSpec]) -> None:
+        n = len(specs)
+        self.tau = [0] * n
+        self.index = [0] * n
+        self.stuck = [False] * n
+        self.budget = [s.budget_cycles for s in specs]
+        self.cap = [s.max_activations for s in specs]
+
+    def live(self) -> list[int]:
+        return [
+            pos
+            for pos in range(len(self.tau))
+            if not self.stuck[pos]
+            and self.tau[pos] < self.budget[pos]
+            and self.index[pos] < self.cap[pos]
+        ]
+
+    def tau_of(self, pos: int) -> int:
+        return self.tau[pos]
+
+    def index_of(self, pos: int) -> int:
+        return self.index[pos]
+
+    def advance(
+        self, positions: Sequence[int], tau_delta: int, completed: bool
+    ) -> None:
+        for pos in positions:
+            self.tau[pos] += tau_delta
+            self.index[pos] += 1
+            if not completed:
+                self.stuck[pos] = True
+
+
+def _run_state(specs: Sequence[DeviceSpec]):
+    return _SoAState(specs) if np is not None else _ListState(specs)
+
+
+# ---------------------------------------------------------------------------
+# The executor
+
+
+class VectorFleetExecutor:
+    """Batch same-class devices through one shared decode + memo table.
+
+    Drop-in peer of the serial and sharded executors: ``run`` takes
+    device specs and returns a :class:`FleetAggregator` whose canonical
+    JSON is byte-identical to theirs.  The memo table persists across
+    ``run`` calls, so checkpointed chunked runs keep their warm cache.
+    """
+
+    name = "vector"
+
+    def __init__(
+        self,
+        engine: str = ENGINE_FAST,
+        memo: Optional[ActivationMemo] = None,
+        max_entries: int = 65_536,
+    ) -> None:
+        self.engine = engine
+        #: what actually executed the last batch (vector always itself)
+        self.used = "vector"
+        self.memo = memo if memo is not None else ActivationMemo(max_entries)
+        self._supply_protos: dict[SupplySpec, PowerSupply] = {}
+        self._envs: dict = {}
+        self._codecs: dict = {}
+        self._initials: dict = {}
+
+    # -- shared-resource caches ---------------------------------------------
+
+    def memo_stats(self) -> dict:
+        """Hit/miss accounting for reports and benchmarks."""
+        return self.memo.stats.to_dict(entries=len(self.memo))
+
+    def _spawn_supply(self, spec: DeviceSpec) -> PowerSupply:
+        proto = self._supply_protos.get(spec.supply)
+        if proto is None:
+            proto = spec.supply.build(0)
+            self._supply_protos[spec.supply] = proto
+        return proto.spawn(spec.seed + spec.supply.seed_offset)
+
+    def _env(self, spec: DeviceSpec):
+        """(env_key, env, period) for ``spec``; envs are pure, so shared."""
+        key = (spec.app, spec.env_seed, spec.env_overrides, spec.phase)
+        cached = self._envs.get(key)
+        if cached is None:
+            env = BENCHMARKS[spec.app].env_factory(spec.env_seed)
+            if spec.env_overrides:
+                bind_signal_specs(env, spec.env_overrides)
+            env = env.shifted(spec.phase)
+            cached = self._envs[key] = (key, env, env.period())
+        return cached
+
+    def _codec(self, spec: DeviceSpec, compiled, plan):
+        key = (spec.app, spec.config)
+        codec = self._codecs.get(key)
+        if codec is None:
+            codec = self._codecs[key] = NVCodec(compiled.module, plan)
+            self._initials[key] = codec.encode(
+                NVState.initial(compiled.module)
+            )
+        return codec, self._initials[key]
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, devices: Sequence[DeviceSpec]) -> FleetAggregator:
+        aggregator = FleetAggregator()
+        batches: dict[str, list[DeviceSpec]] = {}
+        for spec in devices:
+            aggregator.add_device(spec)
+            batches.setdefault(spec.class_name, []).append(spec)
+        for specs in batches.values():
+            self._run_batch(specs, aggregator)
+        return aggregator
+
+    def _stepper(self, spec, env, supply, nv, start_tau, start_index, shared):
+        compiled, costs, plan = shared
+        return ActivationStepper(
+            compiled,
+            env,
+            supply,
+            spec.budget_cycles,
+            costs=costs,
+            plan=plan,
+            max_activations=spec.max_activations,
+            nv=nv,
+            engine=self.engine,
+            start_tau=start_tau,
+            start_index=start_index,
+        )
+
+    def _run_batch(
+        self, specs: list[DeviceSpec], aggregator: FleetAggregator
+    ) -> None:
+        first = specs[0]
+        meta = BENCHMARKS[first.app]
+        compiled = GLOBAL_CACHE.get_or_compile(meta.source, first.config)
+        costs = meta.cost_model()
+        plan = compiled.detector_plan()
+        shared = (compiled, costs, plan)
+        codec, init_ref = self._codec(first, compiled, plan)
+        prog_key = (first.app, first.config, self.engine)
+        envs = [self._env(spec) for spec in specs]
+        state = _run_state(specs)
+        # Per-device execution slot: None (cold, supply not yet spawned),
+        # ("cold", supply, token), ("virt", entry) -- fully tokenized,
+        # no live machine -- or ("mat", stepper) for devices whose supply
+        # is opaque and must step for real forever.
+        slots: list = [None] * len(specs)
+
+        while True:
+            live = state.live()
+            if not live:
+                break
+            # Group provably identical situations; insertion order (and
+            # therefore representative choice) follows device order, so
+            # runs are deterministic.
+            groups: dict = {}
+            for pos in live:
+                slot = slots[pos]
+                if slot is None:
+                    supply = self._spawn_supply(specs[pos])
+                    token = supply_memo_token(supply)
+                    if token is None:
+                        slot = (
+                            "mat",
+                            self._stepper(
+                                specs[pos],
+                                envs[pos][1],
+                                supply,
+                                materialize_nv(init_ref),
+                                0,
+                                0,
+                                shared,
+                            ),
+                        )
+                    else:
+                        slot = ("cold", supply, token)
+                    slots[pos] = slot
+                kind = slot[0]
+                if kind == "mat":
+                    self._step_materialized(pos, slot[1], specs, state, aggregator)
+                    continue
+                if kind == "cold":
+                    nv_ref, stoken = init_ref, slot[2]
+                else:  # virt
+                    entry = slot[1]
+                    nv_ref, stoken = entry.post_nv, entry.post_supply_token
+                    if stoken is None:
+                        # Post-state supply became opaque: pin the device
+                        # to a real stepper from here on.
+                        supply = self._spawn_supply(specs[pos])
+                        restore_supply_state(supply, entry.post_supply_capture)
+                        stepper = self._stepper(
+                            specs[pos],
+                            envs[pos][1],
+                            supply,
+                            materialize_nv(nv_ref),
+                            state.tau_of(pos),
+                            state.index_of(pos),
+                            shared,
+                        )
+                        slots[pos] = ("mat", stepper)
+                        self._step_materialized(
+                            pos, stepper, specs, state, aggregator
+                        )
+                        continue
+                gkey = (envs[pos][0], state.tau_of(pos), nv_ref.token, stoken)
+                group = groups.get(gkey)
+                if group is None:
+                    groups[gkey] = [nv_ref, slot, pos, [pos]]
+                else:
+                    group[3].append(pos)
+
+            for gkey, (nv_ref, rep_slot, rep_pos, members) in groups.items():
+                env_key, wave_tau, _, stoken = gkey
+                period = envs[rep_pos][2]
+                # Quantize time only when the environment provably
+                # repeats and the nonvolatile state carries no
+                # absolute-time taint; otherwise key on absolute tau.
+                if period is None or nv_ref.tainted:
+                    time_token = wave_tau
+                else:
+                    time_token = wave_tau % period
+                mkey = (prog_key, env_key, time_token, nv_ref.token, stoken)
+                entry = self.memo.get(mkey)
+                if entry is None:
+                    entry = self._execute_miss(
+                        specs[rep_pos],
+                        envs[rep_pos][1],
+                        nv_ref,
+                        rep_slot,
+                        wave_tau,
+                        state.index_of(rep_pos),
+                        codec,
+                        shared,
+                    )
+                    self.memo.put(mkey, entry)
+                    self.memo.stats.misses += 1
+                    self.memo.stats.hits += len(members) - 1
+                else:
+                    self.memo.stats.hits += len(members)
+                for pos in members:
+                    slots[pos] = ("virt", entry)
+                state.advance(members, entry.tau_delta, entry.record.completed)
+                aggregator.observe_many(
+                    specs[rep_pos], entry.record, len(members)
+                )
+
+    def _execute_miss(
+        self, spec, env, nv_ref, rep_slot, wave_tau, wave_index, codec, shared
+    ) -> MemoEntry:
+        """Run one real activation for a group representative."""
+        if rep_slot[0] == "cold":
+            supply = rep_slot[1]
+        else:
+            supply = self._spawn_supply(spec)
+            restore_supply_state(supply, rep_slot[1].post_supply_capture)
+        stepper = self._stepper(
+            spec,
+            env,
+            supply,
+            materialize_nv(nv_ref),
+            wave_tau,
+            wave_index,
+            shared,
+        )
+        record = stepper.step()
+        assert record is not None, "grouped device stepped while exhausted"
+        return MemoEntry(
+            record=record,
+            tau_delta=stepper.tau - wave_tau,
+            post_nv=codec.encode(stepper.nv),
+            post_supply_token=supply_memo_token(supply),
+            post_supply_capture=capture_supply_state(supply),
+        )
+
+    def _step_materialized(self, pos, stepper, specs, state, aggregator):
+        record = stepper.step()
+        assert record is not None, "live arrays disagree with stepper"
+        state.advance(
+            [pos], stepper.tau - state.tau_of(pos), record.completed
+        )
+        aggregator.observe_many(specs[pos], record, 1)

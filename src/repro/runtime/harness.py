@@ -197,6 +197,8 @@ class ActivationStepper:
         config: Optional[MachineConfig] = None,
         nv: Optional[NVState] = None,
         engine: str = ENGINE_FAST,
+        start_tau: int = 0,
+        start_index: int = 0,
     ) -> None:
         self._compiled = compiled
         self._env = env
@@ -208,8 +210,12 @@ class ActivationStepper:
         self._config = config
         self._engine = engine
         self.nv = nv or NVState.initial(compiled.module)
-        self.tau = 0
-        self.index = 0
+        # Mid-stream resume point: the vectorized fleet executor rebuilds
+        # a stepper around replayed (nv, supply, tau, index) state, so a
+        # device can switch between memo replay and real stepping without
+        # re-running its history.
+        self.tau = start_tau
+        self.index = start_index
         self._stuck = False
 
     @property

@@ -61,6 +61,15 @@ class PowerSupply(Protocol):
         """Power off; return the off-time (cycles) until reboot."""
         ...
 
+    # Memoization hooks (see :mod:`repro.energy.segments`).  Optional:
+    # the fleet memoizer probes them with getattr and treats a supply
+    # without them (or one answering ``memo_token() is None``) as
+    # opaque, which disables replay but never affects correctness.
+    #
+    # def memo_token(self) -> Hashable | None: ...
+    # def memo_capture(self) -> object: ...
+    # def memo_restore(self, state: object) -> None: ...
+
 
 @dataclass
 class ContinuousPower:
@@ -87,6 +96,17 @@ class ContinuousPower:
 
     def reseed(self, seed: int) -> None:
         """Nothing to reset; kept for per-device re-seeding uniformity."""
+
+    def memo_token(self):
+        """Hashable identity of future behavior; wall power never varies."""
+        return ("wall",)
+
+    def memo_capture(self):
+        """Mutable-state snapshot for memo replay; wall power has none."""
+        return None
+
+    def memo_restore(self, state) -> None:
+        """Apply a captured snapshot; stateless, so nothing to do."""
 
 
 @dataclass(frozen=True)
@@ -178,6 +198,27 @@ class ScheduledFailures:
         self._counts.clear()
         self._fired.clear()
 
+    def memo_token(self):
+        """Hashable identity of future behavior: the schedule plus which
+        points already fired and the per-uid occurrence counters."""
+        return (
+            "sched",
+            tuple(self.points),
+            self.off_cycles,
+            tuple(sorted(self._counts.items())),
+            frozenset(self._fired),
+        )
+
+    def memo_capture(self):
+        """Snapshot the firing bookkeeping for memo replay."""
+        return (dict(self._counts), set(self._fired))
+
+    def memo_restore(self, state) -> None:
+        """Apply a captured firing-bookkeeping snapshot."""
+        counts, fired = state
+        self._counts = dict(counts)
+        self._fired = set(fired)
+
 
 class Harvester(Protocol):
     def off_cycles(self, deficit: int) -> int: ...
@@ -185,6 +226,12 @@ class Harvester(Protocol):
     def spawn(self, seed: int) -> "Harvester": ...
 
     def reseed(self, seed: int) -> None: ...
+
+    def memo_token(self): ...
+
+    def memo_capture(self): ...
+
+    def memo_restore(self, state) -> None: ...
 
 
 @dataclass
@@ -262,3 +309,46 @@ class EnergyDrivenSupply:
         self.harvester.reseed(derive_seed(seed, "harvest"))
         self.seed = derive_seed(seed, "boot")
         self._rng = random.Random(self.seed)
+
+    def memo_token(self):
+        """Hashable identity of future behavior.
+
+        Covers everything the supply's answers depend on: capacitor
+        geometry and charge, the boot-comparator band, and -- only where
+        randomness can actually influence an outcome -- the exact RNG
+        stream positions.  A degenerate boot band (``lo == hi``) never
+        draws, so its RNG is excluded and devices on different per-device
+        seeds still compare equal; likewise the harvester excludes its
+        stream when its jitter is degenerate.  Returns ``None`` when the
+        harvester is opaque (no memo hooks), which disables replay.
+        """
+        token = getattr(self.harvester, "memo_token", None)
+        harvester = token() if token is not None else None
+        if harvester is None:
+            return None
+        lo, hi = self.boot_fraction
+        boot = self._rng.getstate() if hi > lo else None
+        return (
+            "energy",
+            self.capacitor.capacity,
+            self.capacitor.low_threshold,
+            self.capacitor.level,
+            self.boot_fraction,
+            boot,
+            harvester,
+        )
+
+    def memo_capture(self):
+        """Snapshot charge and stream positions for memo replay."""
+        return (
+            self.capacitor.level,
+            self._rng.getstate(),
+            self.harvester.memo_capture(),
+        )
+
+    def memo_restore(self, state) -> None:
+        """Apply a captured snapshot (charge + stream positions)."""
+        level, rng_state, harvester_state = state
+        self.capacitor.level = level
+        self._rng.setstate(rng_state)
+        self.harvester.memo_restore(harvester_state)

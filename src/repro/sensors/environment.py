@@ -18,14 +18,35 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping
+from typing import Callable, Iterable, Mapping, Optional
 
 Signal = Callable[[int], int]
 
 
+def _periodic(signal: Signal, period: Optional[int]) -> Signal:
+    """Annotate ``signal`` with its exact period (if it has one).
+
+    A period ``P`` promises ``signal(tau) == signal(tau % P)`` for every
+    ``tau >= 0`` -- *exactly*, so only signals computed with pure integer
+    arithmetic declare one (``sine`` rounds floats, where ``tau`` and
+    ``tau % P`` can land on different sides of a rounding boundary, so it
+    stays aperiodic).  The fleet memoizer keys activations on
+    :meth:`Environment.segment_token`, which collapses logical times that
+    provably see the same world; an undeclared period only costs cache
+    hits, a wrongly declared one would corrupt results.
+    """
+    signal.period = period  # type: ignore[attr-defined]
+    return signal
+
+
+def signal_period(signal: Signal) -> Optional[int]:
+    """The declared exact period of ``signal``, or None if aperiodic."""
+    return getattr(signal, "period", None)
+
+
 def constant(value: int) -> Signal:
     """A signal that never changes (useful in unit tests)."""
-    return lambda tau: value
+    return _periodic(lambda tau: value, 1)
 
 
 def ramp(start: int, slope_per_kilocycle: int) -> Signal:
@@ -34,7 +55,7 @@ def ramp(start: int, slope_per_kilocycle: int) -> Signal:
     def signal(tau: int) -> int:
         return start + (slope_per_kilocycle * tau) // 1000
 
-    return signal
+    return _periodic(signal, 1 if slope_per_kilocycle == 0 else None)
 
 
 def sine(mean: int, amplitude: int, period: int) -> Signal:
@@ -73,7 +94,7 @@ def steps(levels: list[int], dwell: int) -> Signal:
         last = (segment, value)
         return value
 
-    return signal
+    return _periodic(signal, dwell * count)
 
 
 def random_walk(start: int, step: int, seed: int, interval: int = 200) -> Signal:
@@ -128,7 +149,7 @@ def burst(base: int, spike: int, period: int, width: int, offset: int = 0) -> Si
         phase = (tau + offset) % period
         return spike if phase < width else base
 
-    return signal
+    return _periodic(signal, period)
 
 
 def phase_shifted(signal: Signal, offset: int) -> Signal:
@@ -145,7 +166,10 @@ def phase_shifted(signal: Signal, offset: int) -> Signal:
     def shifted(tau: int) -> int:
         return signal(tau + offset)
 
-    return shifted
+    # A shift preserves exact periodicity: sig(tau + off) repeats with
+    # the same period.  Shifts are nonnegative, so the tau >= 0 promise
+    # of the base signal's period still covers every shifted read.
+    return _periodic(shifted, signal_period(signal))
 
 
 def parse_signal_spec(text: str, default_dwell: int = 2000) -> Signal:
@@ -236,6 +260,31 @@ class Environment:
         return Environment(
             {ch: phase_shifted(sig, offset) for ch, sig in self.signals.items()}
         )
+
+    def period(self) -> Optional[int]:
+        """The exact period of the whole environment, if every signal has one.
+
+        The least common multiple of the per-signal periods: after
+        ``period()`` cycles every channel provably repeats, so two logical
+        times congruent modulo it see identical worlds.  ``None`` when any
+        signal is aperiodic (a random walk, a nonzero ramp) -- then no two
+        distinct times are provably equivalent.
+        """
+        periods = [signal_period(sig) for sig in self.signals.values()]
+        if not periods or any(p is None for p in periods):
+            return None
+        return math.lcm(*periods)
+
+    def segment_token(self, tau: int) -> int:
+        """Quantize ``tau`` to this environment's repeating segment.
+
+        The fleet memoizer's environment-time key: two activations whose
+        tokens agree are guaranteed to sample identical values at every
+        relative offset.  Aperiodic environments get the identity mapping
+        (absolute ``tau``), which never produces a false equivalence.
+        """
+        period = self.period()
+        return tau if period is None else tau % period
 
     @staticmethod
     def constant_for(channels: list[str], value: int = 0) -> "Environment":

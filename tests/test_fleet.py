@@ -15,6 +15,7 @@ from repro.fleet import (
     FleetError,
     FleetSpec,
     aggregate_fingerprint,
+    checkpoint_fingerprint,
     duty_table,
     histogram_table,
     run_fleet,
@@ -267,7 +268,12 @@ class TestCheckpointResume:
         # devices, checkpoint, then resume from disk.
         path = tmp_path / "fleet.ckpt.json"
         partial = run_shard(spec.expand()[:3])
-        FleetCheckpoint(spec.fingerprint(), 3, partial.to_dict()).save(path)
+        FleetCheckpoint(
+            checkpoint_fingerprint(spec),
+            3,
+            partial.to_dict(),
+            executor_family="serial",
+        ).save(path)
         resumed = run_fleet(spec, "serial", checkpoint_path=path)
         assert resumed.resumed_devices == 3
         assert aggregate_fingerprint(resumed) == aggregate_fingerprint(full)
@@ -293,7 +299,10 @@ class TestCheckpointResume:
         other = small_spec(fleet_seed=99)
         path = tmp_path / "fleet.ckpt.json"
         FleetCheckpoint(
-            other.fingerprint(), 1, FleetAggregator().to_dict()
+            checkpoint_fingerprint(other),
+            1,
+            FleetAggregator().to_dict(),
+            executor_family="serial",
         ).save(path)
         with pytest.raises(FleetError, match="different"):
             run_fleet(spec, "serial", checkpoint_path=path)

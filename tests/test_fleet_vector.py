@@ -1,0 +1,296 @@
+"""Vectorized fleet executor: parity, memo-key soundness, hit rates.
+
+The vector executor's whole value proposition is "same bytes, fewer
+instructions": these tests pin the byte-identity against the serial and
+sharded executors (including under hypothesis-generated fleets), prove
+the memo key cannot produce false hits (perturbing one nonvolatile bit,
+one stored value, one taint, or one environment segment changes the
+key), and check that the intended hits actually happen (a homogeneous
+deterministic fleet replays almost everything).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import BENCHMARKS
+from repro.core.cache import GLOBAL_CACHE
+from repro.eval.campaign import SupplySpec
+from repro.fleet import (
+    DeviceClass,
+    FleetAggregator,
+    FleetCheckpoint,
+    FleetError,
+    FleetSpec,
+    NVCodec,
+    VectorFleetExecutor,
+    aggregate_fingerprint,
+    checkpoint_fingerprint,
+    run_fleet,
+    run_shard,
+)
+from repro.ir.instructions import InstrId
+from repro.runtime.executor import NVState
+from repro.runtime.values import InputEvent, TVal
+from repro.sensors.environment import Environment, constant, steps
+from tests.strategies import fleet_specs
+
+
+def uniform_spec(count: int = 40, **overrides) -> FleetSpec:
+    """A homogeneous fleet whose devices are provably equivalent.
+
+    Deterministic supply randomness (no harvest spread, degenerate boot
+    band) plus no per-device jitter means every device repeats device
+    zero's activations exactly -- the memoizer's best case.
+    """
+    defaults = dict(
+        classes=(
+            DeviceClass(
+                name="tire",
+                app="tire",
+                config="ocelot",
+                count=count,
+                supply=SupplySpec(
+                    name="rf",
+                    harvest_rate=300,
+                    harvest_spread=1.0,
+                    boot_fraction=(1.0, 1.0),
+                ),
+            ),
+        ),
+        fleet_seed=11,
+        budget_cycles=60_000,
+        name="uniform",
+    )
+    defaults.update(overrides)
+    return FleetSpec(**defaults)
+
+
+def mixed_spec(**overrides) -> FleetSpec:
+    """A small heterogeneous fleet with real stochastic supplies."""
+    defaults = dict(
+        classes=(
+            DeviceClass(
+                name="tire",
+                app="tire",
+                config="ocelot",
+                count=5,
+                supply=SupplySpec(name="rf", harvest_rate=300),
+            ),
+            DeviceClass(
+                name="gh",
+                app="greenhouse",
+                config="jit",
+                count=4,
+                supply=SupplySpec(
+                    name="weak", harvest_rate=220, seed_offset=3
+                ),
+                phase_jitter=4_000,
+            ),
+        ),
+        fleet_seed=5,
+        budget_cycles=30_000,
+        name="mixed",
+    )
+    defaults.update(overrides)
+    return FleetSpec(**defaults)
+
+
+def _tire_codec() -> tuple[NVCodec, NVState]:
+    meta = BENCHMARKS["tire"]
+    compiled = GLOBAL_CACHE.get_or_compile(meta.source, "ocelot")
+    plan = compiled.detector_plan()
+    return NVCodec(compiled.module, plan), NVState.initial(compiled.module)
+
+
+class TestVectorParity:
+    def test_matches_serial_on_mixed_fleet(self):
+        spec = mixed_spec()
+        serial = run_fleet(spec, "serial")
+        vector = run_fleet(spec, "vector")
+        assert aggregate_fingerprint(vector) == aggregate_fingerprint(serial)
+        assert vector.executor == vector.executor_used == "vector"
+        assert serial.memo is None
+        assert vector.memo is not None and vector.memo["misses"] > 0
+
+    def test_matches_serial_on_uniform_fleet(self):
+        spec = uniform_spec(count=12)
+        serial = run_fleet(spec, "serial")
+        vector = run_fleet(spec, "vector")
+        assert aggregate_fingerprint(vector) == aggregate_fingerprint(serial)
+
+    @given(spec=fleet_specs())
+    @settings(max_examples=10, deadline=None)
+    def test_vector_matches_serial_property(self, spec):
+        devices = spec.expand()
+        serial = run_shard(devices)
+        vector = VectorFleetExecutor().run(devices)
+        assert vector.to_json() == serial.to_json()
+
+    def test_memo_survives_chunking(self):
+        # One executor over many chunks must equal one-shot execution:
+        # entries learned in chunk k legally replay in chunk k+1.
+        spec = uniform_spec(count=20)
+        devices = spec.expand()
+        one_shot = VectorFleetExecutor().run(devices)
+        chunked_executor = VectorFleetExecutor()
+        merged = FleetAggregator()
+        for lo in range(0, len(devices), 6):
+            merged.merge(chunked_executor.run(devices[lo : lo + 6]))
+        assert merged.to_json() == one_shot.to_json()
+        assert chunked_executor.memo.stats.hits > 0
+
+
+class TestMemoKeySoundness:
+    def test_flipping_one_nv_bit_changes_token(self):
+        codec, nv = _tire_codec()
+        baseline = codec.encode(nv).token
+        chains = sorted(codec._bit_index)
+        assert chains, "tire/ocelot should have detector bit chains"
+        nv.bits.set(chains[0])
+        assert codec.encode(nv).token != baseline
+
+    def test_each_bit_is_distinct(self):
+        codec, nv = _tire_codec()
+        chains = sorted(codec._bit_index)
+        tokens = set()
+        for chain in chains:
+            fresh = NVState.initial(
+                GLOBAL_CACHE.get_or_compile(
+                    BENCHMARKS["tire"].source, "ocelot"
+                ).module
+            )
+            fresh.bits.set(chain)
+            tokens.add(codec.encode(fresh).token)
+        assert len(tokens) == len(chains)
+
+    @given(delta=st.integers(-1000, 1000).filter(lambda d: d != 0))
+    @settings(max_examples=25, deadline=None)
+    def test_perturbing_one_value_changes_token(self, delta):
+        codec, nv = _tire_codec()
+        baseline = codec.encode(nv).token
+        name = sorted(nv.globals)[0]
+        cell = nv.globals[name]
+        nv.globals[name] = TVal(cell.value + delta, cell.taint)
+        assert codec.encode(nv).token != baseline
+
+    def test_tainting_a_value_changes_token(self):
+        codec, nv = _tire_codec()
+        ref = codec.encode(nv)
+        assert ref.tainted is False
+        name = sorted(nv.globals)[0]
+        cell = nv.globals[name]
+        event = InputEvent(uid=InstrId("main", 1), channel="pressure", tau=7)
+        nv.globals[name] = TVal(cell.value, frozenset({event}))
+        tainted = codec.encode(nv)
+        assert tainted.token != ref.token
+        assert tainted.tainted is True
+
+    def test_changing_one_environment_segment_changes_token(self):
+        env = Environment(
+            {"pressure": steps([10, 20, 30], dwell=100), "temp": constant(4)}
+        )
+        period = env.period()
+        assert period == 300
+        # Same segment => same token; a different segment => different
+        # token; one full period later => provably the same world again.
+        assert env.segment_token(50) == env.segment_token(50)
+        assert env.segment_token(50) != env.segment_token(150)
+        assert env.segment_token(50) == env.segment_token(50 + period)
+
+    def test_aperiodic_environment_never_collapses_times(self):
+        from repro.sensors.environment import random_walk
+
+        env = Environment({"walk": random_walk(0, 2, seed=9)})
+        assert env.period() is None
+        assert env.segment_token(123) == 123
+        assert env.segment_token(123) != env.segment_token(456)
+
+    def test_structural_fallback_agrees_on_identity(self):
+        # Values beyond int64 force the structural token path; identical
+        # states must still collide and perturbed ones must not.
+        codec, nv = _tire_codec()
+        name = sorted(nv.globals)[0]
+        nv.globals[name] = TVal(2**80, frozenset())
+        one = codec.encode(nv).token
+        two = codec.encode(nv).token
+        assert one == two
+        nv.globals[name] = TVal(2**80 + 1, frozenset())
+        assert codec.encode(nv).token != one
+
+
+class TestHitRates:
+    def test_homogeneous_fleet_replays_almost_everything(self):
+        executor = VectorFleetExecutor()
+        result = run_fleet(uniform_spec(count=50), executor=executor)
+        stats = executor.memo.stats
+        assert stats.hits + stats.misses > 0
+        # 49 of 50 equivalent devices ride the first device's entries.
+        assert stats.hit_rate >= 0.9
+        assert result.memo["hit_rate"] >= 0.9
+
+    def test_jittered_fleet_still_correct_with_low_hit_rate(self):
+        spec = FleetSpec(
+            classes=(
+                DeviceClass(
+                    name="tire",
+                    app="tire",
+                    config="ocelot",
+                    count=6,
+                    supply=SupplySpec(name="rf", harvest_rate=300),
+                ),
+            ),
+            fleet_seed=11,
+            budget_cycles=30_000,
+            name="jittered",
+        )
+        serial = run_fleet(spec, "serial")
+        vector = run_fleet(spec, "vector")
+        assert aggregate_fingerprint(vector) == aggregate_fingerprint(serial)
+
+
+class TestCheckpointFamilyGate:
+    def test_cross_family_resume_with_matching_fingerprint(self, tmp_path):
+        spec = mixed_spec()
+        full = run_fleet(spec, "serial")
+        path = tmp_path / "fleet.ckpt.json"
+        partial = run_shard(spec.expand()[:3])
+        FleetCheckpoint(
+            checkpoint_fingerprint(spec),
+            3,
+            partial.to_dict(),
+            executor_family="serial",
+        ).save(path)
+        resumed = run_fleet(spec, "vector", checkpoint_path=path)
+        assert aggregate_fingerprint(resumed) == aggregate_fingerprint(full)
+        # Every family that built the aggregate is reported.
+        assert resumed.executor_used == "serial+vector"
+
+    def test_legacy_checkpoint_without_parity_scheme_rejected(self, tmp_path):
+        spec = mixed_spec()
+        path = tmp_path / "fleet.ckpt.json"
+        # A pre-parity-scheme checkpoint bound only the spec fingerprint.
+        FleetCheckpoint(
+            spec.fingerprint(), 3, FleetAggregator().to_dict()
+        ).save(path)
+        with pytest.raises(FleetError, match="parity scheme|different"):
+            run_fleet(spec, "vector", checkpoint_path=path)
+
+    def test_checkpoint_without_family_rejected(self, tmp_path):
+        spec = mixed_spec()
+        path = tmp_path / "fleet.ckpt.json"
+        FleetCheckpoint(
+            checkpoint_fingerprint(spec), 3, FleetAggregator().to_dict()
+        ).save(path)
+        with pytest.raises(FleetError, match="executor family"):
+            run_fleet(spec, "serial", checkpoint_path=path)
+
+    def test_vector_checkpoint_records_family(self, tmp_path):
+        spec = uniform_spec(count=8)
+        path = tmp_path / "fleet.ckpt.json"
+        run_fleet(spec, "vector", checkpoint_path=path, checkpoint_every=3)
+        checkpoint = FleetCheckpoint.load(path)
+        assert checkpoint.executor_family == "vector"
+        assert checkpoint.fingerprint == checkpoint_fingerprint(spec)
