@@ -1,0 +1,171 @@
+"""Benchmark: bounded model-checker throughput and prune effectiveness.
+
+The verifier's cost scales with explored fork states, so this benchmark
+tracks states/second and machine steps/second over a mixed workload of
+apps and build configurations, and -- the number the analysis-guided
+pruning stands on -- the *prune ratio*: explored states with pruning
+over explored states without, at identical verdicts::
+
+    python benchmarks/bench_verify.py          # write BENCH_verify.json
+    python benchmarks/bench_verify.py --quick  # CI gate, no record
+
+Every leg runs the same bound pruned and unpruned and asserts verdicts
+(and any counterexample violation) agree -- a standing soundness check
+next to ``tests/test_verify_crosscheck.py``.  ``--quick`` *fails*
+(exit 1) if any leg's verdicts diverge or if pruning does not explore
+strictly fewer states on every region-bearing leg.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.apps import BENCHMARKS
+from repro.core.cache import GLOBAL_CACHE
+from repro.sensors.environment import Environment
+from repro.verify import VerifyBounds, verify_program
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_verify.json"
+
+#: (app, config, max_failures): region-heavy proofs, a JIT
+#: counterexample, and the DINO-style whole-program transform.
+WORKLOAD = (
+    ("tire", "ocelot", 2),
+    ("tire", "jit", 1),
+    ("tire", "atomics", 2),
+    ("greenhouse", "ocelot", 1),
+    ("cem", "atomics", 1),
+)
+
+#: Legs whose config carries atomic regions: pruning must win strictly.
+REGION_CONFIGS = ("ocelot", "atomics")
+
+
+def _bounds(max_failures: int, budget: int) -> VerifyBounds:
+    return VerifyBounds(
+        max_activations=1,
+        max_failures=max_failures,
+        max_cycles=budget,
+        max_states=500_000,
+    )
+
+
+def _leg(app: str, config: str, max_failures: int, budget: int) -> dict:
+    meta = BENCHMARKS[app]
+    compiled = GLOBAL_CACHE.get_or_compile(meta.source, config)
+    env = Environment.constant_for(compiled.module.channels, 0)
+    bounds = _bounds(max_failures, budget)
+    results = {}
+    for label, prune in (("pruned", True), ("unpruned", False)):
+        started = time.perf_counter()
+        verdict = verify_program(compiled, env, bounds, prune=prune)
+        seconds = time.perf_counter() - started
+        results[label] = {
+            "verdict": verdict.kind,
+            "violation": (
+                [verdict.violation[0], verdict.violation[1]]
+                if verdict.violation is not None
+                else None
+            ),
+            "explored": verdict.stats.explored,
+            "steps": verdict.stats.steps,
+            "pruned": verdict.stats.pruned,
+            "pruned_noop": verdict.stats.pruned_noop,
+            "deduped": verdict.stats.deduped,
+            "seconds": round(seconds, 4),
+            "states_per_second": round(verdict.stats.explored / seconds),
+            "steps_per_second": round(verdict.stats.steps / seconds),
+        }
+    pruned, full = results["pruned"], results["unpruned"]
+    return {
+        **results,
+        "verdicts_agree": pruned["verdict"] == full["verdict"]
+        and pruned["violation"] == full["violation"],
+        "prune_ratio": round(pruned["explored"] / max(1, full["explored"]), 4),
+    }
+
+
+def measure(budget: int = 200_000) -> dict:
+    legs = {}
+    started = time.perf_counter()
+    for app, config, max_failures in WORKLOAD:
+        legs[f"{app}/{config}"] = _leg(app, config, max_failures, budget)
+    total = time.perf_counter() - started
+    explored = sum(
+        leg[label]["explored"]
+        for leg in legs.values()
+        for label in ("pruned", "unpruned")
+    )
+    return {
+        "benchmark": "verify-throughput",
+        "workload": [f"{a}/{c} (failures<={f})" for a, c, f in WORKLOAD],
+        "budget_cycles": budget,
+        "cores": os.cpu_count() or 1,
+        "total_seconds": round(total, 4),
+        "total_states_explored": explored,
+        "states_per_second": round(explored / total),
+        "mean_prune_ratio": round(
+            sum(leg["prune_ratio"] for leg in legs.values()) / len(legs), 4
+        ),
+        "legs": legs,
+    }
+
+
+def _gate(record: dict) -> int:
+    failed = False
+    for name, leg in record["legs"].items():
+        if not leg["verdicts_agree"]:
+            print(
+                f"FAIL: {name}: pruned verdict "
+                f"{leg['pruned']['verdict']} != unpruned "
+                f"{leg['unpruned']['verdict']}"
+            )
+            failed = True
+        config = name.split("/", 1)[1]
+        if config in REGION_CONFIGS and leg["prune_ratio"] >= 1.0:
+            print(
+                f"FAIL: {name}: pruning explored no fewer states "
+                f"(ratio {leg['prune_ratio']})"
+            )
+            failed = True
+    if failed:
+        return 1
+    print(
+        f"ok: {record['total_states_explored']} states at "
+        f"{record['states_per_second']}/s, mean prune ratio "
+        f"{record['mean_prune_ratio']}, verdicts agree on every leg"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="bounded model-checker throughput benchmark"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI gate: small budget, prune parity, strict prune savings",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        record = measure(budget=60_000)
+        print(json.dumps(record, indent=2))
+        return _gate(record)
+
+    record = measure()
+    code = _gate(record)
+    if code != 0:
+        return code
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"record written to {RECORD_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

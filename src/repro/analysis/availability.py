@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.dataflow import (
     FORWARD,
+    MAX_ROUNDS,
     FunctionDataflow,
     SetIntersectLattice,
 )
@@ -74,11 +75,44 @@ class AvailabilityResult:
         return self.before.get(site, EMPTY)
 
 
+def function_block_depths(func: IRFunction) -> tuple[dict[str, int], bool]:
+    """Static atomic depth at each reachable block entry, relative to the
+    function's own entry; ``ok=False`` when brackets are inconsistent
+    (a join reached at two different depths).
+
+    Shared by the availability analysis and the verifier's resume-point
+    classification (:func:`classify_resume_points`), so both agree on
+    which program points sit inside a region.
+    """
+    depth_at: dict[str, int] = {func.entry: 0}
+    order = [func.entry]
+    idx = 0
+    ok = True
+    while idx < len(order) and ok:
+        name = order[idx]
+        idx += 1
+        depth = depth_at[name]
+        for instr in func.blocks[name].instrs:
+            if isinstance(instr, ir.AtomicStart):
+                depth += 1
+            elif isinstance(instr, ir.AtomicEnd):
+                depth -= 1
+        for succ in func.blocks[name].successors():
+            if succ not in depth_at:
+                depth_at[succ] = depth
+                order.append(succ)
+            elif depth_at[succ] != depth:
+                ok = False
+                break
+    return depth_at, ok
+
+
 class AvailabilityAnalysis:
     """Whole-program analysis; run once per module via :func:`analyze_availability`."""
 
-    def __init__(self, module: Module):
+    def __init__(self, module: Module, max_rounds: int = MAX_ROUNDS):
         self._module = module
+        self._max_rounds = max_rounds
         self._before: dict[Chain, frozenset[Chain]] = {}
         #: (context, func, entry fact, entry depth) -> exit fact
         self._memo: dict[tuple, frozenset[Chain]] = {}
@@ -110,27 +144,7 @@ class AvailabilityAnalysis:
         cached = self._depths.get(func.name)
         if cached is not None:
             return cached
-        depth_at: dict[str, int] = {func.entry: 0}
-        order = [func.entry]
-        idx = 0
-        ok = True
-        while idx < len(order) and ok:
-            name = order[idx]
-            idx += 1
-            depth = depth_at[name]
-            for instr in func.blocks[name].instrs:
-                if isinstance(instr, ir.AtomicStart):
-                    depth += 1
-                elif isinstance(instr, ir.AtomicEnd):
-                    depth -= 1
-            for succ in func.blocks[name].successors():
-                if succ not in depth_at:
-                    depth_at[succ] = depth
-                    order.append(succ)
-                elif depth_at[succ] != depth:
-                    ok = False
-                    break
-        result = (depth_at, ok)
+        result = function_block_depths(func)
         self._depths[func.name] = result
         return result
 
@@ -162,7 +176,7 @@ class AvailabilityAnalysis:
         flow = FunctionDataflow(func)
         boundary = entry_fact if entry_depth > 0 else EMPTY
         problem.entry_fact = boundary
-        solution = flow.solve(problem)
+        solution = flow.solve(problem, max_rounds=self._max_rounds)
         self._rounds += solution.rounds
         exit_fact = solution.out_fact(func.exit, EMPTY)
         self._memo[key] = exit_fact
@@ -231,7 +245,91 @@ class _AvailProblem:
         return fact
 
 
-def analyze_availability(module: Module) -> AvailabilityResult:
+def analyze_availability(
+    module: Module, max_rounds: int = MAX_ROUNDS
+) -> AvailabilityResult:
     """Run the must-executed-input analysis on a lowered (and, for useful
-    results, region-instrumented) module."""
-    return AvailabilityAnalysis(module).run()
+    results, region-instrumented) module.
+
+    ``max_rounds`` caps each per-function solver sweep; exceeding it
+    raises :class:`~repro.analysis.dataflow.ConvergenceError` naming
+    this analysis -- injectable so the cap is testable without a
+    pathological CFG.
+    """
+    return AvailabilityAnalysis(module, max_rounds=max_rounds).run()
+
+
+# ---------------------------------------------------------------------------
+# Resume-point classification (the verifier's pruning query)
+
+
+@dataclass(frozen=True)
+class ResumeClassification:
+    """Static atomic-region depth at every context-qualified chain.
+
+    ``depth[chain]`` is the static nesting depth *when control reaches*
+    the instruction (i.e. before it executes -- the ``fail_before``
+    moment).  Depth 0 means a power failure there deposits control at a
+    fresh resume point with cleared detector bits (activation restart or
+    a JIT checkpoint that resumes anywhere); depth >= 1 means
+    Atom-Reboot rolls volatile and logged nonvolatile state back to the
+    *outermost* region entry, so the failure's future is equivalent to
+    one already explored from the fork before that region entry.  Chains
+    in functions with inconsistent region brackets, or never classified,
+    conservatively report depth 0 (never prunable).
+    """
+
+    depth: dict[Chain, int] = field(default_factory=dict)
+    inconsistent: frozenset[str] = frozenset()
+
+    def prunable(self, chain: Chain) -> bool:
+        """May the verifier skip forking a failure before ``chain``?"""
+        return self.depth.get(chain, 0) > 0
+
+    @property
+    def in_region_chains(self) -> int:
+        return sum(1 for d in self.depth.values() if d > 0)
+
+
+def classify_resume_points(module: Module) -> ResumeClassification:
+    """Classify every reachable context-qualified chain by static depth.
+
+    Mirrors the availability transfer's depth tracking (same
+    :func:`function_block_depths`, same context-sensitive call walk), so
+    the pruner and the availability facts agree on region membership.
+    When the same chain is reached at different depths -- impossible for
+    bracket-consistent programs, but kept conservative -- the *minimum*
+    wins, which can only disable pruning, never enable it unsoundly.
+    """
+    depths: dict[Chain, int] = {}
+    inconsistent: set[str] = set()
+    seen: set[tuple[Context, str, int]] = set()
+
+    def walk(context: Context, func_name: str, entry_depth: int) -> None:
+        key = (context, func_name, entry_depth)
+        if key in seen:
+            return
+        seen.add(key)
+        func = module.function(func_name)
+        rel_depths, ok = function_block_depths(func)
+        if not ok:
+            inconsistent.add(func_name)
+            return
+        for block_name, rel in rel_depths.items():
+            depth = max(0, entry_depth + rel)
+            for instr in func.blocks[block_name].all_instrs():
+                chain = Chain.of(context, instr.uid)
+                old = depths.get(chain)
+                depths[chain] = depth if old is None else min(old, depth)
+                if isinstance(instr, ir.AtomicStart):
+                    depth += 1
+                elif isinstance(instr, ir.AtomicEnd):
+                    depth = max(0, depth - 1)
+                elif isinstance(instr, ir.CallInstr):
+                    if instr.func in module.functions:
+                        walk(context + (instr.uid,), instr.func, depth)
+
+    walk((), module.entry, 0)
+    return ResumeClassification(
+        depth=depths, inconsistent=frozenset(inconsistent)
+    )

@@ -5,15 +5,16 @@ Subcommands::
     python -m repro compile FILE      # compile; show regions / IR / policies
     python -m repro build TARGET      # compile; dump any stage artifact
     python -m repro check FILE        # checker mode on manual regions
-    python -m repro run FILE          # simulate an execution
+    python -m repro run TARGET        # simulate an execution
+    python -m repro verify TARGET     # bounded power-failure model checking
     python -m repro feasibility FILE  # Section 5.3 energy-feasibility report
     python -m repro eval              # regenerate the paper's tables/figures
     python -m repro campaign SPEC     # run a declarative evaluation campaign
     python -m repro fleet SPEC        # simulate a multi-device fleet
 
 Programs are modeling-language source files (see ``examples/`` and
-``src/repro/apps/`` for reference programs); ``build`` also accepts a
-registered benchmark name.  ``--config`` accepts any registered build
+``src/repro/apps/`` for reference programs); ``build``, ``run``, and
+``verify`` also accept a registered benchmark name.  ``--config`` accepts any registered build
 configuration and ``--emit`` any registered stage artifact -- both lists
 are derived from their registries (:mod:`repro.core.passes`), including
 the check-optimizer artifacts ``dataflow`` and ``opt`` of the ``*-opt``
@@ -97,6 +98,32 @@ def _parse_env(module_channels: list[str], specs: list[str]) -> Environment:
     return env
 
 
+def _resolve_target_source(target: str) -> str:
+    """Program text for ``target``: a source file path, or a registered
+    benchmark name when no such file exists."""
+    from repro.apps import BENCHMARKS
+
+    if target in BENCHMARKS and not Path(target).exists():
+        return BENCHMARKS[target].source
+    try:
+        return _read_source(target)
+    except OSError as exc:
+        known = ", ".join(BENCHMARKS)
+        raise SystemExit(
+            f"cannot read '{target}' (not a file; known benchmark "
+            f"names: {known}): {exc}"
+        ) from None
+
+
+def _compile_target(target: str, config: str):
+    """Compile a file-or-benchmark target through the compile cache."""
+    return compile_cached(
+        _resolve_target_source(target),
+        config=_resolve_config(config),
+        options=PipelineOptions(strict=False),
+    )
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     compiled = _compile(args.file, args.config)
     print(f"config      : {compiled.config}")
@@ -130,19 +157,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 def cmd_build(args: argparse.Namespace) -> int:
     """Compile and dump stage artifacts (``--emit ir|taint|timings|...``)."""
-    from repro.apps import BENCHMARKS
-
-    if args.target in BENCHMARKS and not Path(args.target).exists():
-        source = BENCHMARKS[args.target].source
-    else:
-        try:
-            source = _read_source(args.target)
-        except OSError as exc:
-            known = ", ".join(BENCHMARKS)
-            raise SystemExit(
-                f"cannot read '{args.target}' (not a file; known benchmark "
-                f"names: {known}): {exc}"
-            ) from None
+    source = _resolve_target_source(args.target)
     config = _resolve_config(args.config)
     compiled = compile_cached(
         source, config=config, options=PipelineOptions(strict=False)
@@ -179,8 +194,42 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    compiled = _compile(args.file, args.config)
+    compiled = _compile_target(args.file, args.config)
     env = _parse_env(compiled.module.channels, args.set or [])
+    if args.schedule:
+        from repro.verify import Schedule, ScheduleError, replay_schedule
+
+        try:
+            schedule = Schedule.from_json(Path(args.schedule).read_text())
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot read schedule '{args.schedule}': {exc}"
+            ) from None
+        except ScheduleError as exc:
+            raise SystemExit(
+                f"bad schedule '{args.schedule}': {exc}"
+            ) from None
+        result = replay_schedule(
+            compiled, env, schedule, engine=args.engine,
+            stop_at_violation=False,
+        )
+        print(
+            f"schedule    : {len(schedule.points)} failure point(s), "
+            f"{schedule.activations} activation(s)"
+        )
+        print(f"activations : {result.activations}")
+        print(f"completed   : {result.completed}")
+        print(f"all fired   : {result.all_fired}")
+        print(f"violations  : {len(result.violations)}")
+        for violation in result.violations:
+            missing = ", ".join(str(c) for c in violation.missing)
+            print(
+                f"  [tau={violation.tau}] {violation.kind} {violation.pid} "
+                f"at {violation.uid.func}:{violation.uid.label} "
+                f"missing {{{missing}}}"
+            )
+        print(f"final tau   : {result.final_tau}")
+        return 0 if result.completed else 1
     if args.intermittent:
         supply = STANDARD_PROFILE.make_supply(seed=args.seed)
     else:
@@ -198,6 +247,45 @@ def cmd_run(args: argparse.Namespace) -> int:
         for event in result.trace:
             print(f"  {event}")
     return 0 if result.stats.completed else 1
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Bounded model checking: prove the bound or emit a counterexample."""
+    import json
+
+    from repro.verify import VerifyBounds, verify_program
+
+    compiled = _compile_target(args.target, args.config)
+    env = _parse_env(compiled.module.channels, args.set or [])
+    bounds = VerifyBounds(
+        max_activations=args.max_activations,
+        max_failures=args.max_failures,
+        max_cycles=args.max_cycles,
+        max_states=args.max_states,
+        off_cycles=args.off_cycles,
+    )
+    verdict = verify_program(
+        compiled,
+        env,
+        bounds=bounds,
+        engine=args.engine,
+        prune=not args.no_prune,
+        record_graph=args.emit_graph is not None,
+        target=args.target,
+        config=args.config,
+    )
+    print(verdict.certificate())
+    if verdict.counterexample is not None and args.schedule_out:
+        Path(args.schedule_out).write_text(
+            verdict.counterexample.to_json() + "\n"
+        )
+        print(f"schedule written to {args.schedule_out}", file=sys.stderr)
+    if args.emit_graph is not None and verdict.graph is not None:
+        graph = dict(verdict.graph)
+        graph["stats"] = verdict.stats.to_dict()
+        Path(args.emit_graph).write_text(json.dumps(graph, indent=2) + "\n")
+        print(f"graph written to {args.emit_graph}", file=sys.stderr)
+    return verdict.exit_code
 
 
 def cmd_feasibility(args: argparse.Namespace) -> int:
@@ -383,7 +471,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.set_defaults(func=cmd_check)
 
     p_run = sub.add_parser("run", help="simulate one activation")
-    p_run.add_argument("file")
+    p_run.add_argument(
+        "file", help="source file path or registered benchmark name"
+    )
     add_config_flag(p_run)
     p_run.add_argument(
         "--set",
@@ -393,9 +483,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--intermittent", action="store_true")
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--schedule",
+        metavar="PATH",
+        default=None,
+        help="replay a failure-schedule JSON (e.g. a verify counterexample) "
+        "instead of simulating a supply",
+    )
     p_run.add_argument("--trace", action="store_true", help="dump all events")
     add_engine_flag(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="exhaustively model-check power-failure schedules in a bound",
+    )
+    p_verify.add_argument(
+        "target", help="source file path or registered benchmark name"
+    )
+    add_config_flag(p_verify)
+    p_verify.add_argument(
+        "--set",
+        action="append",
+        metavar="CH=VALUE | CH=L1,L2,...:DWELL",
+        help="bind a sensor channel (constant or stepping signal)",
+    )
+    p_verify.add_argument(
+        "--max-activations", type=int, default=1, metavar="N",
+        help="activations in the verified prefix (default: 1)",
+    )
+    p_verify.add_argument(
+        "--max-failures", type=int, default=2, metavar="N",
+        help="failures per explored schedule (default: 2)",
+    )
+    p_verify.add_argument(
+        "--max-cycles", type=int, default=200_000, metavar="N",
+        help="per-activation cycle budget of the bound (default: 200000)",
+    )
+    p_verify.add_argument(
+        "--max-states", type=int, default=100_000, metavar="N",
+        help="fork-state cap; hitting it degrades a proof to "
+        "bound-exhausted (default: 100000)",
+    )
+    p_verify.add_argument(
+        "--off-cycles", type=int, default=10_000, metavar="N",
+        help="recharge time charged per injected failure (default: 10000)",
+    )
+    p_verify.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable analysis-guided pruning (explore every fork)",
+    )
+    p_verify.add_argument(
+        "--schedule-out",
+        metavar="PATH",
+        default=None,
+        help="write a counterexample schedule JSON here (replayable via "
+        "'run --schedule')",
+    )
+    p_verify.add_argument(
+        "--emit-graph",
+        metavar="PATH",
+        default=None,
+        help="write the exploration graph (nodes, fork edges, stats) as JSON",
+    )
+    add_engine_flag(p_verify)
+    p_verify.set_defaults(func=cmd_verify)
 
     p_feas = sub.add_parser("feasibility", help="region energy bounds")
     p_feas.add_argument("file")

@@ -120,6 +120,42 @@ def _dataflow(compiled: CompiledProgram) -> str:
     return "\n".join(lines)
 
 
+def _availability(compiled: CompiledProgram) -> str:
+    """The full availability analysis plus the verifier's resume-point
+    classification, run on demand over the lowered module.
+
+    Unlike ``dataflow`` (which reports the facts the OptimizeChecks pass
+    recorded at check sites, and only for ``*-opt`` configurations),
+    this artifact works for every configuration and shows every
+    non-trivial program point -- the raw material for the verifier's
+    pruning argument.
+    """
+    from repro.analysis.availability import (
+        analyze_availability,
+        classify_resume_points,
+    )
+
+    result = analyze_availability(compiled.module)
+    classification = classify_resume_points(compiled.module)
+    lines = [
+        f"availability: {result.contexts} context(s) analyzed, "
+        f"{result.rounds} solver round(s)",
+        f"resume points: {len(classification.depth)} chain(s) classified, "
+        f"{classification.in_region_chains} inside atomic regions",
+    ]
+    if classification.inconsistent:
+        names = ", ".join(sorted(classification.inconsistent))
+        lines.append(f"inconsistent region brackets: {names}")
+    for chain in sorted(result.before):
+        fact = result.before[chain]
+        if not fact:
+            continue
+        rendered = ", ".join(str(c) for c in sorted(fact))
+        depth = classification.depth.get(chain, 0)
+        lines.append(f"  at {chain} (depth {depth}): must-available {{{rendered}}}")
+    return "\n".join(lines)
+
+
 def _opt(compiled: CompiledProgram) -> str:
     """The optimized check plan: per-pass counts and per-site actions."""
     plan = compiled.check_plan
@@ -166,6 +202,7 @@ ARTIFACTS: dict[str, Callable[[CompiledProgram], str]] = {
     "regions": _regions,
     "check": _check,
     "dataflow": _dataflow,
+    "availability": _availability,
     "opt": _opt,
     "timings": _timings,
     "diagnostics": _diagnostics,

@@ -45,6 +45,7 @@ from repro.core.passes import (
     register_config,
 )
 from repro.core.pipeline import CONFIGS, ConfigLike
+from repro.ir.instructions import InstrId
 from repro.eval.profiles import (
     STANDARD_BUDGET_CYCLES,
     STANDARD_PROFILE,
@@ -67,6 +68,7 @@ MODES = (MODE_ACTIVATIONS, MODE_INJECTION)
 
 SUPPLY_CONTINUOUS = "continuous"
 SUPPLY_HARVEST = "harvest"
+SUPPLY_SCHEDULE = "schedule"
 
 
 class CampaignError(ValueError):
@@ -129,6 +131,13 @@ class SupplySpec:
     ``seed_offset`` decorrelates the supply's randomness from the
     environment seed, matching how the table/figure modules historically
     offset their supply seeds.
+
+    Kind ``schedule`` is a deterministic failure schedule -- typically a
+    verifier counterexample (:meth:`repro.verify.Schedule.to_supply_spec`)
+    dropped into a campaign: ``points`` holds ``(func, label,
+    occurrence)`` triples and ``off_cycles`` the constant recharge time;
+    the harvest knobs and seed are ignored (the supply is seed-invariant
+    by construction).
     """
 
     name: str = SUPPLY_HARVEST
@@ -139,10 +148,16 @@ class SupplySpec:
     harvest_rate: int = 300
     harvest_spread: float = 3.0
     seed_offset: int = 0
+    points: tuple[tuple[str, int, int], ...] = ()
+    off_cycles: int = 10_000
 
     def __post_init__(self) -> None:
-        if self.kind not in (SUPPLY_CONTINUOUS, SUPPLY_HARVEST):
+        if self.kind not in (SUPPLY_CONTINUOUS, SUPPLY_HARVEST, SUPPLY_SCHEDULE):
             raise CampaignError(f"unknown supply kind '{self.kind}'")
+        for entry in self.points:
+            func, label, occurrence = entry
+            if not isinstance(func, str) or int(occurrence) < 1:
+                raise CampaignError(f"bad schedule point {entry!r}")
 
     @classmethod
     def continuous(cls, name: str = SUPPLY_CONTINUOUS) -> "SupplySpec":
@@ -178,11 +193,22 @@ class SupplySpec:
     def build(self, seed: int) -> PowerSupply:
         if self.kind == SUPPLY_CONTINUOUS:
             return ContinuousPower()
+        if self.kind == SUPPLY_SCHEDULE:
+            return ScheduledFailures(
+                [
+                    FailurePoint(
+                        uid=InstrId(func, int(label)), occurrence=int(occ)
+                    )
+                    for func, label, occ in self.points
+                ],
+                off_cycles=self.off_cycles,
+            )
         return self.profile().make_supply(seed=seed + self.seed_offset)
 
     def to_dict(self) -> dict:
         data = asdict(self)
         data["boot_fraction"] = list(self.boot_fraction)
+        data["points"] = [list(p) for p in self.points]
         return data
 
     @classmethod
@@ -190,6 +216,8 @@ class SupplySpec:
         data = dict(data)
         if "boot_fraction" in data:
             data["boot_fraction"] = tuple(data["boot_fraction"])
+        if "points" in data:
+            data["points"] = tuple(tuple(p) for p in data["points"])
         return cls(**data)
 
 

@@ -1,0 +1,127 @@
+"""Exhaustive-search crosscheck of the check optimizer's eliminations.
+
+The OptimizeChecks pass drops or downgrades runtime checks it proves can
+never fire: elided checks disappear outright, and ``fresh`` checks whose
+required chains are must-available become MARKER ops that emit the
+``use`` observation but never a violation
+(:meth:`~repro.runtime.executor.MachineCore._run_site_actions`).  Those
+proofs rest on the availability analysis; this module re-derives them by
+brute force.  It runs the bounded model checker
+(:mod:`repro.verify.explorer`) over the **baseline** (unoptimized)
+detector plan in collect-all mode -- every reachable failure schedule
+within the bound, recording every ``(policy, site)`` that fires -- and
+asserts that no optimizer-eliminated check is among them.
+
+The two oracles are independent by construction: the explorer executes
+the stock engines over the baseline plan and never consults the
+availability facts (pruning is disabled here by default so the search
+is exhaustive), while the optimizer never executes anything.  Agreement
+on generated programs (see ``tests/test_verify_crosscheck.py``) is
+therefore real evidence for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.provenance import Chain
+from repro.core.passes import CompiledProgram
+from repro.energy.costs import DEFAULT_COSTS, CostModel
+from repro.runtime.detector import OP_MARKER, build_detector_plan
+from repro.runtime.engine import ENGINE_FAST
+from repro.sensors.environment import Environment
+from repro.verify.explorer import Verdict, VerifyBounds, verify_program
+
+
+@dataclass(frozen=True)
+class CrosscheckResult:
+    """Outcome of one optimizer-vs-explorer comparison."""
+
+    #: (pid, site) pairs the optimizer claims can never fire
+    eliminated: frozenset[tuple[str, Chain]]
+    #: (pid, site) pairs that fired somewhere in the explored space
+    fired: frozenset[tuple[str, Chain]]
+    #: eliminated checks the exhaustive search saw firing -- optimizer bugs
+    offenders: tuple[tuple[str, Chain], ...]
+    verdict: Verdict
+
+    @property
+    def ok(self) -> bool:
+        return not self.offenders
+
+    @property
+    def complete(self) -> bool:
+        """Did the search cover the whole bound (nothing cut early)?"""
+        stats = self.verdict.stats
+        return stats.truncated == 0 and stats.stuck == 0
+
+    def render(self) -> str:
+        status = "ok" if self.ok else "OPTIMIZER BUG"
+        lines = [
+            f"crosscheck: {status} -- {len(self.eliminated)} eliminated "
+            f"check(s) vs {len(self.fired)} firing site(s) in "
+            f"{self.verdict.stats.explored} explored state(s)"
+        ]
+        for pid, site in self.offenders:
+            lines.append(f"  eliminated check {pid} at {site} FIRED")
+        return "\n".join(lines)
+
+
+def eliminated_checks(plan) -> frozenset[tuple[str, Chain]]:
+    """Every (pid, site) the optimized ``plan`` promises never fires:
+    elided checks plus MARKER-downgraded ops."""
+    out: set[tuple[str, Chain]] = set()
+    for check in plan.elided:
+        out.add((check.pid, check.site))
+    for site, actions in plan.actions.items():
+        for op in actions.ops:
+            if op.mode == OP_MARKER:
+                out.add((op.check.pid, site))
+    return frozenset(out)
+
+
+def crosscheck_optimized_plan(
+    compiled: CompiledProgram,
+    env: Environment,
+    bounds: VerifyBounds = VerifyBounds(),
+    engine: str = ENGINE_FAST,
+    costs: CostModel = DEFAULT_COSTS,
+    prune: bool = False,
+    optimized: Optional[object] = None,
+) -> CrosscheckResult:
+    """Explore every failure schedule within ``bounds`` under the
+    *baseline* detector plan and compare against the optimizer's
+    eliminations.
+
+    ``compiled`` must carry an optimized plan (``check_plan``), or one
+    must be supplied via ``optimized``.  Pruning defaults to off so the
+    oracle does not share the availability analysis with the system
+    under test.
+    """
+    plan = optimized if optimized is not None else compiled.check_plan
+    if plan is None:
+        raise ValueError(
+            f"build '{compiled.config}' has no optimized check plan to "
+            "crosscheck (use an *-opt configuration)"
+        )
+    baseline = build_detector_plan(compiled.policies)
+    verdict = verify_program(
+        compiled,
+        env,
+        bounds=bounds,
+        engine=engine,
+        costs=costs,
+        plan=baseline,
+        prune=prune,
+        collect_all=True,
+        minimize=False,
+    )
+    eliminated = eliminated_checks(plan)
+    offenders = tuple(sorted(eliminated & verdict.fired))
+    return CrosscheckResult(
+        eliminated=eliminated,
+        fired=verdict.fired,
+        offenders=offenders,
+        verdict=verdict,
+    )

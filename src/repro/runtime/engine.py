@@ -914,6 +914,55 @@ class FastMachine(MachineCore):
         ret = self._ret_value.value if self._ret_value is not None else None
         return obs.RunResult(trace=self.trace, stats=stats, ret=ret)
 
+    def step(self) -> None:
+        """One machine step over decoded code (generic supply path).
+
+        Mirrors a single iteration of :meth:`run` on the generic
+        fail/energy path -- exactly the reference machine's supply call
+        sequence -- so external drivers (the bounded model checker in
+        :mod:`repro.verify`) can single-step a fast machine under any
+        supply type.  :meth:`run` remains the hot loop; this method
+        trades its per-supply specialization for steppability, which by
+        the classification contract (unknown supplies take the generic
+        path) cannot change observable behavior.
+        """
+        if self._done:
+            return
+        supply = self._supply
+        frame = self._frames[-1]
+        op = frame.ops[frame.idx]
+
+        chain = (
+            op.chain_at(frame.sites)[0]
+            if op.uid in self._watched_uids
+            else None
+        )
+        if supply.fail_before(op.uid, chain):
+            self._power_failure()
+            return
+
+        estimate = op.cycles
+        if estimate is None:
+            estimate = op.estimate(self)
+        if supply.would_trip(self._costs.energy(estimate)):
+            self._power_failure()
+            return
+
+        if op.trigger:
+            actions = op.chain_at(frame.sites)[1]
+            if actions is not None:
+                self._run_site_actions(op.uid, actions)
+
+        cycles = op.run(self, frame)
+        self.tau += cycles
+        self.stats.cycles_on += cycles
+        self.stats.instructions += 1
+
+        if self._done:
+            return
+        if supply.consume(self._costs.energy(cycles)):
+            self._power_failure()
+
     # Detector check execution (_run_site_actions), power failure,
     # reboot, _deref, _write_global, _assert_logged, and _emit are the
     # shared MachineCore bodies.

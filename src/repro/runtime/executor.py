@@ -161,6 +161,16 @@ class MachineCore:
 
     # -- power failure and reboot ----------------------------------------------
 
+    def force_power_failure(self) -> None:
+        """Externally injected low-power interrupt (the verifier's fork).
+
+        Identical to a supply's ``fail_before`` answering True right
+        before the next instruction: checkpoint in jit mode, power off,
+        reboot.  The bounded model checker uses this to branch execution
+        at a chosen step without threading a schedule through a supply.
+        """
+        self._power_failure()
+
     def _power_failure(self) -> None:
         mode = self.mode
         if mode == "jit":

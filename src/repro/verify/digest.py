@@ -1,0 +1,150 @@
+"""Canonical machine-state digests for visited-state deduplication.
+
+Two machine states with equal digests have equal *futures* with respect
+to detector violations: the digest covers every state component a
+machine step can read -- nonvolatile memory (values and taint
+structure), the detector bit vector, the volatile hoisted-query cache,
+the frame stack (including reference cells), the atomic undo context,
+and completion state -- hashed with BLAKE2b over a canonical encoding.
+
+Two deliberate exclusions, argued in docs/architecture.md:
+
+* **taint timestamps** -- an :class:`InputEvent` carries the ``tau`` of
+  the read, but detector checks consult only the bit vector; taint taus
+  merely timestamp declaration observations and never influence control
+  flow or violations, so they are hashed structurally (uid + channel).
+* **logical time** -- ``tau`` feeds back into behavior only through
+  ``env.read(channel, tau)``.  The digest therefore includes
+  ``env.segment_token(tau)``: for periodic environments that quantizes
+  tau to its phase (states one whole period apart behave identically),
+  for a time-invariant environment (period 1 -- every signal constant)
+  it collapses to a constant, and for aperiodic environments it is raw
+  tau, which soundly disables cross-time deduplication.
+
+The JIT checkpoint context is also excluded: it is inert state (only
+read at reboot, and any forced failure overwrites it in jit mode before
+rebooting), so two states differing only in ``_jit_ctx`` step
+identically forever under a verifier that injects failures explicitly.
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+from typing import Callable, Optional
+
+from repro.runtime.engine import CompiledCode, FastFrame
+from repro.runtime.values import RefValue
+
+
+def fast_block_namer(code: CompiledCode) -> Callable:
+    """Map a :class:`FastFrame`'s decoded op-list identity back to its
+    ``(function, block)`` name pair, for canonical frame encoding."""
+    names: dict[int, tuple[str, str]] = {}
+    for fname, fn in code.functions.items():
+        for bname, ops in fn.blocks.items():
+            names[id(ops)] = (fname, bname)
+
+    def name_block(frame: FastFrame) -> tuple[str, str]:
+        return names[id(frame.ops)]
+
+    return name_block
+
+
+def _taint_key(taint: frozenset) -> tuple:
+    return tuple(
+        sorted((e.uid.func, e.uid.label, e.channel) for e in taint)
+    )
+
+
+def _cell_key(cell) -> tuple:
+    if type(cell) is RefValue:
+        return ("r", cell.depth, cell.name)
+    return ("v", cell.value, _taint_key(cell.taint))
+
+
+def _locals_key(locals_: dict) -> tuple:
+    return tuple(
+        (name, _cell_key(cell)) for name, cell in sorted(locals_.items())
+    )
+
+
+def _frame_key(frame, name_block: Optional[Callable]) -> tuple:
+    if name_block is None:  # reference Frame carries names directly
+        func, block = frame.func, frame.block
+        # call provenance decides which detector checks trigger here
+        call_uid = frame.call_uid
+        provenance = (
+            (call_uid.func, call_uid.label) if call_uid is not None else None
+        )
+    else:
+        func, block = name_block(frame)
+        provenance = tuple((uid.func, uid.label) for uid in frame.sites)
+    return (
+        func,
+        block,
+        frame.idx,
+        frame.ret_dest,
+        provenance,
+        _locals_key(frame.locals),
+    )
+
+
+def _chain_key(chain) -> tuple:
+    return tuple((uid.func, uid.label) for uid in chain.ids)
+
+
+def state_digest(
+    machine,
+    tau_token: int,
+    name_block: Optional[Callable] = None,
+) -> bytes:
+    """BLAKE2b digest of ``machine``'s behavioral state.
+
+    ``name_block`` is required for fast machines (see
+    :func:`fast_block_namer`); reference frames carry block names
+    themselves.  ``tau_token`` is the environment-quantized time token
+    (see the module docstring).
+    """
+    nv = machine.nv
+    atom = machine._atom_ctx
+    key = (
+        tau_token,
+        machine._done,
+        _cell_key(machine._ret_value) if machine._ret_value is not None else None,
+        tuple(
+            (name, value.value, _taint_key(value.taint))
+            for name, value in sorted(nv.globals.items())
+        ),
+        tuple(
+            (name, tuple((c.value, _taint_key(c.taint)) for c in cells))
+            for name, cells in sorted(nv.arrays.items())
+        ),
+        tuple(sorted(_chain_key(c) for c in nv.bits.bits)),
+        tuple(
+            (hid, tuple(sorted(_chain_key(c) for c in missing)))
+            for hid, missing in sorted(machine._hoist_cache.items())
+        ),
+        tuple(_frame_key(f, name_block) for f in machine._frames),
+        (
+            (
+                atom.region,
+                atom.natom,
+                tuple(_frame_key(f, name_block) for f in atom.frames),
+                tuple(
+                    (name, value.value, _taint_key(value.taint))
+                    for name, value in sorted(atom.undo_globals.items())
+                ),
+                tuple(
+                    (name, tuple((c.value, _taint_key(c.taint)) for c in cells))
+                    for name, cells in sorted(atom.undo_arrays.items())
+                ),
+            )
+            if atom is not None
+            else None
+        ),
+    )
+    h = blake2b(repr(key).encode(), digest_size=16)
+    return h.digest()
+
+
+__all__ = ["state_digest", "fast_block_namer"]

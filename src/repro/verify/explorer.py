@@ -1,0 +1,572 @@
+"""Bounded model checking of power-failure schedules.
+
+The correctness question for an intermittent config is universally
+quantified (Surbatovich et al., "Towards a Formal Foundation of
+Intermittent Computing"): a build is correct only if *no* reboot
+placement produces a stale/inconsistent input.  The paper's detector
+samples that space stochastically; this module explores it exhaustively
+within a bound B = activations x cycles x failures:
+
+* **Transitions** reuse the production engines: the explorer
+  single-steps a stock :class:`Machine`/:class:`FastMachine` and
+  branches by snapshot/restore (:mod:`repro.runtime.snapshot`) plus
+  :meth:`force_power_failure`, which is bit-identical to a
+  :class:`ScheduledFailures` supply firing at that step.
+* **Search order** is best-first by failures used, so the first
+  counterexample found uses a minimal number of failures; greedy
+  delta-reduction (:func:`repro.verify.schedule.minimize_schedule`)
+  then makes it 1-minimal through the production replay path.
+* **Deduplication** hashes every post-reboot and activation-start state
+  (:mod:`repro.verify.digest`) and skips states already explored with
+  at least the remaining (activations, failures) budget -- explorable
+  futures are monotone in budget, so a Pareto frontier per digest is
+  sound.
+* **Pruning** skips fork candidates inside atomic regions: Atom-Reboot
+  rolls volatile state and the logged NV locations back to the
+  outermost region entry with cleared bits, so the failing branch's
+  future coincides with the branch already forked at the last depth-0
+  point before the region entry (the availability analysis' resume-point
+  structure; see docs/architecture.md for the full argument).  A
+  candidate is pruned only when the static classification
+  (:func:`classify_resume_points`) *and* the dynamic region context
+  agree, and only under a time-invariant environment.  Failure points
+  that change nothing at all -- jit mode, no bits set, no cached
+  hoisted queries, time-invariant environment -- are skipped as no-ops:
+  the post-reboot state equals the state the parent keeps exploring
+  with strictly more budget.
+
+The verdict is a proof certificate ("no fresh/consistent violation up
+to B", with explored/pruned/deduped counts), a minimized replayable
+counterexample :class:`Schedule`, or bound-exhausted when the state cap
+cut exploration (a cycle-capped branch is *within* B by definition; a
+capped frontier is not).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.availability import ResumeClassification, classify_resume_points
+from repro.core.pipeline import CompiledProgram
+from repro.energy.costs import DEFAULT_COSTS, CostModel
+from repro.ir.instructions import InstrId
+from repro.runtime import observations as obs
+from repro.runtime.detector import DetectorPlan
+from repro.runtime.engine import ENGINE_FAST, ENGINE_REFERENCE, create_machine
+from repro.runtime.executor import ExecError, MachineConfig
+from repro.runtime.snapshot import (
+    MachineSnapshot,
+    begin_activation,
+    capture_machine,
+    restore_machine,
+)
+from repro.runtime.supply import FailurePoint
+from repro.sensors.environment import Environment
+from repro.verify.digest import fast_block_namer, state_digest
+from repro.verify.schedule import Schedule, minimize_schedule
+
+VERDICT_PROOF = "proof"
+VERDICT_COUNTEREXAMPLE = "counterexample"
+VERDICT_BOUND = "bound-exhausted"
+
+
+@dataclass(frozen=True)
+class VerifyBounds:
+    """The bound B the certificate quantifies over.
+
+    ``max_activations`` and ``max_cycles`` (per activation) define the
+    run prefix being verified; ``max_failures`` bounds the failures per
+    schedule.  ``max_states`` caps explored fork states -- hitting it
+    means the *frontier* was cut, which degrades a proof to
+    bound-exhausted (unlike the cycle cap, which is part of B).
+    """
+
+    max_activations: int = 1
+    max_failures: int = 2
+    max_cycles: int = 200_000
+    max_states: int = 100_000
+    off_cycles: int = 10_000
+
+
+@dataclass
+class ExploreStats:
+    """Counters for the certificate and the benchmark record."""
+
+    explored: int = 0  # fork states expanded (segments run)
+    steps: int = 0  # machine steps taken
+    candidates: int = 0  # feasible failure points seen
+    forked: int = 0  # child states pushed
+    pruned: int = 0  # candidates skipped by the region-rollback argument
+    pruned_noop: int = 0  # candidates skipped as state-identical no-ops
+    deduped: int = 0  # branches dropped at a visited digest
+    cycle_truncated: int = 0  # branches stopped at the per-activation cycle cap
+    stuck: int = 0  # branches that died in ExecError (e.g. region too large)
+    truncated: int = 0  # frontier entries dropped at the state cap
+    completed_branches: int = 0  # branches that reached the activation bound
+
+    def to_dict(self) -> dict:
+        return dict(vars(self))
+
+
+@dataclass
+class Verdict:
+    """The verifier's answer for one (program, config, env, bounds)."""
+
+    kind: str
+    bounds: VerifyBounds
+    stats: ExploreStats
+    engine: str
+    pruning: bool
+    counterexample: Optional[Schedule] = None
+    #: (pid, kind, uid) of the first violation on the counterexample path
+    violation: Optional[tuple[str, str, InstrId]] = None
+    #: all (pid, site chain) that fired, when collect_all exploration ran
+    fired: frozenset = frozenset()
+    graph: Optional[dict] = None
+
+    @property
+    def exit_code(self) -> int:
+        if self.kind == VERDICT_PROOF:
+            return 0
+        if self.kind == VERDICT_COUNTEREXAMPLE:
+            return 1
+        return 2
+
+    def certificate(self) -> str:
+        """Human-readable verdict summary (the CLI's output)."""
+        b, s = self.bounds, self.stats
+        lines = [
+            f"verdict     : {self.kind}",
+            f"bound       : {b.max_activations} activation(s) x "
+            f"{b.max_cycles} cycles, <= {b.max_failures} failure(s)",
+            f"explored    : {s.explored} states, {s.steps} steps, "
+            f"{s.forked} forks",
+            f"pruned      : {s.pruned} in-region + {s.pruned_noop} no-op "
+            f"of {s.candidates} candidates",
+            f"deduped     : {s.deduped}",
+        ]
+        if s.cycle_truncated:
+            lines.append(f"cycle-capped: {s.cycle_truncated} branch(es)")
+        if s.truncated or s.stuck:
+            lines.append(
+                f"exhausted   : {s.truncated} frontier entries dropped, "
+                f"{s.stuck} stuck branch(es)"
+            )
+        if self.counterexample is not None:
+            pid, kind, uid = self.violation
+            lines.append(
+                f"violation   : {kind} {pid} at {uid.func}:{uid.label}"
+            )
+            for p in self.counterexample.points:
+                lines.append(
+                    f"  fail before {p.uid.func}:{p.uid.label} "
+                    f"(occurrence {p.occurrence})"
+                )
+        return "\n".join(lines)
+
+
+@dataclass
+class FixedOffSupply:
+    """The explorer's supply: never fails on its own, constant off-time.
+
+    Failures are injected by the explorer via ``force_power_failure``,
+    so the supply's only job is answering ``off_and_recharge`` with the
+    same constant a replayed :class:`ScheduledFailures` schedule will
+    use -- keeping explorer transitions bit-identical to replay.  Both
+    engines classify an unknown supply type onto the generic path, i.e.
+    the exact reference call sequence.
+    """
+
+    off_cycles: int = 10_000
+
+    def fail_before(self, uid, chain=None) -> bool:
+        return False
+
+    def consume(self, energy: int) -> bool:
+        return False
+
+    def would_trip(self, energy: int) -> bool:
+        return False
+
+    def checkpoint_energy(self, energy: int) -> None:
+        pass  # simulated failures have ideal reserve
+
+    def off_and_recharge(self) -> int:
+        return self.off_cycles
+
+
+class _ViolationSink(list):
+    """An event list that keeps only violations.
+
+    Installed as the explored machine's trace storage so segment runs
+    cost O(violations) memory instead of O(observations); the digest
+    and the verdict never consult non-violation events.
+    """
+
+    __slots__ = ()
+
+    def append(self, event) -> None:
+        if type(event) is obs.ViolationObs:
+            list.append(self, event)
+
+
+@dataclass
+class _Node:
+    snapshot: MachineSnapshot
+    activation: int
+    failures: int
+    points: tuple[FailurePoint, ...]
+    attempts: dict[InstrId, int]
+    pending: bool  # force a power failure immediately after restore?
+    graph_id: int = -1
+
+
+class Explorer:
+    """One bounded exploration of (compiled, env) under ``bounds``."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        env: Environment,
+        bounds: VerifyBounds = VerifyBounds(),
+        engine: str = ENGINE_FAST,
+        costs: CostModel = DEFAULT_COSTS,
+        plan: Optional[DetectorPlan] = None,
+        prune: bool = True,
+        collect_all: bool = False,
+        record_graph: bool = False,
+    ) -> None:
+        self._compiled = compiled
+        self._env = env
+        self._bounds = bounds
+        self._engine = engine
+        self._costs = costs
+        self._plan = plan if plan is not None else compiled.detector_plan()
+        # Pruning and no-op skipping argue over tau-shifted futures, so
+        # they require a time-invariant environment (every signal
+        # constant); otherwise they auto-disable and digests fall back
+        # to the environment's periodic tau token.
+        self._time_invariant = env.period() == 1
+        self._prune = prune and self._time_invariant
+        self._classification: ResumeClassification = (
+            classify_resume_points(compiled.module)
+            if self._prune
+            else ResumeClassification()
+        )
+        self._collect_all = collect_all
+        self._record_graph = record_graph
+        self.stats = ExploreStats()
+        self._fired: set = set()
+        self._graph_nodes: list[dict] = []
+        self._graph_edges: list[dict] = []
+
+    # -- engine adapters -------------------------------------------------------
+
+    def _build_machine(self):
+        machine = create_machine(
+            self._engine,
+            self._compiled,
+            self._env,
+            FixedOffSupply(off_cycles=self._bounds.off_cycles),
+            costs=self._costs,
+            plan=self._plan,
+            config=MachineConfig(max_cycles=self._bounds.max_cycles),
+        )
+        if self._engine == ENGINE_REFERENCE:
+            self._name_block = None
+        else:
+            self._name_block = fast_block_namer(machine._code)
+        return machine
+
+    def _peek(self, machine) -> tuple[InstrId, object]:
+        """(uid, lazy chain) of the instruction about to execute."""
+        if self._name_block is None:
+            instr = machine._fetch()
+            return instr.uid, lambda: machine._current_chain(instr.uid)
+        frame = machine._frames[-1]
+        op = frame.ops[frame.idx]
+        return op.uid, lambda: op.chain_at(frame.sites)[0]
+
+    def _digest(self, machine) -> bytes:
+        token = 0 if self._time_invariant else self._env.segment_token(machine.tau)
+        return state_digest(machine, token, self._name_block)
+
+    # -- the search ------------------------------------------------------------
+
+    def run(self) -> Verdict:
+        bounds = self._bounds
+        machine = self._build_machine()
+        sink = _ViolationSink()
+        machine.trace = obs.Trace(events=sink)
+        self._visited: dict[bytes, list[tuple[int, int]]] = {}
+        self._frontier: list[tuple[int, int, _Node]] = []
+        self._seq = 0
+
+        root = _Node(
+            snapshot=capture_machine(machine),
+            activation=0,
+            failures=0,
+            points=(),
+            attempts={},
+            pending=False,
+            graph_id=self._graph_node(None, 0, 0, "root"),
+        )
+        self._push(root)
+
+        counterexample: Optional[Verdict] = None
+        while self._frontier:
+            if self.stats.explored >= bounds.max_states:
+                self.stats.truncated += len(self._frontier)
+                self._frontier.clear()
+                break
+            _, _, node = heapq.heappop(self._frontier)
+            verdict = self._expand(machine, sink, node)
+            if verdict is not None:
+                counterexample = verdict
+                if not self._collect_all:
+                    break
+
+        if counterexample is not None:
+            return self._finish(counterexample)
+        kind = (
+            VERDICT_BOUND
+            if self.stats.truncated or self.stats.stuck
+            else VERDICT_PROOF
+        )
+        return self._finish(
+            Verdict(
+                kind=kind,
+                bounds=bounds,
+                stats=self.stats,
+                engine=self._engine,
+                pruning=self._prune,
+            )
+        )
+
+    def _finish(self, verdict: Verdict) -> Verdict:
+        verdict.fired = frozenset(self._fired)
+        if self._record_graph:
+            verdict.graph = {
+                "nodes": self._graph_nodes,
+                "edges": self._graph_edges,
+            }
+        return verdict
+
+    def _push(self, node: _Node) -> None:
+        self._seq += 1
+        heapq.heappush(self._frontier, (node.failures, self._seq, node))
+
+    def _graph_node(
+        self, digest: Optional[bytes], activation: int, failures: int, kind: str
+    ) -> int:
+        if not self._record_graph:
+            return -1
+        nid = len(self._graph_nodes)
+        self._graph_nodes.append(
+            {
+                "id": nid,
+                "digest": digest.hex() if digest is not None else None,
+                "activation": activation,
+                "failures": failures,
+                "kind": kind,
+            }
+        )
+        return nid
+
+    def _seen(self, digest: bytes, acts_left: int, fails_left: int) -> bool:
+        """Pareto-frontier dedup: skip iff already explored with at
+        least this much remaining budget in both dimensions."""
+        frontier = self._visited.setdefault(digest, [])
+        for a, f in frontier:
+            if a >= acts_left and f >= fails_left:
+                return True
+        frontier[:] = [
+            (a, f)
+            for a, f in frontier
+            if not (acts_left >= a and fails_left >= f)
+        ]
+        frontier.append((acts_left, fails_left))
+        return False
+
+    def _expand(self, machine, sink: _ViolationSink, node: _Node) -> Optional[Verdict]:
+        """Restore ``node``, apply its pending failure, run the segment."""
+        bounds = self._bounds
+        stats = self.stats
+        stats.explored += 1
+        del sink[:]
+        restore_machine(machine, node.snapshot, trace=obs.Trace(events=sink))
+
+        activation = node.activation
+        failures = node.failures
+        attempts = node.attempts
+
+        if node.pending:
+            try:
+                machine.force_power_failure()
+            except ExecError:
+                stats.stuck += 1
+                return None
+            if self._seen(
+                self._digest(machine),
+                bounds.max_activations - activation,
+                bounds.max_failures - failures,
+            ):
+                stats.deduped += 1
+                return None
+
+        classification = self._classification
+        prune = self._prune
+        noop_ok = self._time_invariant
+
+        while True:
+            if machine._done:
+                activation += 1
+                if activation >= bounds.max_activations:
+                    stats.completed_branches += 1
+                    return None
+                begin_activation(machine, trace=machine.trace)
+                if self._seen(
+                    self._digest(machine),
+                    bounds.max_activations - activation,
+                    bounds.max_failures - failures,
+                ):
+                    stats.deduped += 1
+                    return None
+                continue
+            if machine.stats.total_cycles > bounds.max_cycles:
+                stats.cycle_truncated += 1
+                return None
+
+            uid, chain_of = self._peek(machine)
+            count = attempts.get(uid, 0) + 1
+            attempts[uid] = count
+
+            if failures < bounds.max_failures:
+                stats.candidates += 1
+                in_region = machine._atom_ctx is not None
+                if prune and in_region and classification.prunable(chain_of()):
+                    stats.pruned += 1
+                elif (
+                    noop_ok
+                    and not in_region
+                    and not machine.nv.bits.bits
+                    and not machine._hoist_cache
+                ):
+                    stats.pruned_noop += 1
+                else:
+                    child = _Node(
+                        snapshot=capture_machine(machine),
+                        activation=activation,
+                        failures=failures + 1,
+                        points=node.points
+                        + (FailurePoint(uid=uid, occurrence=count),),
+                        attempts=dict(attempts),
+                        pending=True,
+                        graph_id=self._graph_node(
+                            None, activation, failures + 1, "fork"
+                        ),
+                    )
+                    stats.forked += 1
+                    if self._record_graph:
+                        self._graph_edges.append(
+                            {
+                                "parent": node.graph_id,
+                                "child": child.graph_id,
+                                "func": uid.func,
+                                "label": uid.label,
+                                "occurrence": count,
+                            }
+                        )
+                    self._push(child)
+
+            seen_violations = len(sink)
+            site_chain = chain_of() if self._collect_all else None
+            try:
+                machine.step()
+            except ExecError:
+                stats.stuck += 1
+                return None
+            stats.steps += 1
+
+            if len(sink) > seen_violations:
+                new = sink[seen_violations:]
+                if self._collect_all:
+                    for violation in new:
+                        self._fired.add((violation.pid, site_chain))
+                first = new[0]
+                verdict = Verdict(
+                    kind=VERDICT_COUNTEREXAMPLE,
+                    bounds=bounds,
+                    stats=stats,
+                    engine=self._engine,
+                    pruning=self._prune,
+                    counterexample=Schedule(
+                        points=node.points,
+                        off_cycles=bounds.off_cycles,
+                        activations=activation + 1,
+                    ),
+                    violation=(first.pid, first.kind, first.uid),
+                )
+                if not self._collect_all:
+                    return verdict
+                # Exhaustive mode: remember the first counterexample but
+                # keep exploring this branch and the frontier.
+                if not hasattr(self, "_first_counterexample"):
+                    self._first_counterexample = verdict
+                self._last_counterexample = verdict
+
+
+def verify_program(
+    compiled: CompiledProgram,
+    env: Environment,
+    bounds: VerifyBounds = VerifyBounds(),
+    engine: str = ENGINE_FAST,
+    costs: CostModel = DEFAULT_COSTS,
+    plan: Optional[DetectorPlan] = None,
+    prune: bool = True,
+    collect_all: bool = False,
+    record_graph: bool = False,
+    minimize: bool = True,
+    target: Optional[str] = None,
+    config: Optional[str] = None,
+) -> Verdict:
+    """Explore, and minimize any counterexample through the replay path."""
+    explorer = Explorer(
+        compiled,
+        env,
+        bounds=bounds,
+        engine=engine,
+        costs=costs,
+        plan=plan,
+        prune=prune,
+        collect_all=collect_all,
+        record_graph=record_graph,
+    )
+    verdict = explorer.run()
+    if collect_all and verdict.kind != VERDICT_COUNTEREXAMPLE:
+        first = getattr(explorer, "_first_counterexample", None)
+        if first is not None:
+            first.fired = verdict.fired
+            first.graph = verdict.graph
+            verdict = first
+    if verdict.counterexample is not None:
+        schedule = verdict.counterexample
+        if minimize:
+            schedule = minimize_schedule(
+                compiled,
+                env,
+                schedule,
+                engine=engine,
+                costs=costs,
+                plan=plan,
+            )
+        verdict.counterexample = Schedule(
+            points=schedule.points,
+            off_cycles=schedule.off_cycles,
+            activations=schedule.activations,
+            target=target,
+            config=config,
+        )
+    return verdict

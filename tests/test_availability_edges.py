@@ -1,0 +1,160 @@
+"""Availability-analysis edge cases feeding the verifier's pruning.
+
+The pruning argument (see docs/architecture.md, "Verification") leans on
+three structural facts the analysis must get right: nested region
+markers are *not* resume points (Atom-Start-Inner only bumps the
+nesting counter), outside any region *everything* is a resume point
+(JIT-Reboot resumes at a checkpoint that can be taken anywhere), and
+functions with inconsistent region brackets degrade conservatively.
+These are exactly the cases where a wrong answer would make the
+verifier unsound, so they get direct tests, plus the injectable
+solver-round cap surfacing :class:`ConvergenceError`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.availability import (
+    analyze_availability,
+    classify_resume_points,
+    function_block_depths,
+)
+from repro.analysis.dataflow import ConvergenceError
+from repro.analysis.provenance import Chain
+from repro.ir import instructions as ir
+from repro.ir.lowering import lower_program
+from repro.lang.parser import parse_program
+
+
+def lower(source: str):
+    return lower_program(parse_program(source))
+
+
+def chain_of(module, func: str, pred) -> Chain:
+    """Top-level chain of the first instruction of ``func`` matching ``pred``."""
+    for instr in module.function(func).all_instrs():
+        if pred(instr):
+            return Chain(ids=(instr.uid,))
+    raise AssertionError("no matching instruction")
+
+
+class TestNestedRegions:
+    SRC = (
+        "inputs temp;\n"
+        "fn main() { atomic { let x = input(temp); atomic { Fresh(x); } } }"
+    )
+
+    def test_inner_marker_is_not_a_resume_point(self):
+        """Availability gathered in the outer region survives crossing a
+        nested atomic_start: only the *outermost* start clears the fact."""
+        module = lower(self.SRC)
+        result = analyze_availability(module)
+        input_chain = chain_of(
+            module, "main", lambda i: isinstance(i, ir.InputInstr)
+        )
+        annot_chain = chain_of(
+            module, "main", lambda i: isinstance(i, ir.AnnotInstr)
+        )
+        # The Fresh annotation sits inside the nested region, after the
+        # input: the input chain must still be available there.
+        assert input_chain in result.at(annot_chain)
+
+    def test_depth_reflects_nesting(self):
+        module = lower(self.SRC)
+        classification = classify_resume_points(module)
+        annot_chain = chain_of(
+            module, "main", lambda i: isinstance(i, ir.AnnotInstr)
+        )
+        assert classification.depth[annot_chain] == 2
+        assert classification.prunable(annot_chain)
+        # The outermost atomic_start itself executes at depth 0: a
+        # failure right before it resumes outside any region.
+        starts = [
+            chain
+            for chain, depth in classification.depth.items()
+            if isinstance(module.instr(chain.op), ir.AtomicStart)
+        ]
+        assert min(classification.depth[c] for c in starts) == 0
+
+
+class TestJitResumeAnywhere:
+    # No outputs: lowering wraps log/alarm/send in uart guard regions,
+    # which would (correctly) put those chains at depth 1.
+    SRC = (
+        "inputs temp;\n"
+        "fn main() { let x = input(temp); Fresh(x); "
+        "if x < 5 { let y = x + 1; } }"
+    )
+
+    def test_nothing_available_without_regions(self):
+        """With no atomic regions a JIT checkpoint can sit anywhere, so
+        no chain is ever guaranteed re-executed -- and nothing prunable."""
+        module = lower(self.SRC)
+        result = analyze_availability(module)
+        classification = classify_resume_points(module)
+        for func in module.functions.values():
+            for instr in func.all_instrs():
+                chain = Chain(ids=(instr.uid,))
+                assert result.at(chain) == frozenset()
+                assert not classification.prunable(chain)
+        assert classification.in_region_chains == 0
+
+
+class TestInconsistentBrackets:
+    def _unbalanced_module(self):
+        """A join reachable at two different static depths: legal IR is
+        bracket-balanced, so build the pathology by mutating a branch."""
+        module = lower("fn main() { if 1 < 2 { alarm(); } log(3); }")
+        func = module.function("main")
+        # Insert an unmatched atomic_start into the then-arm only.
+        for name, block in func.blocks.items():
+            if any(
+                isinstance(i, ir.OutputInstr) and i.op == "alarm"
+                for i in block.instrs
+            ):
+                block.instrs.insert(
+                    0,
+                    ir.AtomicStart(
+                        region="bad", uid=ir.InstrId("main", 9_000)
+                    ),
+                )
+                return module
+        raise AssertionError("no then-arm found")
+
+    def test_depths_flag_inconsistency(self):
+        module = self._unbalanced_module()
+        _, ok = function_block_depths(module.function("main"))
+        assert not ok
+
+    def test_classification_degrades_conservatively(self):
+        module = self._unbalanced_module()
+        classification = classify_resume_points(module)
+        assert "main" in classification.inconsistent
+        for instr in module.function("main").all_instrs():
+            assert not classification.prunable(Chain(ids=(instr.uid,)))
+
+    def test_availability_degrades_to_empty(self):
+        module = self._unbalanced_module()
+        result = analyze_availability(module)
+        for instr in module.function("main").all_instrs():
+            assert result.at(Chain(ids=(instr.uid,))) == frozenset()
+
+
+class TestConvergenceCap:
+    SRC = (
+        "inputs temp;\n"
+        "fn main() { atomic { repeat 3 "
+        "{ let x = input(temp); Fresh(x); } } }"
+    )
+
+    def test_injectable_round_cap_surfaces(self):
+        module = lower(self.SRC)
+        with pytest.raises(ConvergenceError) as exc:
+            analyze_availability(module, max_rounds=0)
+        assert exc.value.analysis == "availability"
+
+    def test_default_cap_converges(self):
+        module = lower(self.SRC)
+        result = analyze_availability(module)
+        assert result.rounds > 0

@@ -1,0 +1,117 @@
+"""Hypothesis crosschecks: verifier vs optimizer vs engines.
+
+Three independent oracles are played against each other on generated
+programs:
+
+* the **check optimizer**'s static eliminations vs the verifier's
+  exhaustive exploration of the baseline plan -- an eliminated check
+  must never fire under any failure schedule within the bound;
+* the verifier's **pruned** search vs the unpruned one -- identical
+  verdicts from strictly fewer explored states whenever anything was
+  pruned;
+* the verifier's **counterexamples** vs the production replay path on
+  both engines -- a found schedule must reproduce the same violation
+  bit-exactly through a stock :class:`ScheduledFailures` supply.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import compile_source
+from repro.ir.opt.crosscheck import crosscheck_optimized_plan
+from repro.runtime.engine import ENGINE_FAST, ENGINE_REFERENCE
+from repro.sensors.environment import Environment
+from repro.verify import (
+    VERDICT_COUNTEREXAMPLE,
+    VerifyBounds,
+    replay_schedule,
+    verify_program,
+)
+from tests.strategies import program_sources
+
+#: Generated programs are tiny, so a small bound is already exhaustive
+#: over every activation prefix that matters.
+BOUNDS = VerifyBounds(
+    max_activations=1, max_failures=1, max_cycles=50_000, max_states=20_000
+)
+
+
+def _env(compiled, value: int) -> Environment:
+    return Environment.constant_for(compiled.module.channels, value)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    source=program_sources(min_annotations=1),
+    config=st.sampled_from(["ocelot-opt", "jit-opt"]),
+    value=st.integers(0, 5),
+)
+def test_eliminated_checks_never_fire(source, config, value):
+    compiled = compile_source(source, config)
+    result = crosscheck_optimized_plan(
+        compiled, _env(compiled, value), bounds=BOUNDS
+    )
+    assert result.complete, f"search cut early\n{source}"
+    assert result.ok, f"{result.render()}\n{source}"
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    source=program_sources(min_annotations=1),
+    config=st.sampled_from(["ocelot", "atomics"]),
+    value=st.integers(0, 5),
+)
+def test_prune_parity_on_random_programs(source, config, value):
+    compiled = compile_source(source, config)
+    env = _env(compiled, value)
+    pruned = verify_program(compiled, env, BOUNDS, prune=True)
+    full = verify_program(compiled, env, BOUNDS, prune=False)
+    assert pruned.kind == full.kind, f"{pruned.kind} != {full.kind}\n{source}"
+    assert pruned.violation == full.violation
+    assert pruned.stats.explored <= full.stats.explored
+    # The no-op filter is analysis-independent and runs in both searches;
+    # only region pruning is gated on the flag, so only it guarantees a
+    # strictly smaller state space.
+    if pruned.stats.pruned:
+        assert pruned.stats.explored < full.stats.explored
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    source=program_sources(min_annotations=1),
+    value=st.integers(0, 5),
+)
+def test_counterexamples_replay_on_both_engines(source, value):
+    compiled = compile_source(source, "jit")
+    env = _env(compiled, value)
+    verdict = verify_program(compiled, env, BOUNDS)
+    if verdict.kind != VERDICT_COUNTEREXAMPLE:
+        return
+    outcomes = []
+    for engine in (ENGINE_FAST, ENGINE_REFERENCE):
+        result = replay_schedule(
+            compiled, env, verdict.counterexample, engine=engine,
+            stop_at_violation=False,
+        )
+        assert result.violating, f"{engine} lost the violation\n{source}"
+        outcomes.append(
+            [
+                (v.pid, v.kind, v.uid, v.tau, tuple(v.missing))
+                for v in result.violations
+            ]
+        )
+    assert outcomes[0] == outcomes[1], source
