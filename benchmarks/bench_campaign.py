@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import time
 from pathlib import Path
 
 try:  # only the pytest entry points need it; script mode runs without
@@ -38,6 +37,7 @@ from repro.eval.campaign import (
     SupplySpec,
     run_campaign,
 )
+from repro.telemetry import MetricsRegistry, absorb_campaign
 
 RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
 
@@ -98,28 +98,35 @@ def test_campaign_multiprocess(benchmark):
 
 
 def measure(rounds: int = 3, budget: int = 60_000) -> dict:
-    """Cold vs. cached campaign throughput, best-of-``rounds``."""
+    """Cold vs. cached campaign throughput, best-of-``rounds``.
+
+    Legs are timed through a :class:`MetricsRegistry` -- the same
+    machinery behind the CLI's ``--metrics-out`` -- so this record and
+    the metrics schema agree on field names; the final cached run is
+    absorbed into the registry and published under ``"metrics"``.
+    """
     spec = bench_spec(budget=budget)
     jobs = spec.size
 
-    cold_times, cached_times, parallel_times = [], [], []
+    registry = MetricsRegistry()
+    cached = None
     for _ in range(rounds):
-        started = time.perf_counter()
-        cold = run_cold(spec)
-        cold_times.append(time.perf_counter() - started)
+        with registry.timer("bench.campaign.cold.seconds"):
+            cold = run_cold(spec)
         assert cold.compiles > 0
 
-        started = time.perf_counter()
-        cached = run_cached(spec)
-        cached_times.append(time.perf_counter() - started)
+        with registry.timer("bench.campaign.cached.seconds"):
+            cached = run_cached(spec)
         assert cached.compiles == 0
 
-        started = time.perf_counter()
-        run_campaign(spec, MultiprocessExecutor())
-        parallel_times.append(time.perf_counter() - started)
+        with registry.timer("bench.campaign.cached_multiprocess.seconds"):
+            run_campaign(spec, MultiprocessExecutor())
 
-    cold_s, cached_s = min(cold_times), min(cached_times)
-    parallel_s = min(parallel_times)
+    absorb_campaign(registry, cached)
+    histograms = registry.to_dict()["histograms"]
+    cold_s = histograms["bench.campaign.cold.seconds"]["min"]
+    cached_s = histograms["bench.campaign.cached.seconds"]["min"]
+    parallel_s = histograms["bench.campaign.cached_multiprocess.seconds"]["min"]
     return {
         "benchmark": "campaign-throughput",
         "spec": {
@@ -137,6 +144,7 @@ def measure(rounds: int = 3, budget: int = 60_000) -> dict:
         "cold_jobs_per_second": round(jobs / cold_s, 2),
         "cached_jobs_per_second": round(jobs / cached_s, 2),
         "cache_speedup": round(cold_s / cached_s, 3),
+        "metrics": registry.to_dict(command="bench_campaign"),
     }
 
 

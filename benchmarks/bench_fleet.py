@@ -31,7 +31,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import time
 from pathlib import Path
 
 try:  # only the pytest entry points need it; script mode runs without
@@ -50,6 +49,7 @@ from repro.fleet import (
     precompile_fleet,
     run_fleet,
 )
+from repro.telemetry import MetricsRegistry, absorb_fleet
 
 RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
 
@@ -142,25 +142,33 @@ def test_fleet_sharded(benchmark):
 
 
 def measure(devices: int = 240, budget: int = 25_000, rounds: int = 3) -> dict:
-    """Serial vs. sharded fleet throughput, best-of-``rounds``."""
+    """Serial vs. sharded fleet throughput, best-of-``rounds``.
+
+    Legs are timed through a :class:`MetricsRegistry` -- the same
+    machinery behind the CLI's ``--metrics-out`` -- so this record and
+    the metrics schema agree on field names; the final serial run is
+    absorbed into the registry and published under ``"metrics"``.
+    """
     spec = bench_spec(devices=devices, budget=budget)
     precompile_fleet(spec)
 
-    serial_times, sharded_times = [], []
+    registry = MetricsRegistry()
+    serial = None
     serial_fp = sharded_fp = None
     for _ in range(rounds):
-        started = time.perf_counter()
-        serial = run_fleet(spec, SerialFleetExecutor())
-        serial_times.append(time.perf_counter() - started)
+        with registry.timer("bench.fleet.serial.seconds"):
+            serial = run_fleet(spec, SerialFleetExecutor())
         serial_fp = aggregate_fingerprint(serial)
 
-        started = time.perf_counter()
-        sharded = run_fleet(spec, ShardedFleetExecutor())
-        sharded_times.append(time.perf_counter() - started)
+        with registry.timer("bench.fleet.sharded.seconds"):
+            sharded = run_fleet(spec, ShardedFleetExecutor())
         sharded_fp = aggregate_fingerprint(sharded)
 
     assert serial_fp == sharded_fp, "serial and sharded aggregates differ"
-    serial_s, sharded_s = min(serial_times), min(sharded_times)
+    absorb_fleet(registry, serial)
+    histograms = registry.to_dict()["histograms"]
+    serial_s = histograms["bench.fleet.serial.seconds"]["min"]
+    sharded_s = histograms["bench.fleet.sharded.seconds"]["min"]
     return {
         "benchmark": "fleet-throughput",
         "spec": {
@@ -176,6 +184,7 @@ def measure(devices: int = 240, budget: int = 25_000, rounds: int = 3) -> dict:
         "serial_devices_per_second": round(devices / serial_s, 2),
         "sharded_devices_per_second": round(devices / sharded_s, 2),
         "sharding_speedup": round(serial_s / sharded_s, 3),
+        "metrics": registry.to_dict(command="bench_fleet"),
     }
 
 
@@ -195,18 +204,19 @@ def measure_memo_tier(
     sample = uniform_spec(sample_count, budget=budget)
     precompile_fleet(sample)
 
-    started = time.perf_counter()
-    serial = run_fleet(sample, SerialFleetExecutor())
-    serial_s = time.perf_counter() - started
+    registry = MetricsRegistry()
+    with registry.timer("bench.fleet.memo.serial.seconds"):
+        serial = run_fleet(sample, SerialFleetExecutor())
     vector_sample = run_fleet(sample, VectorFleetExecutor())
     assert aggregate_fingerprint(vector_sample) == aggregate_fingerprint(
         serial
     ), "serial and vector aggregates differ"
 
     full = uniform_spec(devices, budget=budget)
-    started = time.perf_counter()
-    vector = run_fleet(full, VectorFleetExecutor())
-    vector_s = time.perf_counter() - started
+    with registry.timer("bench.fleet.memo.vector.seconds"):
+        vector = run_fleet(full, VectorFleetExecutor())
+    serial_s = registry.seconds("bench.fleet.memo.serial.seconds")
+    vector_s = registry.seconds("bench.fleet.memo.vector.seconds")
 
     serial_dps = sample_count / serial_s
     vector_dps = devices / vector_s

@@ -32,7 +32,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import time
 from pathlib import Path
 
 from repro.apps import BENCHMARKS
@@ -41,6 +40,7 @@ from repro.eval.profiles import STANDARD_PROFILE
 from repro.runtime.engine import ENGINE_FAST, ENGINE_REFERENCE, create_machine
 from repro.runtime.executor import NVState
 from repro.runtime.supply import ContinuousPower
+from repro.telemetry import MetricsRegistry
 
 RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_machine.json"
 
@@ -106,13 +106,20 @@ def _drive(engine: str, app: str, config: str, supply_kind: str, budget: int):
     }
 
 
-def _run_engine(engine: str, budget: int) -> tuple[dict, float, dict]:
+def _run_engine(
+    engine: str, budget: int, registry: MetricsRegistry | None = None
+) -> tuple[dict, float, dict]:
     """Drive the whole workload under one engine.
 
     Returns (summed counters, wall seconds, per-pair records); per-pair
     records carry each (app, config, supply) leg's counters and wall
-    time, which the check-optimizer gate compares across configs.
+    time, which the check-optimizer gate compares across configs.  Legs
+    are timed through a :class:`MetricsRegistry` -- the machinery behind
+    the CLI's ``--metrics-out`` -- so perf records and the metrics
+    schema agree on field names.
     """
+    if registry is None:
+        registry = MetricsRegistry()
     totals = {
         "instructions": 0,
         "activations": 0,
@@ -121,18 +128,22 @@ def _run_engine(engine: str, budget: int) -> tuple[dict, float, dict]:
         "checks_executed": 0,
     }
     pairs: dict[str, dict] = {}
-    started = time.perf_counter()
-    for app, config, supply_kind in WORKLOAD:
-        leg_started = time.perf_counter()
-        counters = _drive(engine, app, config, supply_kind, budget)
-        leg_seconds = time.perf_counter() - leg_started
-        for key, value in counters.items():
-            totals[key] += value
-        pairs["/".join((app, config, supply_kind))] = {
-            **counters,
-            "seconds": leg_seconds,
-        }
-    return totals, time.perf_counter() - started, pairs
+    engine_timer = f"bench.machine.{engine}.seconds"
+    engine_before = registry.seconds(engine_timer)
+    with registry.timer(engine_timer):
+        for app, config, supply_kind in WORKLOAD:
+            pair = "/".join((app, config, supply_kind))
+            leg_timer = f"bench.machine.{engine}.{pair}.seconds"
+            leg_before = registry.seconds(leg_timer)
+            with registry.timer(leg_timer):
+                counters = _drive(engine, app, config, supply_kind, budget)
+            for key, value in counters.items():
+                totals[key] += value
+            pairs[pair] = {
+                **counters,
+                "seconds": registry.seconds(leg_timer) - leg_before,
+            }
+    return totals, registry.seconds(engine_timer) - engine_before, pairs
 
 
 def _warm_builds() -> None:
@@ -143,12 +154,13 @@ def _warm_builds() -> None:
 def measure(budget: int = 1_500_000, rounds: int = 3) -> dict:
     """Reference vs. fast instructions/second, best-of-``rounds``."""
     _warm_builds()
+    registry = MetricsRegistry()
     times: dict[str, list[float]] = {ENGINE_REFERENCE: [], ENGINE_FAST: []}
     counters: dict[str, dict] = {}
     best_pairs: dict[str, dict] = {}
     for _ in range(rounds):
         for engine in (ENGINE_REFERENCE, ENGINE_FAST):
-            totals, seconds, pairs = _run_engine(engine, budget)
+            totals, seconds, pairs = _run_engine(engine, budget, registry)
             times[engine].append(seconds)
             previous = counters.setdefault(engine, totals)
             assert previous == totals, f"{engine} engine is nondeterministic"
@@ -216,6 +228,7 @@ def measure(budget: int = 1_500_000, rounds: int = 3) -> dict:
                 4,
             ),
         },
+        "metrics": registry.to_dict(command="bench_machine"),
     }
 
 

@@ -21,12 +21,12 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import time
 from pathlib import Path
 
 from repro.apps import BENCHMARKS
 from repro.core.cache import GLOBAL_CACHE
 from repro.sensors.environment import Environment
+from repro.telemetry import MetricsRegistry, absorb_verify
 from repro.verify import VerifyBounds, verify_program
 
 RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_verify.json"
@@ -54,16 +54,26 @@ def _bounds(max_failures: int, budget: int) -> VerifyBounds:
     )
 
 
-def _leg(app: str, config: str, max_failures: int, budget: int) -> dict:
+def _leg(
+    app: str,
+    config: str,
+    max_failures: int,
+    budget: int,
+    registry: MetricsRegistry,
+) -> dict:
     meta = BENCHMARKS[app]
     compiled = GLOBAL_CACHE.get_or_compile(meta.source, config)
     env = Environment.constant_for(compiled.module.channels, 0)
     bounds = _bounds(max_failures, budget)
     results = {}
     for label, prune in (("pruned", True), ("unpruned", False)):
-        started = time.perf_counter()
-        verdict = verify_program(compiled, env, bounds, prune=prune)
-        seconds = time.perf_counter() - started
+        timer_name = f"bench.verify.{label}.seconds"
+        before = registry.seconds(timer_name)
+        with registry.timer(timer_name):
+            verdict = verify_program(compiled, env, bounds, prune=prune)
+        seconds = registry.seconds(timer_name) - before
+        if prune:
+            absorb_verify(registry, verdict)
         results[label] = {
             "verdict": verdict.kind,
             "violation": (
@@ -90,11 +100,21 @@ def _leg(app: str, config: str, max_failures: int, budget: int) -> dict:
 
 
 def measure(budget: int = 200_000) -> dict:
+    """Per-leg verdicts and throughput, timed through a metrics registry.
+
+    Legs are timed with :meth:`MetricsRegistry.timer` -- the machinery
+    behind the CLI's ``--metrics-out`` -- so this record and the metrics
+    schema agree on field names; each pruned verdict's explorer stats
+    are absorbed and published under ``"metrics"``.
+    """
     legs = {}
-    started = time.perf_counter()
-    for app, config, max_failures in WORKLOAD:
-        legs[f"{app}/{config}"] = _leg(app, config, max_failures, budget)
-    total = time.perf_counter() - started
+    registry = MetricsRegistry()
+    with registry.timer("bench.verify.total.seconds"):
+        for app, config, max_failures in WORKLOAD:
+            legs[f"{app}/{config}"] = _leg(
+                app, config, max_failures, budget, registry
+            )
+    total = registry.seconds("bench.verify.total.seconds")
     explored = sum(
         leg[label]["explored"]
         for leg in legs.values()
@@ -112,6 +132,7 @@ def measure(budget: int = 200_000) -> dict:
             sum(leg["prune_ratio"] for leg in legs.values()) / len(legs), 4
         ),
         "legs": legs,
+        "metrics": registry.to_dict(command="bench_verify"),
     }
 
 

@@ -6,11 +6,18 @@ Subcommands::
     python -m repro build TARGET      # compile; dump any stage artifact
     python -m repro check FILE        # checker mode on manual regions
     python -m repro run TARGET        # simulate an execution
+    python -m repro trace TARGET      # run + export a Chrome-trace timeline
+    python -m repro explain TARGET    # run + violation forensics report
     python -m repro verify TARGET     # bounded power-failure model checking
     python -m repro feasibility FILE  # Section 5.3 energy-feasibility report
     python -m repro eval              # regenerate the paper's tables/figures
     python -m repro campaign SPEC     # run a declarative evaluation campaign
     python -m repro fleet SPEC        # simulate a multi-device fleet
+
+Every subcommand takes ``--verbose/--quiet`` (status output goes through
+``repro.telemetry.logging``); ``run``/``trace``/``explain``/``verify``/
+``campaign``/``fleet`` take ``--metrics-out PATH`` to dump the shared
+metrics-registry JSON (schema ``repro-metrics-1``).
 
 Programs are modeling-language source files (see ``examples/`` and
 ``src/repro/apps/`` for reference programs); ``build``, ``run``, and
@@ -49,10 +56,21 @@ from repro.runtime.engine import ENGINE_FAST, ENGINES
 from repro.runtime.harness import run_once
 from repro.runtime.supply import ContinuousPower
 from repro.sensors.environment import Environment, bind_signal_specs, constant
+from repro import telemetry
+
+_log = telemetry.get_logger("cli")
 
 
 def _read_source(path: str) -> str:
     return Path(path).read_text()
+
+
+def _write_metrics(args: argparse.Namespace, command: str) -> None:
+    """Dump the process-wide registry if ``--metrics-out`` was given."""
+    path = getattr(args, "metrics_out", None)
+    if path:
+        telemetry.METRICS.write(path, command=command)
+        _log.info(f"metrics written to {path}")
 
 
 def _resolve_config(name: str) -> BuildConfig:
@@ -193,26 +211,31 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1
 
 
+def _load_schedule(path: str):
+    from repro.verify import Schedule, ScheduleError
+
+    try:
+        return Schedule.from_json(Path(path).read_text())
+    except OSError as exc:
+        raise SystemExit(f"cannot read schedule '{path}': {exc}") from None
+    except ScheduleError as exc:
+        raise SystemExit(f"bad schedule '{path}': {exc}") from None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     compiled = _compile_target(args.file, args.config)
+    telemetry.absorb_pass_timings(telemetry.METRICS, compiled)
     env = _parse_env(compiled.module.channels, args.set or [])
     if args.schedule:
-        from repro.verify import Schedule, ScheduleError, replay_schedule
+        from repro.verify import replay_schedule
 
-        try:
-            schedule = Schedule.from_json(Path(args.schedule).read_text())
-        except OSError as exc:
-            raise SystemExit(
-                f"cannot read schedule '{args.schedule}': {exc}"
-            ) from None
-        except ScheduleError as exc:
-            raise SystemExit(
-                f"bad schedule '{args.schedule}': {exc}"
-            ) from None
+        schedule = _load_schedule(args.schedule)
         result = replay_schedule(
             compiled, env, schedule, engine=args.engine,
             stop_at_violation=False,
         )
+        telemetry.absorb_replay(telemetry.METRICS, result)
+        _write_metrics(args, "run")
         print(
             f"schedule    : {len(schedule.points)} failure point(s), "
             f"{schedule.activations} activation(s)"
@@ -235,6 +258,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         supply = ContinuousPower()
     result = run_once(compiled, env, supply, engine=args.engine)
+    telemetry.absorb_run(telemetry.METRICS, result)
+    _write_metrics(args, "run")
     print(f"completed   : {result.stats.completed}")
     print(f"cycles on   : {result.stats.cycles_on}")
     print(f"cycles off  : {result.stats.cycles_off}")
@@ -247,6 +272,78 @@ def cmd_run(args: argparse.Namespace) -> int:
         for event in result.trace:
             print(f"  {event}")
     return 0 if result.stats.completed else 1
+
+
+def _traces_for(args: argparse.Namespace, compiled, env):
+    """Execute with run-style flags; (per-activation traces, completed)."""
+    if getattr(args, "schedule", None):
+        from repro.verify import replay_schedule
+
+        schedule = _load_schedule(args.schedule)
+        result = replay_schedule(
+            compiled, env, schedule, engine=args.engine,
+            stop_at_violation=False,
+        )
+        telemetry.absorb_replay(telemetry.METRICS, result)
+        return list(result.traces), result.completed
+    if args.intermittent:
+        supply = STANDARD_PROFILE.make_supply(seed=args.seed)
+    else:
+        supply = ContinuousPower()
+    result = run_once(compiled, env, supply, engine=args.engine)
+    telemetry.absorb_run(telemetry.METRICS, result)
+    return [result.trace], result.stats.completed
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run and export the timeline as Chrome-trace/Perfetto JSON.
+
+    The sim-time timeline (``ts`` = tau) is derived from the observation
+    trace after the run, so the default output is fully deterministic:
+    same target + seed -> byte-identical JSON.  ``--wall`` adds the
+    wall-clock spans recorded by the live tracer as a second process.
+    """
+    compiled = _compile_target(args.file, args.config)
+    telemetry.absorb_pass_timings(telemetry.METRICS, compiled)
+    env = _parse_env(compiled.module.channels, args.set or [])
+    wall = telemetry.enable_tracing() if args.wall else None
+    try:
+        traces, completed = _traces_for(args, compiled, env)
+    finally:
+        telemetry.disable_tracing()
+    document = telemetry.chrome_trace_json(
+        traces, source=f"{args.file}/{args.config}", wall=wall
+    )
+    _write_metrics(args, "trace")
+    if args.out:
+        Path(args.out).write_text(document + "\n")
+        events = sum(len(t.events) for t in traces)
+        _log.info(
+            f"trace written to {args.out} "
+            f"({len(traces)} activation(s), {events} events)"
+        )
+    else:
+        print(document)
+    return 0 if completed else 1
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Run and explain every detector firing causally.
+
+    For each violation: the policy window it broke, the concrete sensor
+    reads (channel, tau) that fed the declaration, which of them went
+    missing across reboots (with staleness), and the provenance chains
+    those inputs took to reach the policy.
+    """
+    compiled = _compile_target(args.file, args.config)
+    telemetry.absorb_pass_timings(telemetry.METRICS, compiled)
+    env = _parse_env(compiled.module.channels, args.set or [])
+    traces, _completed = _traces_for(args, compiled, env)
+    reports = telemetry.explain_traces(traces, compiled.policies)
+    telemetry.METRICS.counter("run.violations_explained").inc(len(reports))
+    _write_metrics(args, "explain")
+    print(telemetry.render_reports(reports))
+    return 0
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -274,17 +371,22 @@ def cmd_verify(args: argparse.Namespace) -> int:
         target=args.target,
         config=args.config,
     )
+    telemetry.absorb_pass_timings(telemetry.METRICS, compiled)
+    telemetry.absorb_verify(telemetry.METRICS, verdict)
+    _write_metrics(args, "verify")
     print(verdict.certificate())
     if verdict.counterexample is not None and args.schedule_out:
         Path(args.schedule_out).write_text(
             verdict.counterexample.to_json() + "\n"
         )
-        print(f"schedule written to {args.schedule_out}", file=sys.stderr)
+        _log.info(f"schedule written to {args.schedule_out}")
     if args.emit_graph is not None and verdict.graph is not None:
         graph = dict(verdict.graph)
         graph["stats"] = verdict.stats.to_dict()
+        if verdict.forensics:
+            graph["forensics"] = [r.to_dict() for r in verdict.forensics]
         Path(args.emit_graph).write_text(json.dumps(graph, indent=2) + "\n")
-        print(f"graph written to {args.emit_graph}", file=sys.stderr)
+        _log.info(f"graph written to {args.emit_graph}")
     return verdict.exit_code
 
 
@@ -326,13 +428,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         raise SystemExit(f"bad campaign spec '{args.spec}': {exc}") from None
     executor = "multiprocess" if args.parallel else "serial"
     result = run_campaign(spec, executor, processes=args.jobs)
+    telemetry.absorb_campaign(telemetry.METRICS, result)
+    _write_metrics(args, "campaign")
     report = result.to_json()
     if args.output:
         Path(args.output).write_text(report + "\n")
         print(result.table().render_text())
-        print(f"report written to {args.output}", file=sys.stderr)
+        _log.info(f"report written to {args.output}")
     else:
-        print(result.table().render_text(), file=sys.stderr)
+        _log.info(result.table().render_text())
         print(report)
     return 0
 
@@ -381,14 +485,16 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     tables = [result.table()]
     if args.histograms:
         tables += [histogram_table(result), duty_table(result)]
+    telemetry.absorb_fleet(telemetry.METRICS, result)
+    _write_metrics(args, "fleet")
     rendered = "\n\n".join(t.render_text() for t in tables)
     report = result.to_json()
     if args.output:
         Path(args.output).write_text(report + "\n")
         print(rendered)
-        print(f"report written to {args.output}", file=sys.stderr)
+        _log.info(f"report written to {args.output}")
     else:
-        print(rendered, file=sys.stderr)
+        _log.info(rendered)
         print(report)
     return 0
 
@@ -422,6 +528,34 @@ def build_parser() -> argparse.ArgumentParser:
             default="ocelot",
             metavar="NAME",
             help=f"build configuration ({', '.join(config_names())})",
+        )
+
+    def add_metrics_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--metrics-out",
+            metavar="PATH",
+            default=None,
+            help="write the telemetry metrics registry "
+            f"({telemetry.METRICS_SCHEMA} JSON) here",
+        )
+
+    def add_run_style_flags(p: argparse.ArgumentParser) -> None:
+        """The execution flags `run`, `trace`, and `explain` share."""
+        add_config_flag(p)
+        p.add_argument(
+            "--set",
+            action="append",
+            metavar="CH=VALUE | CH=L1,L2,...:DWELL",
+            help="bind a sensor channel (constant or stepping signal)",
+        )
+        p.add_argument("--intermittent", action="store_true")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--schedule",
+            metavar="PATH",
+            default=None,
+            help="replay a failure-schedule JSON (e.g. a verify "
+            "counterexample) instead of simulating a supply",
         )
 
     def add_engine_flag(
@@ -474,25 +608,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "file", help="source file path or registered benchmark name"
     )
-    add_config_flag(p_run)
-    p_run.add_argument(
-        "--set",
-        action="append",
-        metavar="CH=VALUE | CH=L1,L2,...:DWELL",
-        help="bind a sensor channel (constant or stepping signal)",
-    )
-    p_run.add_argument("--intermittent", action="store_true")
-    p_run.add_argument("--seed", type=int, default=0)
-    p_run.add_argument(
-        "--schedule",
-        metavar="PATH",
-        default=None,
-        help="replay a failure-schedule JSON (e.g. a verify counterexample) "
-        "instead of simulating a supply",
-    )
+    add_run_style_flags(p_run)
     p_run.add_argument("--trace", action="store_true", help="dump all events")
     add_engine_flag(p_run)
+    add_metrics_flag(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run and export a Chrome-trace/Perfetto timeline (ts = tau)",
+    )
+    p_trace.add_argument(
+        "file", help="source file path or registered benchmark name"
+    )
+    add_run_style_flags(p_trace)
+    p_trace.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the trace JSON here (default: stdout)",
+    )
+    p_trace.add_argument(
+        "--wall",
+        action="store_true",
+        help="also record wall-clock engine spans as a second process "
+        "(output is no longer byte-deterministic)",
+    )
+    add_engine_flag(p_trace)
+    add_metrics_flag(p_trace)
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="run and report why each freshness/consistency check fired",
+    )
+    p_explain.add_argument(
+        "file", help="source file path or registered benchmark name"
+    )
+    add_run_style_flags(p_explain)
+    add_engine_flag(p_explain)
+    add_metrics_flag(p_explain)
+    p_explain.set_defaults(func=cmd_explain)
 
     p_verify = sub.add_parser(
         "verify",
@@ -548,6 +704,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the exploration graph (nodes, fork edges, stats) as JSON",
     )
     add_engine_flag(p_verify)
+    add_metrics_flag(p_verify)
     p_verify.set_defaults(func=cmd_verify)
 
     p_feas = sub.add_parser("feasibility", help="region energy bounds")
@@ -586,6 +743,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON report here (default: stdout)",
     )
     add_engine_flag(p_campaign, default=None, overrides_spec=True)
+    add_metrics_flag(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
 
     p_fleet = sub.add_parser(
@@ -644,13 +802,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON report here (default: stdout)",
     )
     add_engine_flag(p_fleet)
+    add_metrics_flag(p_fleet)
     p_fleet.set_defaults(func=cmd_fleet)
+
+    # Every subcommand controls status-output verbosity the same way.
+    for p_sub in set(sub.choices.values()):
+        group = p_sub.add_argument_group("output")
+        group.add_argument(
+            "-v",
+            "--verbose",
+            action="store_true",
+            help="debug-level status output on stderr",
+        )
+        group.add_argument(
+            "-q",
+            "--quiet",
+            action="store_true",
+            help="suppress status output (warnings and errors only)",
+        )
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    verbosity = 0
+    if getattr(args, "verbose", False):
+        verbosity = 1
+    if getattr(args, "quiet", False):
+        verbosity = -1
+    telemetry.configure_logging(verbosity)
+    telemetry.METRICS.clear()
     return args.func(args)
 
 

@@ -61,6 +61,7 @@ from repro.runtime.supply import (
     ScheduledFailures,
 )
 from repro.sensors.environment import Environment, bind_signal_specs
+from repro.telemetry.trace import span as _span
 
 MODE_ACTIVATIONS = "activations"
 MODE_INJECTION = "injection"
@@ -454,6 +455,9 @@ class JobResult:
     #: injection mode
     injection_points: int = 0
     injection_violating: int = 0
+    #: bit-vector detector scans (both modes; deterministic, so part of
+    #: the fingerprint -- optimizer wins show up in campaign reports)
+    detector_queries: int = 0
     #: not part of the deterministic fingerprint
     wall_time: float = 0.0
 
@@ -494,6 +498,11 @@ def execute_job(job: JobSpec) -> JobResult:
     is a pure function of its spec -- serial and multiprocess executors
     produce identical results.
     """
+    with _span("campaign.job", "campaign", job=job.job_id):
+        return _execute_job(job)
+
+
+def _execute_job(job: JobSpec) -> JobResult:
     started = time.perf_counter()
     meta = BENCHMARKS[job.app]
     compiled, cached = GLOBAL_CACHE.get_or_compile_with_info(
@@ -515,6 +524,7 @@ def execute_job(job: JobSpec) -> JobResult:
     if job.mode == MODE_INJECTION:
         plan = compiled.detector_plan()
         fired = violating = fresh = consistent = reboots = 0
+        queries = 0
         for site in sorted(plan.checks):
             env = job.environment.build(job.app)
             supply = ScheduledFailures(
@@ -525,6 +535,7 @@ def execute_job(job: JobSpec) -> JobResult:
             )
             if not result.stats.completed:
                 raise RuntimeError(f"{job.job_id} stuck at site {site}")
+            queries += result.detector_queries
             if not supply.all_fired:
                 # The site sits on a path this environment never takes;
                 # no failure was injected, so the run says nothing.
@@ -544,6 +555,7 @@ def execute_job(job: JobSpec) -> JobResult:
             reboots=reboots,
             injection_points=fired,
             injection_violating=violating,
+            detector_queries=queries,
             wall_time=time.perf_counter() - started,
         )
 
@@ -572,6 +584,7 @@ def execute_job(job: JobSpec) -> JobResult:
         completed_cycles_on=summary.completed_cycles_on,
         completed_cycles_off=summary.completed_cycles_off,
         reboots=summary.reboots,
+        detector_queries=summary.detector_queries,
         wall_time=time.perf_counter() - started,
     )
 
@@ -679,6 +692,7 @@ class AggregateRow:
     region_count: int
     injection_points: int
     injection_violating: int
+    detector_queries: int = 0
 
     @property
     def violation_rate(self) -> float:
@@ -743,6 +757,9 @@ class CampaignResult:
                         ),
                         injection_violating=sum(
                             r.injection_violating for r in members
+                        ),
+                        detector_queries=sum(
+                            r.detector_queries for r in members
                         ),
                     )
                 )
@@ -853,9 +870,10 @@ def run_campaign(
     elif isinstance(executor, str):
         executor = make_executor(executor, processes=processes)
     started = time.perf_counter()
-    compiles = precompile(spec)
-    jobs = spec.expand()
-    results = executor.run(jobs)
+    with _span("campaign", "campaign", spec=spec.name, executor=executor.name):
+        compiles = precompile(spec)
+        jobs = spec.expand()
+        results = executor.run(jobs)
     cache_hits = sum(1 for r in results if r.compile_cached)
     return CampaignResult(
         spec=spec,

@@ -47,6 +47,7 @@ class ClassAggregate:
     cycles_on: int = 0
     cycles_off: int = 0
     reboots: int = 0
+    detector_queries: int = 0
     #: histogram of *fresh* (staleness) violations per completed activation
     fresh_hist: list[int] = field(
         default_factory=lambda: [0] * VIOLATION_BUCKETS
@@ -80,6 +81,7 @@ class ClassAggregate:
         self.violations += record.violations
         self.fresh_violations += record.fresh_violations
         self.consistent_violations += record.consistent_violations
+        self.detector_queries += record.detector_queries
         if not record.completed:
             self.stuck_devices += 1
             return
@@ -112,6 +114,7 @@ class ClassAggregate:
         self.violations += record.violations * count
         self.fresh_violations += record.fresh_violations * count
         self.consistent_violations += record.consistent_violations * count
+        self.detector_queries += record.detector_queries * count
         if not record.completed:
             self.stuck_devices += count
             return
@@ -143,6 +146,7 @@ class ClassAggregate:
         self.cycles_on += other.cycles_on
         self.cycles_off += other.cycles_off
         self.reboots += other.reboots
+        self.detector_queries += other.detector_queries
         for i, v in enumerate(other.fresh_hist):
             self.fresh_hist[i] += v
         for i, v in enumerate(other.consistent_hist):
@@ -165,6 +169,7 @@ class ClassAggregate:
             "cycles_on": self.cycles_on,
             "cycles_off": self.cycles_off,
             "reboots": self.reboots,
+            "detector_queries": self.detector_queries,
             "fresh_hist": list(self.fresh_hist),
             "consistent_hist": list(self.consistent_hist),
             "duty_hist": list(self.duty_hist),
@@ -185,6 +190,7 @@ class ClassAggregate:
             "cycles_on",
             "cycles_off",
             "reboots",
+            "detector_queries",
         ):
             setattr(agg, key, int(data[key]))
         agg.fresh_hist = [int(v) for v in data["fresh_hist"]]

@@ -36,6 +36,7 @@ from repro.fleet.device import DeviceFactory
 from repro.fleet.scheduler import FleetScheduler
 from repro.fleet.spec import DeviceSpec, FleetError, FleetSpec
 from repro.runtime.engine import ENGINE_FAST
+from repro.telemetry.trace import span as _span
 
 
 def run_shard(
@@ -87,7 +88,8 @@ class SerialFleetExecutor:
         self.used = "serial"
 
     def run(self, devices: Sequence[DeviceSpec]) -> FleetAggregator:
-        return run_shard(devices, engine=self.engine)
+        with _span("fleet.serial", "fleet", devices=len(devices)):
+            return run_shard(devices, engine=self.engine)
 
 
 class ShardedFleetExecutor:
@@ -138,6 +140,10 @@ class ShardedFleetExecutor:
             return multiprocessing.get_context()
 
     def run(self, devices: Sequence[DeviceSpec]) -> FleetAggregator:
+        with _span("fleet.sharded", "fleet", devices=len(devices)):
+            return self._run(devices)
+
+    def _run(self, devices: Sequence[DeviceSpec]) -> FleetAggregator:
         ctx = self._context()
         processes = self.processes or min(len(devices) or 1, ctx.cpu_count() or 1)
         shard_count = min(self.shards or processes, len(devices) or 1)
@@ -201,7 +207,9 @@ def make_fleet_executor(
 #: that equivalence, bump this string: checkpoint fingerprints bind it
 #: (the same pattern as the seed-scheme fingerprint binding), so every
 #: older checkpoint is rejected instead of silently mixing families.
-AGGREGATE_PARITY_SCHEME = "fleet-parity-1"
+#: fleet-parity-2: ``ClassAggregate`` grew ``detector_queries``; older
+#: checkpoints lack the key and must be rejected on resume.
+AGGREGATE_PARITY_SCHEME = "fleet-parity-2"
 
 
 def checkpoint_fingerprint(spec: FleetSpec) -> str:

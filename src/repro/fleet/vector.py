@@ -69,6 +69,7 @@ from repro.runtime.detector import BitVector
 from repro.runtime.harness import ActivationStepper
 from repro.sensors.environment import bind_signal_specs
 from repro.runtime.supply import PowerSupply
+from repro.telemetry.trace import span as _span
 
 
 # ---------------------------------------------------------------------------
@@ -397,14 +398,15 @@ class VectorFleetExecutor:
     # -- execution -----------------------------------------------------------
 
     def run(self, devices: Sequence[DeviceSpec]) -> FleetAggregator:
-        aggregator = FleetAggregator()
-        batches: dict[str, list[DeviceSpec]] = {}
-        for spec in devices:
-            aggregator.add_device(spec)
-            batches.setdefault(spec.class_name, []).append(spec)
-        for specs in batches.values():
-            self._run_batch(specs, aggregator)
-        return aggregator
+        with _span("fleet.vector", "fleet", devices=len(devices)):
+            aggregator = FleetAggregator()
+            batches: dict[str, list[DeviceSpec]] = {}
+            for spec in devices:
+                aggregator.add_device(spec)
+                batches.setdefault(spec.class_name, []).append(spec)
+            for specs in batches.values():
+                self._run_batch(specs, aggregator)
+            return aggregator
 
     def _stepper(self, spec, env, supply, nv, start_tau, start_index, shared):
         compiled, costs, plan = shared

@@ -69,6 +69,7 @@ from repro.runtime.supply import (
 )
 from repro.runtime.values import InputEvent, RefValue, TVal, ZERO, merge_taint
 from repro.sensors.environment import Environment
+from repro.telemetry.trace import tracer as _tracer
 
 #: Engine names: the escape hatch every harness exposes.
 ENGINE_FAST = "fast"
@@ -837,6 +838,13 @@ class FastMachine(MachineCore):
 
     def run(self) -> obs.RunResult:
         """Execute one activation of ``main`` to completion (or give up)."""
+        wall = _tracer()
+        if wall is not None:
+            with wall.span("activation", "engine", engine="fast"):
+                return self._run_to_completion()
+        return self._run_to_completion()
+
+    def _run_to_completion(self) -> obs.RunResult:
         stats = self.stats
         config = self._config
         max_cycles = config.max_cycles
@@ -912,7 +920,12 @@ class FastMachine(MachineCore):
         stats.completed = self._done
         stats.violations = len(self.trace.violations)
         ret = self._ret_value.value if self._ret_value is not None else None
-        return obs.RunResult(trace=self.trace, stats=stats, ret=ret)
+        return obs.RunResult(
+            trace=self.trace,
+            stats=stats,
+            ret=ret,
+            detector_queries=self.detector_queries,
+        )
 
     def step(self) -> None:
         """One machine step over decoded code (generic supply path).

@@ -47,6 +47,7 @@ from repro.analysis.taint import consistent_pid, fresh_pid
 from repro.runtime.supply import ContinuousPower, PowerSupply
 from repro.runtime.values import Cell, InputEvent, RefValue, TVal, merge_taint
 from repro.sensors.environment import Environment
+from repro.telemetry.trace import tracer as _tracer
 
 
 class ExecError(Exception):
@@ -387,6 +388,13 @@ class Machine(MachineCore):
 
     def run(self) -> obs.RunResult:
         """Execute one activation of ``main`` to completion (or give up)."""
+        wall = _tracer()
+        if wall is not None:
+            with wall.span("activation", "engine", engine="reference"):
+                return self._run_to_completion()
+        return self._run_to_completion()
+
+    def _run_to_completion(self) -> obs.RunResult:
         start_cycles = self.stats.total_cycles
         while not self._done:
             if self.stats.total_cycles - start_cycles > self._config.max_cycles:
@@ -395,7 +403,12 @@ class Machine(MachineCore):
         self.stats.completed = self._done
         self.stats.violations = len(self.trace.violations)
         ret = self._ret_value.value if self._ret_value is not None else None
-        return obs.RunResult(trace=self.trace, stats=self.stats, ret=ret)
+        return obs.RunResult(
+            trace=self.trace,
+            stats=self.stats,
+            ret=ret,
+            detector_queries=self.detector_queries,
+        )
 
     # -- fetch/execute loop ---------------------------------------------------------
 

@@ -87,6 +87,7 @@ class ActivationRecord:
     reboots: int
     fresh_violations: int = 0
     consistent_violations: int = 0
+    detector_queries: int = 0
 
     @property
     def violating(self) -> bool:
@@ -141,6 +142,7 @@ class ActivationsSummary:
     completed_cycles_on: int = 0
     completed_cycles_off: int = 0
     reboots: int = 0
+    detector_queries: int = 0
 
     @property
     def violation_rate(self) -> float:
@@ -165,6 +167,7 @@ class ActivationsSummary:
             completed_cycles_on=sum(r.cycles_on for r in completed),
             completed_cycles_off=sum(r.cycles_off for r in completed),
             reboots=sum(r.reboots for r in result.records),
+            detector_queries=sum(r.detector_queries for r in result.records),
         )
 
 
@@ -253,6 +256,7 @@ class ActivationStepper:
             reboots=run.stats.reboots,
             fresh_violations=kinds.count("fresh"),
             consistent_violations=kinds.count("consistent"),
+            detector_queries=run.detector_queries,
         )
         self.index += 1
         if not record.completed:

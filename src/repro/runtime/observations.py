@@ -115,7 +115,9 @@ class ViolationObs(Obs):
     uid: InstrId
     pid: str
     kind: str  # 'fresh' or 'consistent'
-    missing: tuple[InstrId, ...]  # input operations whose bits were clear
+    #: context-qualified input operations (provenance Chains) whose
+    #: detector bits were clear at the check
+    missing: tuple = ()
 
 
 @dataclass
@@ -184,3 +186,6 @@ class RunResult:
     trace: Trace
     stats: RunStats
     ret: Optional[int] = None
+    #: bit-vector detector scans executed; deliberately *outside*
+    #: ``RunStats`` so optimized builds stay stat-identical to baseline
+    detector_queries: int = 0

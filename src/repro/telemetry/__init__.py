@@ -1,0 +1,78 @@
+"""Unified telemetry: tracing, metrics, forensics, logging.
+
+Zero-overhead-when-disabled observability for every subsystem:
+
+* :mod:`repro.telemetry.trace` -- sim-time (tau, deterministic) and
+  wall-clock timelines exported as Chrome-trace/Perfetto JSON
+  (``python -m repro trace TARGET``).
+* :mod:`repro.telemetry.metrics` -- process-wide counters / gauges /
+  histograms behind one JSON schema (``--metrics-out`` on the
+  run/fleet/campaign/verify CLIs and the bench scripts).
+* :mod:`repro.telemetry.forensics` -- causal reports for detector
+  firings (``python -m repro explain TARGET``; attached to verifier
+  counterexamples).
+* :mod:`repro.telemetry.logging` -- stdlib-logging status output with
+  ``--verbose/--quiet`` control.
+"""
+
+from repro.telemetry.forensics import (
+    MissingInput,
+    ViolationReport,
+    WitnessInput,
+    explain_events,
+    explain_traces,
+    render_reports,
+)
+from repro.telemetry.logging import configure as configure_logging
+from repro.telemetry.logging import get_logger
+from repro.telemetry.metrics import (
+    METRICS,
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    absorb_campaign,
+    absorb_fleet,
+    absorb_pass_timings,
+    absorb_replay,
+    absorb_run,
+    absorb_verify,
+)
+from repro.telemetry.trace import (
+    TRACE_SCHEMA,
+    WallTracer,
+    chrome_trace,
+    chrome_trace_json,
+    disable as disable_tracing,
+    enable as enable_tracing,
+    simtime_events,
+    span,
+    tracer,
+)
+
+__all__ = [
+    "METRICS",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "MissingInput",
+    "TRACE_SCHEMA",
+    "ViolationReport",
+    "WallTracer",
+    "WitnessInput",
+    "absorb_campaign",
+    "absorb_fleet",
+    "absorb_pass_timings",
+    "absorb_replay",
+    "absorb_run",
+    "absorb_verify",
+    "chrome_trace",
+    "chrome_trace_json",
+    "configure_logging",
+    "disable_tracing",
+    "enable_tracing",
+    "explain_events",
+    "explain_traces",
+    "get_logger",
+    "render_reports",
+    "simtime_events",
+    "span",
+    "tracer",
+]

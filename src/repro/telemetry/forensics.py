@@ -1,0 +1,274 @@
+"""Violation forensics: *why* did a freshness/consistency check fire?
+
+The paper's contribution is identifying stale and inconsistent input
+chains; the detector already knows exactly which input operations had
+clear bits when a check fired (``ViolationObs.missing``), the policy
+declarations carry the context-qualified provenance chains
+(:class:`~repro.analysis.provenance.Chain`) of every input the policy
+window covers, and the declaration observations carry the concrete
+taint -- ``InputEvent(uid, channel, tau)`` -- of the values involved.
+This module joins the three into a causal report:
+
+* which sensor reads (channel + tau) fed the violated declaration,
+* which of them went *missing* (their detector bits were cleared by a
+  reboot before the check), how stale they were, and how many reboots
+  intervened,
+* through which derivation call sites (the provenance chain) each
+  missing input reached the policy,
+* which policy window (declaration site, kind, consistent-set) was
+  violated.
+
+Rendered by ``python -m repro explain TARGET`` and attached to
+verifier counterexamples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.runtime import observations as obs
+
+
+@dataclass(frozen=True)
+class MissingInput:
+    """One input operation whose detector bit was clear at check time."""
+
+    uid: str  # the input instruction (f, l)
+    channel: str | None  # sampled channel, if witnessed in the trace
+    read_tau: int | None  # when it was last read before the violation
+    staleness: int | None  # violation tau - read tau
+    reboots_between: int | None  # power cycles between read and check
+    chains: tuple[str, ...]  # derivation call paths reaching the policy
+
+    def to_dict(self) -> dict:
+        return {
+            "uid": self.uid,
+            "channel": self.channel,
+            "read_tau": self.read_tau,
+            "staleness": self.staleness,
+            "reboots_between": self.reboots_between,
+            "chains": list(self.chains),
+        }
+
+
+@dataclass(frozen=True)
+class WitnessInput:
+    """A concrete sensor read that fed the violated declaration."""
+
+    uid: str
+    channel: str
+    tau: int
+
+    def to_dict(self) -> dict:
+        return {"uid": self.uid, "channel": self.channel, "tau": self.tau}
+
+
+@dataclass
+class ViolationReport:
+    """Causal record for one detector firing."""
+
+    tau: int
+    site: str  # check site (f, l)
+    pid: str
+    kind: str  # 'fresh' or 'consistent'
+    decl_site: str | None = None  # policy declaration site (f, l)
+    decl_tau: int | None = None  # when the declaration executed
+    set_id: int | None = None  # consistent-set id, if kind=consistent
+    window_channels: tuple[str, ...] = ()
+    witnesses: list[WitnessInput] = field(default_factory=list)
+    missing: list[MissingInput] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "tau": self.tau,
+            "site": self.site,
+            "pid": self.pid,
+            "kind": self.kind,
+            "decl_site": self.decl_site,
+            "decl_tau": self.decl_tau,
+            "set_id": self.set_id,
+            "window_channels": list(self.window_channels),
+            "witnesses": [w.to_dict() for w in self.witnesses],
+            "missing": [m.to_dict() for m in self.missing],
+        }
+
+    def render_text(self) -> str:
+        lines = [f"violation [tau={self.tau}] {self.kind} {self.pid} at {self.site}"]
+        window = (
+            f"declared at {self.decl_site}"
+            if self.decl_site is not None
+            else "declaration not witnessed in trace"
+        )
+        if self.decl_tau is not None:
+            window += f" (decl tau {self.decl_tau})"
+        if self.set_id is not None:
+            window += f", consistent set {self.set_id}"
+        lines.append(f"  policy window : {window}")
+        if self.window_channels:
+            lines.append(
+                "  channels      : " + ", ".join(self.window_channels)
+            )
+        for miss in self.missing:
+            what = f"input {miss.uid}"
+            if miss.channel is not None:
+                what = f"{miss.channel} {miss.uid}"
+            if miss.read_tau is not None:
+                what += f" read at tau {miss.read_tau}"
+                if miss.staleness is not None:
+                    what += f", stale by {miss.staleness} cycles"
+                if miss.reboots_between:
+                    plural = "s" if miss.reboots_between != 1 else ""
+                    what += f" across {miss.reboots_between} reboot{plural}"
+            else:
+                what += " (read not witnessed in trace)"
+            lines.append(f"  caused by     : {what}")
+            for chain in miss.chains:
+                lines.append(f"    via chain   : {chain}")
+        survivors = [
+            w for w in self.witnesses
+            if all(w.uid != m.uid for m in self.missing)
+        ]
+        for witness in survivors:
+            lines.append(
+                f"  still fresh   : {witness.channel} {witness.uid} "
+                f"read at tau {witness.tau}"
+            )
+        return "\n".join(lines)
+
+
+def _policy_info(policies, pid: str):
+    """(policy, decl sites, chains-by-op) for ``pid``; Nones if unknown."""
+    if policies is None:
+        return None, (), {}
+    try:
+        policy = policies.get(pid)
+    except KeyError:
+        return None, (), {}
+    if policy.kind == "fresh":
+        decl_sites = (policy.decl,)
+    else:
+        decl_sites = tuple(sorted(policy.decls, key=lambda u: (u.func, u.label)))
+    chains_by_op: dict = {}
+    for chain in policy.inputs:
+        chains_by_op.setdefault(chain.op, []).append(chain)
+    return policy, decl_sites, chains_by_op
+
+
+def explain_events(
+    events: Sequence[obs.Obs], policies=None
+) -> list[ViolationReport]:
+    """Build a :class:`ViolationReport` for every violation in ``events``.
+
+    ``events`` is a flat, emission-ordered observation sequence (one
+    trace, or several activations' traces concatenated).  ``policies``
+    is the compiled program's ``PolicyDecls`` (optional -- without it
+    the report still names sites and taus, just not provenance chains).
+    """
+    reports: list[ViolationReport] = []
+    for index, event in enumerate(events):
+        if not isinstance(event, obs.ViolationObs):
+            continue
+        policy, decl_sites, chains_by_op = _policy_info(policies, event.pid)
+
+        # Latest matching declaration before the check: its taint is the
+        # concrete set of sensor reads in the violated window.
+        decl = None
+        for prior in reversed(events[:index]):
+            if (
+                isinstance(prior, (obs.FreshDeclObs, obs.ConsistentDeclObs))
+                and prior.pid == event.pid
+            ):
+                decl = prior
+                break
+
+        witnesses = []
+        reads_by_uid: dict = {}
+        if decl is not None:
+            for read in sorted(
+                decl.inputs, key=lambda e: (e.tau, e.channel, str(e.uid))
+            ):
+                witnesses.append(
+                    WitnessInput(
+                        uid=str(read.uid), channel=read.channel, tau=read.tau
+                    )
+                )
+                prev = reads_by_uid.get(read.uid)
+                if prev is None or read.tau > prev.tau:
+                    reads_by_uid[read.uid] = read
+
+        missing = []
+        for item in event.missing:
+            # The detector's missing set holds context-qualified Chains;
+            # the chain's terminal op is the input instruction the
+            # declaration taint records.  (Plain InstrIds also work, with
+            # the derivation path recovered from the policy.)
+            uid = getattr(item, "op", item)
+            if hasattr(item, "ids"):
+                chains = (" -> ".join(str(i) for i in item.ids),)
+            else:
+                chains = tuple(
+                    sorted(
+                        " -> ".join(str(i) for i in chain.ids)
+                        for chain in chains_by_op.get(item, ())
+                    )
+                )
+            read = reads_by_uid.get(uid)
+            reboots = None
+            if read is not None:
+                reboots = sum(
+                    1
+                    for prior in events[:index]
+                    if isinstance(prior, obs.RebootObs)
+                    and read.tau < prior.tau <= event.tau
+                )
+            missing.append(
+                MissingInput(
+                    uid=str(uid),
+                    channel=read.channel if read is not None else None,
+                    read_tau=read.tau if read is not None else None,
+                    staleness=(
+                        event.tau - read.tau if read is not None else None
+                    ),
+                    reboots_between=reboots,
+                    chains=chains,
+                )
+            )
+
+        window_channels: tuple[str, ...] = ()
+        if witnesses:
+            window_channels = tuple(sorted({w.channel for w in witnesses}))
+
+        reports.append(
+            ViolationReport(
+                tau=event.tau,
+                site=str(event.uid),
+                pid=event.pid,
+                kind=event.kind,
+                decl_site=str(decl_sites[0]) if decl_sites else (
+                    str(decl.uid) if decl is not None else None
+                ),
+                decl_tau=decl.tau if decl is not None else None,
+                set_id=getattr(policy, "set_id", None),
+                window_channels=window_channels,
+                witnesses=witnesses,
+                missing=missing,
+            )
+        )
+    return reports
+
+
+def explain_traces(
+    traces: Iterable[obs.Trace], policies=None
+) -> list[ViolationReport]:
+    """Concatenate per-activation traces and explain every violation."""
+    events: list[obs.Obs] = []
+    for trace in traces:
+        events.extend(trace.events)
+    return explain_events(events, policies)
+
+
+def render_reports(reports: Sequence[ViolationReport]) -> str:
+    if not reports:
+        return "no violations: nothing to explain"
+    return "\n\n".join(report.render_text() for report in reports)

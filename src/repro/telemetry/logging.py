@@ -1,0 +1,58 @@
+"""Logging setup for the CLI and library users.
+
+Status output (tables, "report written to ..." lines, histograms) used
+to go through bare ``print(..., file=sys.stderr)``; it now flows
+through a stdlib :mod:`logging` logger under the ``repro`` namespace so
+library users can silence or capture it, and the CLI grows
+``--verbose/--quiet`` flags.
+
+:func:`configure` rebinds the handler to the *current* ``sys.stderr``
+on every call, so stream-capturing test harnesses (pytest's capsys)
+see the output without any special-casing.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: Root of the package logger namespace.
+ROOT_LOGGER = "repro"
+
+#: Marker attribute so reconfiguration replaces only our handler.
+_HANDLER_TAG = "_repro_telemetry_handler"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Logger under the ``repro`` namespace (``repro`` itself if bare)."""
+    if name is None or name == ROOT_LOGGER:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(f"{ROOT_LOGGER}."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Install a plain-message stderr handler on the ``repro`` logger.
+
+    ``verbosity`` < 0 -> WARNING (``--quiet``), 0 -> INFO (default,
+    preserves the CLI's historical stderr output), > 0 -> DEBUG
+    (``--verbose``).  Idempotent: calling again replaces the handler
+    and rebinds it to the current ``sys.stderr``.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    setattr(handler, _HANDLER_TAG, True)
+    logger.addHandler(handler)
+    if verbosity < 0:
+        logger.setLevel(logging.WARNING)
+    elif verbosity == 0:
+        logger.setLevel(logging.INFO)
+    else:
+        logger.setLevel(logging.DEBUG)
+    logger.propagate = False
+    return logger

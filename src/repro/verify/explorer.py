@@ -64,6 +64,7 @@ from repro.runtime.snapshot import (
 )
 from repro.runtime.supply import FailurePoint
 from repro.sensors.environment import Environment
+from repro.telemetry.trace import span as _span
 from repro.verify.digest import fast_block_namer, state_digest
 from repro.verify.schedule import Schedule, minimize_schedule
 
@@ -125,6 +126,9 @@ class Verdict:
     #: all (pid, site chain) that fired, when collect_all exploration ran
     fired: frozenset = frozenset()
     graph: Optional[dict] = None
+    #: causal reports for the counterexample's violations, built by
+    #: replaying the minimized schedule (telemetry.forensics dicts)
+    forensics: Optional[list] = None
 
     @property
     def exit_code(self) -> int:
@@ -164,6 +168,11 @@ class Verdict:
                     f"  fail before {p.uid.func}:{p.uid.label} "
                     f"(occurrence {p.occurrence})"
                 )
+        if self.forensics:
+            lines.append("forensics   :")
+            for report in self.forensics:
+                for line in report.render_text().splitlines():
+                    lines.append(f"  {line}")
         return "\n".join(lines)
 
 
@@ -296,6 +305,10 @@ class Explorer:
     # -- the search ------------------------------------------------------------
 
     def run(self) -> Verdict:
+        with _span("verify.explore", "verify", engine=self._engine):
+            return self._run()
+
+    def _run(self) -> Verdict:
         bounds = self._bounds
         machine = self._build_machine()
         sink = _ViolationSink()
@@ -568,5 +581,23 @@ def verify_program(
             activations=schedule.activations,
             target=target,
             config=config,
+        )
+        # Forensics: the explorer's sink keeps only violation events, so
+        # replay the (minimized) schedule with full observation to join
+        # the detector firing back to the sensor reads that caused it.
+        from repro.telemetry.forensics import explain_traces
+        from repro.verify.schedule import replay_schedule
+
+        replay = replay_schedule(
+            compiled,
+            env,
+            verdict.counterexample,
+            engine=engine,
+            costs=costs,
+            plan=plan,
+            stop_at_violation=False,
+        )
+        verdict.forensics = explain_traces(
+            replay.traces, getattr(compiled, "policies", None)
         )
     return verdict
