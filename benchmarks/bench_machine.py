@@ -76,10 +76,11 @@ def _drive(engine: str, app: str, config: str, supply_kind: str, budget: int):
     costs = meta.cost_model()
     plan = compiled.detector_plan()
     env = meta.env_factory(13)
-    if supply_kind == "continuous":
-        supply = ContinuousPower()
-    else:
-        supply = STANDARD_PROFILE.make_supply(seed=5).spawn(31)
+    supply = (
+        ContinuousPower()
+        if supply_kind == "continuous"
+        else STANDARD_PROFILE.make_supply(seed=5).spawn(31)
+    )
     nv = NVState.initial(compiled.module)
     tau = 0
     instructions = activations = reboots = violations = checks = 0

@@ -79,10 +79,11 @@ def _drive(app: str, config: str, supply_kind: str, budget: int, mode: str):
     costs = meta.cost_model()
     plan = compiled.detector_plan()
     env = meta.env_factory(13)
-    if supply_kind == "continuous":
-        supply = ContinuousPower()
-    else:
-        supply = STANDARD_PROFILE.make_supply(seed=5).spawn(31)
+    supply = (
+        ContinuousPower()
+        if supply_kind == "continuous"
+        else STANDARD_PROFILE.make_supply(seed=5).spawn(31)
+    )
     registry = MetricsRegistry() if mode == "metrics" else None
     nv = NVState.initial(compiled.module)
     tau = 0
@@ -92,10 +93,9 @@ def _drive(app: str, config: str, supply_kind: str, budget: int, mode: str):
             ENGINE_FAST, compiled, env, supply,
             costs=costs, plan=plan, nv=nv, start_tau=tau,
         )
-        if mode == "raw":
-            result = machine._run_to_completion()
-        else:
-            result = machine.run()
+        result = (
+            machine._run_to_completion() if mode == "raw" else machine.run()
+        )
         if registry is not None:
             absorb_run(registry, result)
         tau = machine.tau

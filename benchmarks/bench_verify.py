@@ -11,8 +11,12 @@ over explored states without, at identical verdicts::
 
 Every leg runs the same bound pruned and unpruned and asserts verdicts
 (and any counterexample violation) agree -- a standing soundness check
-next to ``tests/test_verify_crosscheck.py``.  ``--quick`` *fails*
-(exit 1) if any leg's verdicts diverge or if pruning does not explore
+next to ``tests/test_verify_crosscheck.py``.  A third *guided* pass
+seeds the frontier with the static staleness verdicts
+(:mod:`repro.analysis.staleness`) and must reach the same verdict kind
+from at most as many explored states; the savings land in the record as
+``guided_ratio``.  ``--quick`` *fails* (exit 1) if any leg's verdicts
+diverge, guidance explores more states, or pruning does not explore
 strictly fewer states on every region-bearing leg.
 """
 
@@ -23,6 +27,7 @@ import json
 import os
 from pathlib import Path
 
+from repro.analysis.staleness import analyze_staleness
 from repro.apps import BENCHMARKS
 from repro.core.cache import GLOBAL_CACHE
 from repro.sensors.environment import Environment
@@ -65,12 +70,32 @@ def _leg(
     compiled = GLOBAL_CACHE.get_or_compile(meta.source, config)
     env = Environment.constant_for(compiled.module.channels, 0)
     bounds = _bounds(max_failures, budget)
+    # The guided leg steers the same search with the static staleness
+    # verdicts (DOOMED sites jump the frontier, bits only SAFE checks
+    # read widen the no-op skip); lint time is *excluded* from the leg
+    # timer and reported separately -- it is a compile-time cost.
+    lint_name = "bench.verify.lint.seconds"
+    lint_before = registry.seconds(lint_name)
+    with registry.timer(lint_name):
+        report = analyze_staleness(compiled, [("bench", env)])
+    lint_seconds = registry.seconds(lint_name) - lint_before
     results = {}
-    for label, prune in (("pruned", True), ("unpruned", False)):
+    for label, prune, guided in (
+        ("pruned", True, False),
+        ("unpruned", False, False),
+        ("guided", True, True),
+    ):
         timer_name = f"bench.verify.{label}.seconds"
         before = registry.seconds(timer_name)
         with registry.timer(timer_name):
-            verdict = verify_program(compiled, env, bounds, prune=prune)
+            verdict = verify_program(
+                compiled,
+                env,
+                bounds,
+                prune=prune,
+                seed_uids=report.doomed_uids() if guided else frozenset(),
+                relevant_bits=report.relevant_bits() if guided else None,
+            )
         seconds = registry.seconds(timer_name) - before
         if prune:
             absorb_verify(registry, verdict)
@@ -91,11 +116,20 @@ def _leg(
             "steps_per_second": round(verdict.stats.steps / seconds),
         }
     pruned, full = results["pruned"], results["unpruned"]
+    guided = results["guided"]
     return {
         **results,
         "verdicts_agree": pruned["verdict"] == full["verdict"]
         and pruned["violation"] == full["violation"],
         "prune_ratio": round(pruned["explored"] / max(1, full["explored"]), 4),
+        # Guidance may legitimately reach a *different* counterexample
+        # first (seeded sites fire earlier in queue order), so parity is
+        # on the verdict kind, not the violation identity.
+        "guided_agrees": guided["verdict"] == pruned["verdict"],
+        "guided_ratio": round(
+            guided["explored"] / max(1, pruned["explored"]), 4
+        ),
+        "lint_seconds": round(lint_seconds, 4),
     }
 
 
@@ -118,7 +152,7 @@ def measure(budget: int = 200_000) -> dict:
     explored = sum(
         leg[label]["explored"]
         for leg in legs.values()
-        for label in ("pruned", "unpruned")
+        for label in ("pruned", "unpruned", "guided")
     )
     return {
         "benchmark": "verify-throughput",
@@ -144,6 +178,19 @@ def _gate(record: dict) -> int:
                 f"FAIL: {name}: pruned verdict "
                 f"{leg['pruned']['verdict']} != unpruned "
                 f"{leg['unpruned']['verdict']}"
+            )
+            failed = True
+        if not leg["guided_agrees"]:
+            print(
+                f"FAIL: {name}: guided verdict "
+                f"{leg['guided']['verdict']} != pruned "
+                f"{leg['pruned']['verdict']}"
+            )
+            failed = True
+        if leg["guided_ratio"] > 1.0:
+            print(
+                f"FAIL: {name}: guidance explored more states "
+                f"(ratio {leg['guided_ratio']})"
             )
             failed = True
         config = name.split("/", 1)[1]

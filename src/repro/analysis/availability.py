@@ -110,12 +110,12 @@ def function_block_depths(func: IRFunction) -> tuple[dict[str, int], bool]:
 class AvailabilityAnalysis:
     """Whole-program analysis; run once per module via :func:`analyze_availability`."""
 
-    def __init__(self, module: Module, max_rounds: int = MAX_ROUNDS):
+    def __init__(self, module: Module, max_rounds: int = MAX_ROUNDS) -> None:
         self._module = module
         self._max_rounds = max_rounds
         self._before: dict[Chain, frozenset[Chain]] = {}
         #: (context, func, entry fact, entry depth) -> exit fact
-        self._memo: dict[tuple, frozenset[Chain]] = {}
+        self._memo: dict[tuple[object, ...], frozenset[Chain]] = {}
         #: func name -> (relative depth at block entry, brackets consistent)
         self._depths: dict[str, tuple[dict[str, int], bool]] = {}
         self._contexts: set[tuple[Context, str]] = set()
@@ -235,13 +235,15 @@ class _AvailProblem:
             elif isinstance(instr, ir.InputInstr):
                 if depth > 0:
                     fact = fact | {Chain.of(context, instr.uid)}
-            elif isinstance(instr, ir.CallInstr):
-                if instr.func in module.functions:
-                    fact = owner._exit_fact(
-                        context + (instr.uid,), instr.func, fact, depth
-                    )
-                    if depth <= 0:
-                        fact = EMPTY
+            elif (
+                isinstance(instr, ir.CallInstr)
+                and instr.func in module.functions
+            ):
+                fact = owner._exit_fact(
+                    context + (instr.uid,), instr.func, fact, depth
+                )
+                if depth <= 0:
+                    fact = EMPTY
         return fact
 
 
@@ -325,9 +327,11 @@ def classify_resume_points(module: Module) -> ResumeClassification:
                     depth += 1
                 elif isinstance(instr, ir.AtomicEnd):
                     depth = max(0, depth - 1)
-                elif isinstance(instr, ir.CallInstr):
-                    if instr.func in module.functions:
-                        walk(context + (instr.uid,), instr.func, depth)
+                elif (
+                    isinstance(instr, ir.CallInstr)
+                    and instr.func in module.functions
+                ):
+                    walk(context + (instr.uid,), instr.func, depth)
 
     walk((), module.entry, 0)
     return ResumeClassification(

@@ -1,0 +1,122 @@
+"""Exhaustive-search crosscheck of the staleness linter's verdicts.
+
+Mirror of :mod:`repro.ir.opt.crosscheck`, for the static verdict layer:
+the linter (:mod:`repro.analysis.staleness`) claims every SAFE check can
+*never* fire under the registered environment and every DOOMED check has
+a concrete counterexample within one failure.  This module re-derives
+both claims by brute force: the bounded model checker explores every
+failure schedule within the bound over the **baseline** detector plan in
+collect-all mode, and
+
+* no SAFE check may appear among the fired ``(policy, site)`` pairs --
+  one firing is a linter unsoundness;
+* every DOOMED check must appear among them (given ``max_failures >= 1``
+  and a bound covering the activation) -- a missing counterexample means
+  the DOOMED proof argued past the machine semantics.
+
+The oracles are independent: the explorer executes the stock engines and
+consults neither the availability facts, the cycle windows, nor the
+probe (pruning defaults to off so nothing is shared with the system
+under test), while the linter never explores schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.provenance import Chain
+from repro.analysis.staleness import (
+    VERDICT_DOOMED,
+    VERDICT_SAFE,
+    StalenessReport,
+    analyze_staleness,
+)
+from repro.core.passes import CompiledProgram
+from repro.energy.costs import DEFAULT_COSTS, CostModel
+from repro.runtime.detector import build_detector_plan
+from repro.runtime.engine import ENGINE_FAST
+from repro.sensors.environment import Environment
+from repro.verify.explorer import Verdict, VerifyBounds, verify_program
+
+
+@dataclass(frozen=True)
+class StalenessCrosscheckResult:
+    """Outcome of one linter-vs-explorer comparison."""
+
+    report: StalenessReport
+    #: (pid, site) pairs that fired somewhere in the explored space
+    fired: frozenset[tuple[str, Chain]]
+    #: SAFE checks the exhaustive search saw firing -- linter unsound
+    safe_offenders: tuple[tuple[str, Chain], ...]
+    #: DOOMED checks the search never saw firing -- missing witness
+    doomed_missing: tuple[tuple[str, Chain], ...]
+    verdict: Verdict
+
+    @property
+    def ok(self) -> bool:
+        return not self.safe_offenders and not self.doomed_missing
+
+    @property
+    def complete(self) -> bool:
+        """Did the search cover the whole bound (nothing cut early)?"""
+        stats = self.verdict.stats
+        return stats.truncated == 0 and stats.stuck == 0
+
+    def render(self) -> str:
+        counts = self.report.counts()
+        status = "ok" if self.ok else "LINTER BUG"
+        lines = [
+            f"staleness crosscheck: {status} -- "
+            f"{counts[VERDICT_SAFE]} safe / {counts[VERDICT_DOOMED]} doomed "
+            f"vs {len(self.fired)} firing site(s) in "
+            f"{self.verdict.stats.explored} explored state(s)"
+        ]
+        for pid, site in self.safe_offenders:
+            lines.append(f"  SAFE check {pid} at {site} FIRED")
+        for pid, site in self.doomed_missing:
+            lines.append(f"  DOOMED check {pid} at {site} never fired")
+        return "\n".join(lines)
+
+
+def crosscheck_staleness(
+    compiled: CompiledProgram,
+    env: Environment,
+    bounds: VerifyBounds | None = None,
+    engine: str = ENGINE_FAST,
+    costs: CostModel = DEFAULT_COSTS,
+    prune: bool = False,
+    window: int | None = None,
+) -> StalenessCrosscheckResult:
+    """Lint ``compiled`` with ``env`` as the sole registered environment,
+    then explore every failure schedule within ``bounds`` under the
+    baseline plan and compare.
+
+    The DOOMED obligation only holds when the bound can express the
+    witness: ``bounds.max_failures >= 1`` and enough cycles for the
+    activation.  Callers asserting on :attr:`~StalenessCrosscheckResult.ok`
+    should also assert :attr:`~StalenessCrosscheckResult.complete`.
+    """
+    report = analyze_staleness(
+        compiled, [("crosscheck", env)], costs=costs, window=window
+    )
+    baseline = build_detector_plan(compiled.policies)
+    verdict = verify_program(
+        compiled,
+        env,
+        bounds=bounds,
+        engine=engine,
+        costs=costs,
+        plan=baseline,
+        prune=prune,
+        collect_all=True,
+        minimize=False,
+    )
+    safe = report.pairs(VERDICT_SAFE)
+    doomed = report.pairs(VERDICT_DOOMED)
+    return StalenessCrosscheckResult(
+        report=report,
+        fired=verdict.fired,
+        safe_offenders=tuple(sorted(safe & verdict.fired)),
+        doomed_missing=tuple(sorted(doomed - verdict.fired)),
+        verdict=verdict,
+    )

@@ -52,6 +52,12 @@ BACKWARD = "backward"
 #: hitting this means a transfer function is not monotone.
 MAX_ROUNDS = 200
 
+#: Default per-block merge count after which the solver switches from a
+#: lattice's ``join`` to its ``widen`` (for lattices that have one).
+#: Small enough to converge quickly on loops, large enough that the
+#: diamond joins of acyclic CFGs never trigger it.
+WIDEN_AFTER = 4
+
 
 class ConvergenceError(RuntimeError):
     """A fixpoint failed to converge within its round cap.
@@ -62,7 +68,9 @@ class ConvergenceError(RuntimeError):
     ran over, ``rounds`` the cap that was exhausted.
     """
 
-    def __init__(self, analysis: str, scope: str, rounds: int, detail: str = ""):
+    def __init__(
+        self, analysis: str, scope: str, rounds: int, detail: str = ""
+    ) -> None:
         self.analysis = analysis
         self.scope = scope
         self.rounds = rounds
@@ -75,7 +83,7 @@ class ConvergenceError(RuntimeError):
             message += f": {detail}"
         super().__init__(message)
 
-    def to_diagnostic(self) -> dict:
+    def to_diagnostic(self) -> dict[str, object]:
         """The structured form (mirrors ``Diagnostic.to_dict`` payloads)."""
         return {
             "analysis": self.analysis,
@@ -102,10 +110,10 @@ class Lattice(Protocol):
 class SetUnionLattice:
     """May-analysis facts: frozensets ordered by inclusion, join = union."""
 
-    def bottom(self) -> frozenset:
+    def bottom(self) -> frozenset[Any]:
         return frozenset()
 
-    def join(self, a: frozenset, b: frozenset) -> frozenset:
+    def join(self, a: frozenset[Any], b: frozenset[Any]) -> frozenset[Any]:
         if not b:
             return a
         if not a:
@@ -128,7 +136,7 @@ class SetIntersectLattice:
             "must-analyses rely on first-reaching facts, not a materialized top"
         )
 
-    def join(self, a: frozenset, b: frozenset) -> frozenset:
+    def join(self, a: frozenset[Any], b: frozenset[Any]) -> frozenset[Any]:
         if a == b:
             return a
         return a & b
@@ -198,7 +206,7 @@ class FunctionDataflow:
     order so compile artifacts are byte-stable across runs and processes.
     """
 
-    def __init__(self, func: IRFunction):
+    def __init__(self, func: IRFunction) -> None:
         self.func = func
         self.order: list[str] = list(func.blocks)
         self.successors: dict[str, list[str]] = {
@@ -237,6 +245,14 @@ class FunctionDataflow:
         rounds); it is updated in place and returned inside the
         :class:`Solution`.  Raises :class:`ConvergenceError` when
         ``max_rounds`` sweeps do not reach the fixpoint.
+
+        Lattices of infinite (or impractically tall) height -- the
+        staleness analysis' cycle intervals -- additionally implement
+        ``widen(old, new)``: once a block's in-state has changed more
+        than ``widen_after`` times (the problem may override the
+        default via a ``widen_after`` attribute), the solver runs the
+        joined fact through ``widen`` before storing it, trading
+        precision for guaranteed convergence on cyclic CFGs.
         """
         forward = problem.direction == FORWARD
         if forward:
@@ -249,12 +265,16 @@ class FunctionDataflow:
             edges = self.predecessors
 
         lattice = problem.lattice
+        widen = getattr(lattice, "widen", None)
+        widen_after = getattr(problem, "widen_after", WIDEN_AFTER)
+        merges: dict[str, int] = {}
         if states is None:
             states = {}
-        if source not in states:
-            states[source] = problem.boundary()
-        else:
-            states[source] = lattice.join(states[source], problem.boundary())
+        boundary = problem.boundary()
+        seeded = states.get(source)
+        states[source] = (
+            boundary if seeded is None else lattice.join(seeded, boundary)
+        )
         out_states: dict[str, Any] = {}
 
         rounds = 0
@@ -276,11 +296,17 @@ class FunctionDataflow:
                     if nxt not in states:
                         states[nxt] = out
                         changed = True
-                    else:
-                        merged = lattice.join(states[nxt], out)
-                        if merged != states[nxt]:
-                            states[nxt] = merged
-                            changed = True
+                        continue
+                    merged = lattice.join(states[nxt], out)
+                    if merged == states[nxt]:
+                        continue
+                    count = merges.get(nxt, 0) + 1
+                    merges[nxt] = count
+                    if widen is not None and count > widen_after:
+                        merged = widen(states[nxt], merged)
+                    if merged != states[nxt]:
+                        states[nxt] = merged
+                        changed = True
         return Solution(states=states, out_states=out_states, rounds=rounds)
 
 

@@ -1,0 +1,160 @@
+"""Cycle-interval lattice for the staleness-window analysis.
+
+The staleness analysis (:mod:`repro.analysis.staleness`) tracks, per
+input chain, the interval of cycles elapsed since the chain's input
+instruction last executed.  Facts are finite maps from chain to
+:class:`Interval`; a chain *absent* from a map (or mapped to
+:data:`NEVER`) has not executed on any path into the program point, i.e.
+its elapsed time is unbounded below and above -- the detector bit is
+guaranteed clear.
+
+Intervals form a join-semilattice under the hull (``[min lo, max hi]``,
+with ``None`` as plus infinity on either bound), but the hull alone does
+not converge on cyclic CFGs: a loop that adds cost each trip grows the
+upper bound forever.  :class:`CycleIntervalLattice` therefore also
+implements *widening*: when the solver observes a block's state changing
+past a threshold (:attr:`repro.analysis.dataflow.FunctionDataflow`
+counts merges per block), it calls :meth:`CycleIntervalLattice.widen`,
+which snaps a still-growing upper bound to infinity and a still-shrinking
+lower bound to zero.  Both moves are sound: the lower bound is only ever
+*under*-approximated (the staleness verdicts rely on ``lo`` being a true
+minimum over paths) and the upper bound only *over*-approximated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.analysis.provenance import Chain
+
+#: Facts of the staleness analysis: chain -> elapsed-cycle interval.
+IntervalFact = Mapping[Chain, "Interval"]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed interval of elapsed cycles; ``None`` means unbounded.
+
+    ``lo is None`` implies ``hi is None`` and encodes "not executed on
+    any path" (elapsed time is infinite); see :data:`NEVER`.
+    """
+
+    lo: Optional[int]
+    hi: Optional[int]
+
+    def __post_init__(self) -> None:
+        if self.lo is None and self.hi is not None:
+            raise ValueError("lo=None (infinite) requires hi=None")
+        if (
+            self.lo is not None
+            and self.hi is not None
+            and self.lo > self.hi
+        ):
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    @property
+    def never(self) -> bool:
+        """True when the chain executed on no path (elapsed = infinity)."""
+        return self.lo is None
+
+    @property
+    def bounded(self) -> bool:
+        return self.hi is not None
+
+    def shift(self, lo_cost: int, hi_cost: Optional[int]) -> "Interval":
+        """Advance time: add ``lo_cost`` to the lower bound and
+        ``hi_cost`` (``None`` = unknown, i.e. unbounded) to the upper."""
+        if self.lo is None:
+            return self
+        hi = None if (self.hi is None or hi_cost is None) else self.hi + hi_cost
+        return Interval(lo=self.lo + lo_cost, hi=hi)
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both (``None`` = infinity)."""
+        lo = min(
+            (v for v in (self.lo, other.lo) if v is not None), default=None
+        )
+        hi = (
+            None
+            if self.hi is None or other.hi is None
+            else max(self.hi, other.hi)
+        )
+        return Interval(lo=lo, hi=hi)
+
+    def render(self) -> str:
+        if self.lo is None:
+            return "[never]"
+        hi = "inf" if self.hi is None else str(self.hi)
+        return f"[{self.lo}, {hi}]"
+
+
+#: The interval of a chain that executed on no path: elapsed = infinity.
+NEVER = Interval(lo=None, hi=None)
+
+#: The interval right after a chain's input executes.
+ZERO = Interval(lo=0, hi=0)
+
+
+@dataclass(frozen=True)
+class CycleIntervalLattice:
+    """Join-semilattice over chain -> :class:`Interval` maps.
+
+    Like the must-lattices, facts follow the solver's first-reaching-fact
+    convention (``bottom`` is never materialized).  ``join`` takes the
+    per-chain hull, treating a chain missing on one side as
+    :data:`NEVER`; ``widen`` is the convergence accelerator the solver
+    applies past its merge threshold (see
+    :meth:`repro.analysis.dataflow.FunctionDataflow.solve`).
+    """
+
+    def bottom(self) -> IntervalFact:  # pragma: no cover - documented, unused
+        raise NotImplementedError(
+            "interval facts use first-reaching seeds, not a materialized top"
+        )
+
+    def join(self, a: IntervalFact, b: IntervalFact) -> IntervalFact:
+        if a == b:
+            return a
+        out: dict[Chain, Interval] = {}
+        for chain in a.keys() | b.keys():
+            out[chain] = a.get(chain, NEVER).hull(b.get(chain, NEVER))
+        return out
+
+    def widen(self, old: IntervalFact, new: IntervalFact) -> IntervalFact:
+        """Accelerate ``old -> new``: growing bounds jump to their extreme.
+
+        Applied by the solver only after a block's state keeps changing;
+        a genuinely stable bound passes through untouched, so acyclic
+        joins keep full precision.
+        """
+        out: dict[Chain, Interval] = {}
+        for chain in old.keys() | new.keys():
+            o = old.get(chain, NEVER)
+            n = new.get(chain, NEVER)
+            if o == n:
+                out[chain] = n
+                continue
+            lo = _widen_lo(o.lo, n.lo)
+            hi = _widen_hi(o.hi, n.hi)
+            if lo is None and hi is None:
+                out[chain] = NEVER
+                continue
+            out[chain] = Interval(lo=0 if lo is None else lo, hi=hi)
+        return out
+
+
+def _widen_lo(old: Optional[int], new: Optional[int]) -> Optional[int]:
+    """Widened lower bound: a shrinking ``lo`` drops straight to 0."""
+    if old is None and new is None:
+        return None
+    if old is None or new is None or new < old:
+        return 0
+    return new
+
+
+def _widen_hi(old: Optional[int], new: Optional[int]) -> Optional[int]:
+    """Widened upper bound: a growing ``hi`` jumps straight to infinity."""
+    if old is None or new is None or new > old:
+        return None
+    return new

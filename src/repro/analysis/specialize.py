@@ -1,0 +1,229 @@
+"""Environment specialization: prune CFG edges infeasible under a signal.
+
+The availability analysis answers "can this check ever fire?" for *any*
+environment: its must-facts quantify over every CFG path.  Under a
+concrete registered environment some of those paths cannot execute --
+a branch on a value read from a constant channel always goes the same
+way -- and the staleness linter exploits that to prove more checks SAFE
+*per environment* (a strictly stronger verdict set than the structural
+proof, exactly as the check optimizer's never-fire proof is the
+environment-free special case).
+
+The specialization is deliberately conservative:
+
+* only channels whose signal has **period 1** (provably constant,
+  :func:`repro.sensors.environment.signal_period`) fold; everything
+  else -- globals, arrays, call results, by-reference writes -- is
+  treated as unknown;
+* constants propagate intraprocedurally through a forward must-analysis
+  on the PR 5 dataflow solver (:class:`_ConstProblem`), joining equal
+  constants and degrading to unknown at any disagreement;
+* a branch whose condition folds to a constant is rewritten into an
+  unconditional jump **with the same instruction uid**, so provenance
+  chains, detector sites, and availability facts of the specialized
+  module are directly comparable with the original's.
+
+Soundness: every execution under the environment takes exactly the
+branch the fold predicts (the evaluator mirrors the machine's
+``_binop`` semantics), so the specialized CFG admits a superset of the
+real executions and any must-fact proven on it holds for every real
+execution under that environment.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from repro.analysis.dataflow import FORWARD, FunctionDataflow
+from repro.ir import instructions as ir
+from repro.ir.module import BasicBlock, IRFunction, Module
+from repro.lang import ast as lang_ast
+from repro.sensors.environment import Environment, signal_period
+
+
+class _NotConst:
+    """Sentinel: the variable's value is unknown (not a constant)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<nac>"
+
+
+NAC = _NotConst()
+
+ConstValue = Union[int, _NotConst]
+ConstFact = Mapping[str, ConstValue]
+
+
+def constant_channels(env: Environment) -> dict[str, int]:
+    """Channels provably constant under ``env``, with their value."""
+    out: dict[str, int] = {}
+    for channel, signal in env.signals.items():
+        if signal_period(signal) == 1:
+            out[channel] = signal(0)
+    return out
+
+
+def fold_expr(expr: lang_ast.Expr, consts: ConstFact) -> Optional[int]:
+    """Evaluate ``expr`` to a constant under ``consts``, or ``None``.
+
+    Mirrors the machine's evaluator (:mod:`repro.runtime.executor`) on
+    the pure fragment; anything it cannot prove constant -- globals,
+    array reads, references, unknown calls -- returns ``None``.
+    """
+    if isinstance(expr, lang_ast.IntLit):
+        return expr.value
+    if isinstance(expr, lang_ast.BoolLit):
+        return int(expr.value)
+    if isinstance(expr, lang_ast.Var):
+        value = consts.get(expr.name, NAC)
+        return None if isinstance(value, _NotConst) else value
+    if isinstance(expr, lang_ast.Unary):
+        operand = fold_expr(expr.operand, consts)
+        if operand is None:
+            return None
+        if expr.op == "-":
+            return -operand
+        if expr.op == "!":
+            return int(not operand)
+        return None
+    if isinstance(expr, lang_ast.Binary):
+        lhs = fold_expr(expr.lhs, consts)
+        rhs = fold_expr(expr.rhs, consts)
+        if lhs is None or rhs is None:
+            return None
+        # Deferred import: the machine owns the operator semantics, and
+        # importing it lazily keeps analysis free of a runtime import
+        # cycle.
+        from repro.runtime.executor import _binop
+
+        try:
+            return _binop(expr.op, lhs, rhs)
+        except Exception:
+            return None  # division by zero etc: leave to the runtime
+    if isinstance(expr, lang_ast.Call):
+        args = [fold_expr(a, consts) for a in expr.args]
+        if any(a is None for a in args):
+            return None
+        folded = [a for a in args if a is not None]
+        if expr.func == "abs" and len(folded) == 1:
+            return abs(folded[0])
+        if expr.func == "min" and len(folded) == 2:
+            return min(folded[0], folded[1])
+        if expr.func == "max" and len(folded) == 2:
+            return max(folded[0], folded[1])
+        return None
+    return None
+
+
+class _ConstLattice:
+    """Must-constants: join keeps agreeing values, degrades to NAC."""
+
+    def bottom(self) -> ConstFact:  # pragma: no cover - documented, unused
+        raise NotImplementedError("const facts use first-reaching seeds")
+
+    def join(self, a: ConstFact, b: ConstFact) -> ConstFact:
+        if a == b:
+            return a
+        out: dict[str, ConstValue] = {}
+        for name in a.keys() | b.keys():
+            va = a.get(name, NAC)
+            vb = b.get(name, NAC)
+            out[name] = va if va == vb else NAC
+        return out
+
+
+class _ConstProblem:
+    """Forward intraprocedural constant propagation over one function."""
+
+    name = "const-fold"
+    direction = FORWARD
+
+    def __init__(self, func: IRFunction, channels: Mapping[str, int]) -> None:
+        self.lattice = _ConstLattice()
+        self._func = func
+        self._channels = channels
+
+    def boundary(self) -> ConstFact:
+        # Parameters arrive with unknown values.
+        return {p.name: NAC for p in self._func.params}
+
+    def transfer(self, block_name: str, fact: ConstFact) -> ConstFact:
+        out: dict[str, ConstValue] = dict(fact)
+        consts = out
+        for instr in self._func.blocks[block_name].instrs:
+            if isinstance(instr, ir.Assign):
+                if instr.scope == ir.SCOPE_LOCAL:
+                    value = fold_expr(instr.expr, consts)
+                    out[instr.dest] = NAC if value is None else value
+            elif isinstance(instr, ir.InputInstr):
+                value = self._channels.get(instr.channel)
+                out[instr.dest] = NAC if value is None else value
+            elif isinstance(instr, ir.CallInstr):
+                if instr.dest is not None:
+                    out[instr.dest] = NAC
+                for name in instr.ref_args():
+                    out[name] = NAC
+        return out
+
+
+def specialize_function(
+    func: IRFunction, channels: Mapping[str, int]
+) -> IRFunction:
+    """A copy of ``func`` with provably one-sided branches made jumps.
+
+    Instructions are shared (analyses never mutate them); only rewritten
+    terminators are fresh objects, and those keep the original uid.
+    """
+    flow = FunctionDataflow(func)
+    problem = _ConstProblem(func, channels)
+    solution = flow.solve(problem)
+
+    blocks: dict[str, BasicBlock] = {}
+    for name, block in func.blocks.items():
+        terminator = block.terminator
+        exit_fact = solution.out_fact(name)
+        if (
+            isinstance(terminator, ir.Branch)
+            and exit_fact is not None
+        ):
+            cond = fold_expr(terminator.cond, exit_fact)
+            if cond is not None:
+                target = (
+                    terminator.true_target if cond else terminator.false_target
+                )
+                terminator = ir.Jump(
+                    target=target, uid=terminator.uid, span=terminator.span
+                )
+        blocks[name] = BasicBlock(
+            name=name, instrs=block.instrs, terminator=terminator
+        )
+    return IRFunction(
+        name=func.name,
+        params=func.params,
+        blocks=blocks,
+        entry=func.entry,
+        exit=func.exit,
+        locals=func.locals,
+    )
+
+
+def specialize_module(module: Module, env: Environment) -> Module:
+    """A view of ``module`` with edges infeasible under ``env`` removed.
+
+    Returns ``module`` itself when the environment fixes no channel (no
+    specialization possible), so callers can cheaply detect the no-op.
+    """
+    channels = constant_channels(env)
+    if not channels:
+        return module
+    functions = {
+        name: specialize_function(func, channels)
+        for name, func in module.functions.items()
+    }
+    return Module(
+        functions=functions,
+        globals=module.globals,
+        arrays=module.arrays,
+        channels=module.channels,
+        entry=module.entry,
+    )

@@ -133,7 +133,9 @@ class TaintAnalysis:
     possibly-unconverged result.
     """
 
-    def __init__(self, module: Module, max_rounds: int = MAX_GLOBAL_ROUNDS):
+    def __init__(
+        self, module: Module, max_rounds: int = MAX_GLOBAL_ROUNDS
+    ) -> None:
         self._module = module
         self._max_rounds = max_rounds
         self._cd: dict[str, dict[str, set[str]]] = {
@@ -149,7 +151,7 @@ class TaintAnalysis:
         #: (context, chain) -> ('ret'|'pbr', hop uid): how a subtree chain
         #: surfaced in the context's function; used for fromTp derivation.
         self._hop_kind: dict[tuple[Context, Chain], tuple[str, ir.InstrId]] = {}
-        self._memo: dict = {}
+        self._memo: dict[tuple[object, ...], CallOutcome] = {}
 
     # -- entry point --------------------------------------------------------------
 
@@ -398,7 +400,7 @@ class _FunctionFlow:
         )
         return CallOutcome(ret=self._ret_facts, ref_out=dict(self._ref_out))
 
-    def _snapshot(self) -> tuple:
+    def _snapshot(self) -> tuple[object, ...]:
         env_size = tuple(
             sorted(
                 (name, len(env), sum(len(f.provs) + len(f.tags) for f in env.values()))
@@ -481,7 +483,7 @@ class _FunctionFlow:
         site_chain = self._context + (instr.uid,)
         bindings: dict[str, Facts] = {}
         incoming: list[tuple[str, Facts]] = []  # (sink, facts) for summaries
-        for param, arg in zip(callee.params, instr.args):
+        for param, arg in zip(callee.params, instr.args, strict=True):
             if isinstance(arg, ir.RefArg):
                 facts = self._lookup(env, arg.name)
                 bindings[param.name] = facts
@@ -529,7 +531,7 @@ class _FunctionFlow:
             env[instr.dest] = Facts(
                 provs=outcome.ret.provs | control.provs, tags=outcome.ret.tags
             )
-        for param, arg in zip(callee.params, instr.args):
+        for param, arg in zip(callee.params, instr.args, strict=True):
             if isinstance(arg, ir.RefArg) and param.name in outcome.ref_out:
                 written = outcome.ref_out[param.name]
                 for chain in written.provs:

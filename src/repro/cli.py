@@ -253,10 +253,11 @@ def cmd_run(args: argparse.Namespace) -> int:
             )
         print(f"final tau   : {result.final_tau}")
         return 0 if result.completed else 1
-    if args.intermittent:
-        supply = STANDARD_PROFILE.make_supply(seed=args.seed)
-    else:
-        supply = ContinuousPower()
+    supply = (
+        STANDARD_PROFILE.make_supply(seed=args.seed)
+        if args.intermittent
+        else ContinuousPower()
+    )
     result = run_once(compiled, env, supply, engine=args.engine)
     telemetry.absorb_run(telemetry.METRICS, result)
     _write_metrics(args, "run")
@@ -286,10 +287,11 @@ def _traces_for(args: argparse.Namespace, compiled, env):
         )
         telemetry.absorb_replay(telemetry.METRICS, result)
         return list(result.traces), result.completed
-    if args.intermittent:
-        supply = STANDARD_PROFILE.make_supply(seed=args.seed)
-    else:
-        supply = ContinuousPower()
+    supply = (
+        STANDARD_PROFILE.make_supply(seed=args.seed)
+        if args.intermittent
+        else ContinuousPower()
+    )
     result = run_once(compiled, env, supply, engine=args.engine)
     telemetry.absorb_run(telemetry.METRICS, result)
     return [result.trace], result.stats.completed
@@ -361,6 +363,17 @@ def cmd_verify(args: argparse.Namespace) -> int:
         max_states=args.max_states,
         off_cycles=args.off_cycles,
     )
+    seed_uids: frozenset = frozenset()
+    relevant_bits = None
+    if args.guided:
+        # Static verdicts steer the search: DOOMED sites jump the
+        # frontier queue, bits only SAFE checks read widen the no-op
+        # skip.  Off by default -- the lint analysis is not free.
+        from repro.analysis.staleness import analyze_staleness
+
+        report = analyze_staleness(compiled, [("cli", env)])
+        seed_uids = report.doomed_uids()
+        relevant_bits = report.relevant_bits()
     verdict = verify_program(
         compiled,
         env,
@@ -370,6 +383,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
         record_graph=args.emit_graph is not None,
         target=args.target,
         config=args.config,
+        seed_uids=seed_uids,
+        relevant_bits=relevant_bits,
     )
     telemetry.absorb_pass_timings(telemetry.METRICS, compiled)
     telemetry.absorb_verify(telemetry.METRICS, verdict)
@@ -388,6 +403,37 @@ def cmd_verify(args: argparse.Namespace) -> int:
         Path(args.emit_graph).write_text(json.dumps(graph, indent=2) + "\n")
         _log.info(f"graph written to {args.emit_graph}")
     return verdict.exit_code
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static staleness linting (no execution beyond one probe run).
+
+    Classifies every baseline detector check as SAFE (can never fire),
+    DOOMED (fires whenever its site executes; verifier-confirmable
+    witness attached), or ENV-DEPENDENT (cycle windows and the supply
+    threshold that flips the verdict).  Exit code gates on ``--fail-on``.
+    """
+    import json
+
+    from repro.analysis.staleness import analyze_staleness
+
+    compiled = _compile_target(args.target, args.config)
+    env = _parse_env(compiled.module.channels, args.set or [])
+    report = analyze_staleness(
+        compiled,
+        [("cli", env)],
+        window=args.window,
+    )
+    telemetry.absorb_pass_timings(telemetry.METRICS, compiled)
+    counts = report.counts()
+    for verdict, count in counts.items():
+        telemetry.METRICS.counter(f"lint.{verdict}").inc(count)
+    _write_metrics(args, "lint")
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return report.exit_code(args.fail_on)
 
 
 def cmd_feasibility(args: argparse.Namespace) -> int:
@@ -410,7 +456,12 @@ def cmd_feasibility(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.eval.campaign import CampaignError, CampaignSpec, run_campaign
+    from repro.eval.campaign import (
+        CampaignError,
+        CampaignSpec,
+        lint_table,
+        run_campaign,
+    )
 
     if args.jobs is not None and args.jobs <= 0:
         raise SystemExit(f"bad --jobs {args.jobs}: need a positive count")
@@ -426,6 +477,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             spec = dataclasses.replace(spec, engine=args.engine)
     except CampaignError as exc:
         raise SystemExit(f"bad campaign spec '{args.spec}': {exc}") from None
+    if args.lint:
+        print(lint_table(spec).render_text())
     executor = "multiprocess" if args.parallel else "serial"
     result = run_campaign(spec, executor, processes=args.jobs)
     telemetry.absorb_campaign(telemetry.METRICS, result)
@@ -703,9 +756,54 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the exploration graph (nodes, fork edges, stats) as JSON",
     )
+    p_verify.add_argument(
+        "--guided",
+        action="store_true",
+        help="seed and prune the search with the static staleness "
+        "verdicts (see 'repro lint')",
+    )
     add_engine_flag(p_verify)
     add_metrics_flag(p_verify)
     p_verify.set_defaults(func=cmd_verify)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically classify every check as safe, doomed, or "
+        "environment-dependent",
+    )
+    p_lint.add_argument(
+        "target", help="source file path or registered benchmark name"
+    )
+    add_config_flag(p_lint)
+    p_lint.add_argument(
+        "--set",
+        action="append",
+        metavar="CH=VALUE | CH=L1,L2,...:DWELL",
+        help="bind a sensor channel (constant or stepping signal)",
+    )
+    p_lint.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="usable-energy window in cycles (default: the standard "
+        "profile's guaranteed post-boot budget)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format (default: text)",
+    )
+    p_lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="error",
+        help="lowest severity that fails the gate (default: error, "
+        "i.e. any DOOMED check)",
+    )
+    add_metrics_flag(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
 
     p_feas = sub.add_parser("feasibility", help="region energy bounds")
     p_feas.add_argument("file")
@@ -741,6 +839,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the JSON report here (default: stdout)",
+    )
+    p_campaign.add_argument(
+        "--lint",
+        action="store_true",
+        help="print static staleness verdict counts per (app, config) "
+        "cell before running",
     )
     add_engine_flag(p_campaign, default=None, overrides_spec=True)
     add_metrics_flag(p_campaign)

@@ -216,10 +216,10 @@ def _region_in_extent(
     # Flattened: the region's own start must lie inside the extent; since
     # the walk assigned the extent to every op inside it, it suffices that
     # the opener differs -- verify the start marker exists at all.
-    for candidate in module.all_instrs():
-        if isinstance(candidate, ir.AtomicStart) and candidate.region == region:
-            return True
-    return False
+    return any(
+        isinstance(candidate, ir.AtomicStart) and candidate.region == region
+        for candidate in module.all_instrs()
+    )
 
 
 def check_policy_declarations(

@@ -130,10 +130,7 @@ def _truncate(
     positions = _positions(func, reps)
 
     in_start = [idx for rep, (blk, idx) in positions.items() if blk == start_block]
-    if in_start:
-        start_index = min(in_start)
-    else:
-        start_index = len(func.blocks[start_block].instrs)
+    start_index = min(in_start, default=len(func.blocks[start_block].instrs))
 
     pdom = postdominator_tree(func)
     current = end_block

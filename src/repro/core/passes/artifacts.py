@@ -156,6 +156,19 @@ def _availability(compiled: CompiledProgram) -> str:
     return "\n".join(lines)
 
 
+def _staleness(compiled: CompiledProgram) -> str:
+    """The static staleness verdicts, run on demand over the build.
+
+    The same report ``python -m repro lint`` prints, minus the CLI's
+    environment bindings: every baseline check classified SAFE / DOOMED
+    / ENV-DEPENDENT with its cycle windows, under the default
+    usable-energy window and no registered environments.
+    """
+    from repro.analysis.staleness import analyze_staleness
+
+    return analyze_staleness(compiled).render_text()
+
+
 def _opt(compiled: CompiledProgram) -> str:
     """The optimized check plan: per-pass counts and per-site actions."""
     plan = compiled.check_plan
@@ -203,6 +216,7 @@ ARTIFACTS: dict[str, Callable[[CompiledProgram], str]] = {
     "check": _check,
     "dataflow": _dataflow,
     "availability": _availability,
+    "staleness": _staleness,
     "opt": _opt,
     "timings": _timings,
     "diagnostics": _diagnostics,

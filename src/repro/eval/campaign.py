@@ -913,3 +913,47 @@ def cells(
             )
         picked[key] = job
     return picked
+
+
+def lint_campaign(spec: CampaignSpec) -> dict[tuple[str, str], dict[str, int]]:
+    """Static staleness verdict counts for every (app, config) cell.
+
+    Companion to :func:`run_campaign` for ``campaign --lint``: before (or
+    instead of) burning cycles on dynamic sweeps, the static analysis
+    says which checks are provably SAFE, provably DOOMED, or
+    environment-dependent under each build config.  Deliberately *not*
+    called from the run path -- the analysis is compile-time machinery,
+    so the activation/injection hot loops never pay for it.
+    """
+    from repro.analysis.staleness import analyze_staleness
+
+    out: dict[tuple[str, str], dict[str, int]] = {}
+    for app in spec.apps:
+        source = BENCHMARKS[app].source
+        for config in spec.configs:
+            compiled = GLOBAL_CACHE.get_or_compile(source, config)
+            out[(app, config)] = analyze_staleness(compiled).counts()
+    return out
+
+
+def lint_table(spec: CampaignSpec) -> Table:
+    """Render :func:`lint_campaign` as the standard report table."""
+    from repro.analysis.staleness import (
+        VERDICT_DOOMED,
+        VERDICT_ENV,
+        VERDICT_SAFE,
+    )
+
+    table = Table(
+        title=f"Campaign '{spec.name}' static lint",
+        headers=["App", "Config", "Safe", "Doomed", "Env-dependent"],
+    )
+    for (app, config), counts in lint_campaign(spec).items():
+        table.add_row(
+            app,
+            config,
+            counts[VERDICT_SAFE],
+            counts[VERDICT_DOOMED],
+            counts[VERDICT_ENV],
+        )
+    return table

@@ -39,12 +39,12 @@ class Table:
     def render_text(self) -> str:
         widths = self._widths()
         lines = [self.title, "=" * len(self.title)]
-        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths, strict=True))
         lines.append(header)
         lines.append("-" * len(header))
         for row in self.rows:
             lines.append(
-                "  ".join(_fmt(c).ljust(w) for c, w in zip(row, widths))
+                "  ".join(_fmt(c).ljust(w) for c, w in zip(row, widths, strict=False))
             )
         for note in self.notes:
             lines.append(f"  note: {note}")

@@ -228,7 +228,7 @@ class FleetSpec:
             self,
             classes=tuple(
                 replace(cls, count=n)
-                for cls, n in zip(self.classes, counts)
+                for cls, n in zip(self.classes, counts, strict=True)
             ),
         )
 

@@ -457,18 +457,16 @@ class VectorFleetExecutor:
                     supply = self._spawn_supply(specs[pos])
                     token = supply_memo_token(supply)
                     if token is None:
-                        slot = (
-                            "mat",
-                            self._stepper(
-                                specs[pos],
-                                envs[pos][1],
-                                supply,
-                                materialize_nv(init_ref),
-                                0,
-                                0,
-                                shared,
-                            ),
+                        stepper = self._stepper(
+                            specs[pos],
+                            envs[pos][1],
+                            supply,
+                            materialize_nv(init_ref),
+                            0,
+                            0,
+                            shared,
                         )
+                        slot = ("mat", stepper)
                     else:
                         slot = ("cold", supply, token)
                     slots[pos] = slot
@@ -513,10 +511,8 @@ class VectorFleetExecutor:
                 # Quantize time only when the environment provably
                 # repeats and the nonvolatile state carries no
                 # absolute-time taint; otherwise key on absolute tau.
-                if period is None or nv_ref.tainted:
-                    time_token = wave_tau
-                else:
-                    time_token = wave_tau % period
+                absolute = period is None or nv_ref.tainted
+                time_token = wave_tau if absolute else wave_tau % period
                 mkey = (prog_key, env_key, time_token, nv_ref.token, stoken)
                 entry = self.memo.get(mkey)
                 if entry is None:

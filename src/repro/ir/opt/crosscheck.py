@@ -84,7 +84,7 @@ def eliminated_checks(plan) -> frozenset[tuple[str, Chain]]:
 def crosscheck_optimized_plan(
     compiled: CompiledProgram,
     env: Environment,
-    bounds: VerifyBounds = VerifyBounds(),
+    bounds: Optional[VerifyBounds] = None,
     engine: str = ENGINE_FAST,
     costs: CostModel = DEFAULT_COSTS,
     prune: bool = False,

@@ -79,7 +79,7 @@ class _Entry:
 
     __slots__ = ("check", "mode", "hid")
 
-    def __init__(self, check: Check):
+    def __init__(self, check: Check) -> None:
         self.check = check
         self.mode = OP_FULL
         self.hid = -1
@@ -149,25 +149,23 @@ class _Scope:
         b_block, b_idx = b
         for name in self.reach.between(a_block, b_block):
             instrs = blocks[name].instrs
+            # Any block between the anchor and the site is scanned in
+            # full unless position information tightens the range below.
+            ranges = [range(len(instrs))]
             if name == a_block and name == b_block:
-                ranges = [range(a_idx + 1, min(b_idx, len(instrs)))]
-                if self.reach.cyclic(name):
-                    ranges = [range(len(instrs))]
+                if not self.reach.cyclic(name):
+                    ranges = [range(a_idx + 1, min(b_idx, len(instrs)))]
             elif name == a_block:
                 # Positions before the anchor are always followed by the
                 # anchor itself within the block, so they can never sit
                 # between its *last* execution and the site.
                 ranges = [range(a_idx + 1, len(instrs))]
-            elif name == b_block:
-                if self.reach.cyclic(name):
-                    # A cycle through the site's block can execute the
-                    # block tail between consecutive site visits without
-                    # re-passing the anchor: scan the whole block.
-                    ranges = [range(len(instrs))]
-                else:
-                    ranges = [range(min(b_idx, len(instrs)))]
-            else:
-                ranges = [range(len(instrs))]
+            elif name == b_block and not self.reach.cyclic(name):
+                # A cycle through the site's block can execute the block
+                # tail between consecutive site visits without re-passing
+                # the anchor; acyclic, only the prefix before the site
+                # can run after the anchor.
+                ranges = [range(min(b_idx, len(instrs)))]
             for rng in ranges:
                 for idx in rng:
                     if kills(instrs[idx]):
@@ -182,7 +180,7 @@ class _Anticipable:
     direction = BACKWARD
     lattice = AllPathsLattice()
 
-    def __init__(self, func: IRFunction, site_blocks: frozenset[str]):
+    def __init__(self, func: IRFunction, site_blocks: frozenset[str]) -> None:
         self._func = func
         self._site_blocks = site_blocks
 
@@ -261,13 +259,13 @@ def optimize_checks(
                     by_scope.setdefault(
                         (site.context, site.op.func), []
                     ).append((site, entry))
-        for (context, _func_name), refs in sorted(
+        for (_context, _func_name), refs in sorted(
             by_scope.items(), key=lambda kv: (kv[0][0], kv[0][1])
         ):
             scope = scope_of(refs[0][0])
             ordered = sorted(
                 refs,
-                key=lambda ref: (
+                key=lambda ref, scope=scope: (
                     scope.flow.domtree.depth(scope.positions[ref[0].op][0])
                     if scope.positions[ref[0].op][0]
                     in scope.flow.domtree.idom

@@ -73,7 +73,7 @@ def _verify_instr(func: IRFunction, module: Module, instr: ir.Instr) -> None:
         callee = module.functions[instr.func]
         if len(instr.args) != len(callee.params):
             raise IRError(f"{instr.uid}: arity mismatch calling '{instr.func}'")
-        for arg, param in zip(instr.args, callee.params):
+        for arg, param in zip(instr.args, callee.params, strict=True):
             if isinstance(arg, ir.RefArg) != param.by_ref:
                 raise IRError(
                     f"{instr.uid}: reference/value mismatch on parameter "

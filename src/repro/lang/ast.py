@@ -376,9 +376,7 @@ def free_vars(expr: Expr) -> set[str]:
     """Variable names read by ``expr`` (references count as reads)."""
     names: set[str] = set()
     for sub in walk_exprs(expr):
-        if isinstance(sub, Var):
-            names.add(sub.name)
-        elif isinstance(sub, Ref):
+        if isinstance(sub, (Var, Ref)):
             names.add(sub.name)
         elif isinstance(sub, Index):
             names.add(sub.array)

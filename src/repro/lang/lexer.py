@@ -93,9 +93,7 @@ class Lexer:
         src = self._source
         while self._pos < len(src):
             ch = src[self._pos]
-            if ch in " \t\r":
-                self._advance()
-            elif ch == "\n":
+            if ch in " \t\r\n":
                 self._advance()
             elif ch == "/" and self._peek(1) == "/":
                 while self._pos < len(src) and src[self._pos] != "\n":

@@ -100,7 +100,7 @@ class Parser:
         arrays: dict[str, ast.ArrayDecl] = {}
         channels: list[str] = []
 
-        while not self._peek().kind == TokenKind.EOF:
+        while self._peek().kind != TokenKind.EOF:
             tok = self._peek()
             if tok.is_kw("fn"):
                 func = self._parse_function()
@@ -284,10 +284,11 @@ class Parser:
         else_body: list[ast.Stmt] = []
         if self._peek().is_kw("else"):
             self._next()
-            if self._peek().is_kw("if"):
-                else_body = [self._parse_if()]
-            else:
-                else_body = self._parse_block()
+            else_body = (
+                [self._parse_if()]
+                if self._peek().is_kw("if")
+                else self._parse_block()
+            )
         return ast.If(cond=cond, then_body=then_body, else_body=else_body, span=start.span)
 
     def _parse_repeat(self) -> ast.Stmt:

@@ -65,12 +65,11 @@ def print_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
 def _print_stmt(stmt: ast.Stmt, indent: int) -> list[str]:
     pad = "  " * indent
     if isinstance(stmt, ast.Let):
+        head = "let"
         if stmt.annot == ast.AnnotKind.FRESH:
             head = "let fresh"
         elif stmt.annot == ast.AnnotKind.CONSISTENT:
             head = f"let consistent({stmt.set_id})"
-        else:
-            head = "let"
         return [f"{pad}{head} {stmt.name} = {print_expr(stmt.expr)};"]
     if isinstance(stmt, ast.Assign):
         return [f"{pad}{stmt.name} = {print_expr(stmt.expr)};"]

@@ -203,7 +203,7 @@ class _FunctionValidator:
                 f"{len(call.args)}",
                 call.span,
             )
-        for arg, param in zip(call.args, callee.params):
+        for arg, param in zip(call.args, callee.params, strict=True):
             arg_is_ref = isinstance(arg, ast.Ref)
             if arg_is_ref and not param.by_ref:
                 raise SemanticError(

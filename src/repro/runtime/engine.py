@@ -437,7 +437,7 @@ def _decode_instr(
             (param.name, None, arg.name)
             if isinstance(arg, ir.RefArg)
             else (param.name, compile_expr(arg), None)
-            for param, arg in zip(callee.params, instr.args)
+            for param, arg in zip(callee.params, instr.args, strict=True)
         )
 
         def run_call(m, frame):
@@ -691,7 +691,10 @@ def compile_code(
                         0,
                         None,
                         False,
-                        lambda sites: (Chain(ids=sites + (uid,)), None),
+                        lambda sites, uid=uid: (
+                            Chain(ids=sites + (uid,)),
+                            None,
+                        ),
                     )
                 )
     return CompiledCode(
@@ -892,10 +895,11 @@ class FastMachine(MachineCore):
                 if cap.level - estimate * epc <= low:
                     self._power_failure()
                     continue
-            elif energy_mode == _ENERGY_GENERIC:
-                if supply.would_trip(costs.energy(estimate)):
-                    self._power_failure()
-                    continue
+            elif energy_mode == _ENERGY_GENERIC and supply.would_trip(
+                costs.energy(estimate)
+            ):
+                self._power_failure()
+                continue
 
             if op.trigger:
                 actions = op.chain_at(frame.sites)[1]
@@ -913,9 +917,10 @@ class FastMachine(MachineCore):
                 cap.level -= cycles * epc
                 if cap.level <= low:
                     self._power_failure()
-            elif energy_mode == _ENERGY_GENERIC:
-                if supply.consume(costs.energy(cycles)):
-                    self._power_failure()
+            elif energy_mode == _ENERGY_GENERIC and supply.consume(
+                costs.energy(cycles)
+            ):
+                self._power_failure()
 
         stats.completed = self._done
         stats.violations = len(self.trace.violations)

@@ -671,13 +671,14 @@ class Machine(MachineCore):
         callee = self._module.function(instr.func)
         locals_: dict[str, Cell] = {}
         depth = len(self._frames) - 1  # caller's index in the stack
-        for param, arg in zip(callee.params, instr.args):
+        for param, arg in zip(callee.params, instr.args, strict=True):
             if isinstance(arg, ir.RefArg):
                 cell = frame.locals.get(arg.name)
-                if isinstance(cell, RefValue):
-                    locals_[param.name] = cell  # forward the reference
-                else:
-                    locals_[param.name] = RefValue(depth=depth, name=arg.name)
+                locals_[param.name] = (
+                    cell  # forward the reference
+                    if isinstance(cell, RefValue)
+                    else RefValue(depth=depth, name=arg.name)
+                )
             else:
                 locals_[param.name] = self.eval(arg)
         self._frames.append(

@@ -170,10 +170,13 @@ def check_region_bracketing(trace: obs.Trace) -> RegionNesting:
                     f"region '{event.region}' exited but '{open_region}' was open"
                 )
             open_region = None
-        elif isinstance(event, obs.RebootObs) and event.mode == "jit":
+        elif (
+            isinstance(event, obs.RebootObs)
+            and event.mode == "jit"
+            and open_region is not None
+        ):
             # A jit-mode reboot cannot happen inside an open region.
-            if open_region is not None:
-                result.errors.append(
-                    f"jit reboot at tau={event.tau} inside region '{open_region}'"
-                )
+            result.errors.append(
+                f"jit reboot at tau={event.tau} inside region '{open_region}'"
+            )
     return result

@@ -90,9 +90,7 @@ def candidate_start_times(trace: obs.Trace) -> list[int]:
     """
     taus = {0}
     for event in trace:
-        if isinstance(event, (obs.RebootObs, obs.RegionEnterObs)):
-            taus.add(event.tau)
-        elif isinstance(event, obs.InputObs):
+        if isinstance(event, (obs.RebootObs, obs.RegionEnterObs, obs.InputObs)):
             taus.add(event.tau)
     return sorted(taus)
 

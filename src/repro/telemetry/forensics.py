@@ -145,10 +145,11 @@ def _policy_info(policies, pid: str):
         policy = policies.get(pid)
     except KeyError:
         return None, (), {}
-    if policy.kind == "fresh":
-        decl_sites = (policy.decl,)
-    else:
-        decl_sites = tuple(sorted(policy.decls, key=lambda u: (u.func, u.label)))
+    decl_sites = (
+        (policy.decl,)
+        if policy.kind == "fresh"
+        else tuple(sorted(policy.decls, key=lambda u: (u.func, u.label)))
+    )
     chains_by_op: dict = {}
     for chain in policy.inputs:
         chains_by_op.setdefault(chain.op, []).append(chain)
@@ -207,10 +208,11 @@ def explain_events(
             if hasattr(item, "ids"):
                 chains = (" -> ".join(str(i) for i in item.ids),)
             else:
+                derived = chains_by_op.get(item, ())
                 chains = tuple(
                     sorted(
                         " -> ".join(str(i) for i in chain.ids)
-                        for chain in chains_by_op.get(item, ())
+                        for chain in derived
                     )
                 )
             read = reads_by_uid.get(uid)

@@ -239,17 +239,19 @@ class Explorer:
         self,
         compiled: CompiledProgram,
         env: Environment,
-        bounds: VerifyBounds = VerifyBounds(),
+        bounds: Optional[VerifyBounds] = None,
         engine: str = ENGINE_FAST,
         costs: CostModel = DEFAULT_COSTS,
         plan: Optional[DetectorPlan] = None,
         prune: bool = True,
         collect_all: bool = False,
         record_graph: bool = False,
+        seed_uids: frozenset = frozenset(),
+        relevant_bits: Optional[frozenset] = None,
     ) -> None:
         self._compiled = compiled
         self._env = env
-        self._bounds = bounds
+        self._bounds = bounds if bounds is not None else VerifyBounds()
         self._engine = engine
         self._costs = costs
         self._plan = plan if plan is not None else compiled.detector_plan()
@@ -266,6 +268,16 @@ class Explorer:
         )
         self._collect_all = collect_all
         self._record_graph = record_graph
+        # Static-verdict guidance (repro.analysis.staleness).  Failure
+        # points at a DOOMED site are expanded before same-failure-count
+        # siblings -- the linter claims they fire, so they are the
+        # shortest route to a counterexample.  ``relevant_bits``, when
+        # given, holds every detector bit some non-SAFE check reads;
+        # clearing a bit outside it is violation-unobservable (SAFE
+        # checks never fire under any schedule), so the no-op skip may
+        # ignore such bits instead of requiring the vector to be empty.
+        self._seed_uids = seed_uids
+        self._relevant_bits = relevant_bits
         self.stats = ExploreStats()
         self._fired: set = set()
         self._graph_nodes: list[dict] = []
@@ -283,10 +295,11 @@ class Explorer:
             plan=self._plan,
             config=MachineConfig(max_cycles=self._bounds.max_cycles),
         )
-        if self._engine == ENGINE_REFERENCE:
-            self._name_block = None
-        else:
-            self._name_block = fast_block_namer(machine._code)
+        self._name_block = (
+            None
+            if self._engine == ENGINE_REFERENCE
+            else fast_block_namer(machine._code)
+        )
         return machine
 
     def _peek(self, machine) -> tuple[InstrId, object]:
@@ -314,7 +327,7 @@ class Explorer:
         sink = _ViolationSink()
         machine.trace = obs.Trace(events=sink)
         self._visited: dict[bytes, list[tuple[int, int]]] = {}
-        self._frontier: list[tuple[int, int, _Node]] = []
+        self._frontier: list[tuple[int, int, int, _Node]] = []
         self._seq = 0
 
         root = _Node(
@@ -334,7 +347,7 @@ class Explorer:
                 self.stats.truncated += len(self._frontier)
                 self._frontier.clear()
                 break
-            _, _, node = heapq.heappop(self._frontier)
+            node = heapq.heappop(self._frontier)[-1]
             verdict = self._expand(machine, sink, node)
             if verdict is not None:
                 counterexample = verdict
@@ -367,9 +380,13 @@ class Explorer:
             }
         return verdict
 
-    def _push(self, node: _Node) -> None:
+    def _push(self, node: _Node, boost: int = 1) -> None:
+        """Enqueue best-first: fewest failures, then seeded (``boost``
+        0) before unseeded, then FIFO."""
         self._seq += 1
-        heapq.heappush(self._frontier, (node.failures, self._seq, node))
+        heapq.heappush(
+            self._frontier, (node.failures, boost, self._seq, node)
+        )
 
     def _graph_node(
         self, digest: Optional[bytes], activation: int, failures: int, kind: str
@@ -432,6 +449,8 @@ class Explorer:
         classification = self._classification
         prune = self._prune
         noop_ok = self._time_invariant
+        seed_uids = self._seed_uids
+        relevant = self._relevant_bits
 
         while True:
             if machine._done:
@@ -459,12 +478,15 @@ class Explorer:
             if failures < bounds.max_failures:
                 stats.candidates += 1
                 in_region = machine._atom_ctx is not None
+                bits = machine.nv.bits.bits
                 if prune and in_region and classification.prunable(chain_of()):
                     stats.pruned += 1
                 elif (
                     noop_ok
                     and not in_region
-                    and not machine.nv.bits.bits
+                    and not (
+                        bits & relevant if relevant is not None else bits
+                    )
                     and not machine._hoist_cache
                 ):
                     stats.pruned_noop += 1
@@ -492,7 +514,7 @@ class Explorer:
                                 "occurrence": count,
                             }
                         )
-                    self._push(child)
+                    self._push(child, boost=0 if uid in seed_uids else 1)
 
             seen_violations = len(sink)
             site_chain = chain_of() if self._collect_all else None
@@ -534,7 +556,7 @@ class Explorer:
 def verify_program(
     compiled: CompiledProgram,
     env: Environment,
-    bounds: VerifyBounds = VerifyBounds(),
+    bounds: Optional[VerifyBounds] = None,
     engine: str = ENGINE_FAST,
     costs: CostModel = DEFAULT_COSTS,
     plan: Optional[DetectorPlan] = None,
@@ -544,6 +566,8 @@ def verify_program(
     minimize: bool = True,
     target: Optional[str] = None,
     config: Optional[str] = None,
+    seed_uids: frozenset = frozenset(),
+    relevant_bits: Optional[frozenset] = None,
 ) -> Verdict:
     """Explore, and minimize any counterexample through the replay path."""
     explorer = Explorer(
@@ -556,6 +580,8 @@ def verify_program(
         prune=prune,
         collect_all=collect_all,
         record_graph=record_graph,
+        seed_uids=seed_uids,
+        relevant_bits=relevant_bits,
     )
     verdict = explorer.run()
     if collect_all and verdict.kind != VERDICT_COUNTEREXAMPLE:

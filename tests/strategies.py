@@ -273,8 +273,9 @@ def device_classes(draw, name: str):
 
     kind = draw(st.sampled_from(["harvest", "harvest", "continuous"]))
     if kind == "harvest":
+        rate = draw(st.integers(150, 600))
         supply = SupplySpec(
-            harvest_rate=draw(st.integers(150, 600)),
+            harvest_rate=rate,
             seed_offset=draw(st.integers(0, 50)),
         )
     else:

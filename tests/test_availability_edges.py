@@ -108,7 +108,7 @@ class TestInconsistentBrackets:
         module = lower("fn main() { if 1 < 2 { alarm(); } log(3); }")
         func = module.function("main")
         # Insert an unmatched atomic_start into the then-arm only.
-        for name, block in func.blocks.items():
+        for block in func.blocks.values():
             if any(
                 isinstance(i, ir.OutputInstr) and i.op == "alarm"
                 for i in block.instrs

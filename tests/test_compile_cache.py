@@ -129,3 +129,38 @@ class TestModuleHelpers:
         before = GLOBAL_CACHE.stats.hits
         build("greenhouse", "ocelot")
         assert GLOBAL_CACHE.stats.hits == before + 1
+
+
+class TestDiagnosticReplay:
+    """A cache hit must surface the same pass diagnostics as the cold
+    build -- verdicts served from cache silently vanishing would defeat
+    any diagnostic-gated CLI (``repro lint`` being the sharpest case)."""
+
+    def test_hit_carries_cold_build_diagnostics(self, cache):
+        cold = cache.get_or_compile(SOURCE, "ocelot")
+        assert cold.diagnostics, "cold build produced no diagnostics"
+        hit, was_cached = cache.get_or_compile_with_info(SOURCE, "ocelot")
+        assert was_cached
+        assert hit.diagnostics == cold.diagnostics
+        assert [d.render() for d in hit.diagnostics] == [
+            d.render() for d in cold.diagnostics
+        ]
+
+    def test_replay_across_configs(self, cache):
+        for config in CONFIGS:
+            cold = cache.get_or_compile(SOURCE, config)
+            hit, was_cached = cache.get_or_compile_with_info(SOURCE, config)
+            assert was_cached, config
+            assert hit.diagnostics == cold.diagnostics, config
+
+    def test_lint_verdicts_stable_across_cache_hit(self, cache):
+        from repro.analysis.staleness import analyze_staleness
+
+        cold = cache.get_or_compile(SOURCE, "ocelot")
+        cold_report = analyze_staleness(cold, probe=False)
+        hit, was_cached = cache.get_or_compile_with_info(SOURCE, "ocelot")
+        assert was_cached
+        hit_report = analyze_staleness(hit, probe=False)
+        assert [v.to_dict() for v in hit_report.verdicts] == [
+            v.to_dict() for v in cold_report.verdicts
+        ]

@@ -105,7 +105,7 @@ class TestBenchmarkParity:
 
                     outcomes = _run_both(
                         compiled,
-                        lambda: meta.env_factory(5),
+                        lambda meta=meta: meta.env_factory(5),
                         make_supply,
                         costs=costs,
                     )

@@ -6,6 +6,8 @@ Any byte soup fed to the parser must either parse or raise a
 valid programs exercise the error paths near real syntax.
 """
 
+import contextlib
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -20,10 +22,8 @@ class TestArbitraryInput:
     @given(st.text(max_size=200))
     @settings(max_examples=150, deadline=None)
     def test_random_text_never_crashes(self, text):
-        try:
+        with contextlib.suppress(LangError):  # clean rejection is fine
             parse_program(text)
-        except LangError:
-            pass  # clean rejection
 
     @given(
         st.text(
@@ -33,10 +33,8 @@ class TestArbitraryInput:
     )
     @settings(max_examples=150, deadline=None)
     def test_keyword_soup_never_crashes(self, text):
-        try:
+        with contextlib.suppress(LangError):
             parse_program(text)
-        except LangError:
-            pass
 
 
 class TestMutatedPrograms:
@@ -48,10 +46,8 @@ class TestMutatedPrograms:
             return
         idx = data.draw(st.integers(0, len(source) - 1))
         mutated = source[:idx] + source[idx + 1 :]
-        try:
+        with contextlib.suppress(LangError):
             parse_program(mutated)
-        except LangError:
-            pass
 
     @given(data=st.data())
     @settings(max_examples=60, deadline=None)
@@ -60,20 +56,16 @@ class TestMutatedPrograms:
         idx = data.draw(st.integers(0, len(source) - 1))
         junk = data.draw(st.sampled_from("{}();=,&|<>"))
         mutated = source[:idx] + junk + source[idx + 1 :]
-        try:
+        with contextlib.suppress(LangError):
             parse_program(mutated)
-        except LangError:
-            pass
 
     @given(data=st.data())
     @settings(max_examples=40, deadline=None)
     def test_truncation(self, data):
         source = data.draw(program_sources())
         cut = data.draw(st.integers(0, len(source)))
-        try:
+        with contextlib.suppress(LangError):
             parse_program(source[:cut])
-        except LangError:
-            pass
 
 
 class TestErrorPositions:

@@ -113,7 +113,7 @@ class TestBenchmarkParity:
                             _outcome(
                                 engine,
                                 compiled,
-                                lambda: meta.env_factory(5),
+                                lambda meta=meta: meta.env_factory(5),
                                 make_supply,
                                 costs=costs,
                             )

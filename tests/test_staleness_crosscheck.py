@@ -1,0 +1,75 @@
+"""Exhaustive-search crosschecks of the staleness linter's verdicts.
+
+Companion to ``tests/test_verify_crosscheck.py``: the linter's SAFE and
+DOOMED claims are replayed against the bounded model checker's
+exhaustive collect-all exploration -- SAFE checks must never fire in the
+explored space, DOOMED checks must fire somewhere in it.  Runs on the
+bundled apps under every paper config, then on generated programs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.crosscheck import crosscheck_staleness
+from repro.apps import BENCHMARKS
+from repro.core.pipeline import compile_source
+from repro.sensors.environment import Environment
+from repro.verify import VerifyBounds
+from tests.strategies import program_sources
+
+#: Generated programs are tiny, so one failure and a small state budget
+#: already cover every schedule that matters.
+BOUNDS = VerifyBounds(
+    max_activations=1, max_failures=1, max_cycles=50_000, max_states=20_000
+)
+
+#: The apps are bigger; give the search headroom so ``complete`` holds.
+APP_BOUNDS = VerifyBounds(
+    max_activations=1, max_failures=1, max_cycles=200_000, max_states=100_000
+)
+
+PAPER_CONFIGS = ("ocelot", "jit", "atomics")
+
+
+def _env(compiled, value: int) -> Environment:
+    return Environment.constant_for(compiled.module.channels, value)
+
+
+@pytest.mark.parametrize("config", PAPER_CONFIGS)
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_bundled_apps_verdicts_sound(name, config):
+    compiled = compile_source(BENCHMARKS[name].source, config)
+    result = crosscheck_staleness(
+        compiled, _env(compiled, 0), bounds=APP_BOUNDS
+    )
+    assert result.complete, f"{name}/{config}: search cut early"
+    assert result.ok, f"{name}/{config}:\n{result.render()}"
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    source=program_sources(min_annotations=1),
+    config=st.sampled_from(PAPER_CONFIGS),
+    value=st.integers(0, 3),
+)
+def test_random_programs_verdicts_sound(source, config, value):
+    compiled = compile_source(source, config)
+    result = crosscheck_staleness(compiled, _env(compiled, value), bounds=BOUNDS)
+    assert result.complete, f"search cut early\n{source}"
+    assert result.ok, f"{result.render()}\n{source}"
+
+
+def test_render_names_offenders():
+    compiled = compile_source(BENCHMARKS["cem"].source, "ocelot")
+    result = crosscheck_staleness(
+        compiled, _env(compiled, 0), bounds=APP_BOUNDS
+    )
+    text = result.render()
+    assert "staleness crosscheck: ok" in text

@@ -1,0 +1,127 @@
+"""CI lint gate: golden verdict files for every bundled app x config.
+
+Runs the static staleness analysis (the engine behind ``python -m repro
+lint``) over every bundled benchmark under each paper configuration and
+compares the verdicts against the checked-in golden record.  Any drift
+-- a check changing verdict, appearing, or vanishing -- fails CI, so
+changes to the analyses, the cost model, or the detector plan must
+regenerate the golden file deliberately::
+
+    python tools/check_lint.py             # compare against the golden
+    python tools/check_lint.py --update    # regenerate the golden file
+
+The golden record keeps the *stable* projection of each verdict (policy,
+kind, site, verdict, reason, flip threshold) -- enough to pin semantics
+without freezing incidental text such as timing-dependent fields.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+GOLDEN = REPO / "tests" / "golden" / "lint_verdicts.json"
+CONFIGS = ("ocelot", "jit", "atomics")
+
+sys.path.insert(0, str(REPO / "src"))
+
+
+def current_verdicts() -> dict[str, list[dict]]:
+    from repro.analysis.staleness import analyze_staleness
+    from repro.apps import BENCHMARKS
+    from repro.core.pipeline import compile_source
+
+    out: dict[str, list[dict]] = {}
+    for name in sorted(BENCHMARKS):
+        for config in CONFIGS:
+            compiled = compile_source(BENCHMARKS[name].source, config)
+            report = analyze_staleness(compiled)
+            out[f"{name}/{config}"] = [
+                {
+                    "pid": v.pid,
+                    "kind": v.kind,
+                    "site": str(v.site),
+                    "verdict": v.verdict,
+                    "reason": v.reason,
+                    "threshold": v.threshold,
+                }
+                for v in sorted(
+                    report.verdicts, key=lambda v: (str(v.site), v.pid)
+                )
+            ]
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="golden-file gate for repro lint verdicts"
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="regenerate the golden file from the current analyses",
+    )
+    args = parser.parse_args(argv)
+
+    verdicts = current_verdicts()
+    if args.update:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(json.dumps(verdicts, indent=2) + "\n")
+        total = sum(len(v) for v in verdicts.values())
+        print(f"golden updated: {len(verdicts)} leg(s), {total} verdict(s)")
+        return 0
+
+    if not GOLDEN.exists():
+        print(f"FAIL: missing golden file {GOLDEN}; run with --update")
+        return 1
+    golden = json.loads(GOLDEN.read_text())
+
+    failed = False
+    for leg in sorted(set(golden) | set(verdicts)):
+        want = golden.get(leg)
+        got = verdicts.get(leg)
+        if want is None:
+            print(f"FAIL: {leg}: new leg not in golden (run --update)")
+            failed = True
+            continue
+        if got is None:
+            print(f"FAIL: {leg}: golden leg no longer produced")
+            failed = True
+            continue
+        if want == got:
+            continue
+        failed = True
+        want_by_key = {(v["pid"], v["site"]): v for v in want}
+        got_by_key = {(v["pid"], v["site"]): v for v in got}
+        for key in sorted(set(want_by_key) | set(got_by_key)):
+            old = want_by_key.get(key)
+            new = got_by_key.get(key)
+            if old == new:
+                continue
+            pid, site = key
+            if old is None:
+                print(f"FAIL: {leg}: {pid} at {site}: new check "
+                      f"({new['verdict']})")
+            elif new is None:
+                print(f"FAIL: {leg}: {pid} at {site}: check vanished "
+                      f"(was {old['verdict']})")
+            else:
+                print(
+                    f"FAIL: {leg}: {pid} at {site}: "
+                    f"{old['verdict']} -> {new['verdict']}"
+                )
+
+    if failed:
+        print("verdict drift detected; inspect, then "
+              "`python tools/check_lint.py --update` if intended")
+        return 1
+    total = sum(len(v) for v in verdicts.values())
+    print(f"ok: {len(verdicts)} leg(s), {total} verdict(s) match the golden")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
