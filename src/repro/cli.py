@@ -532,6 +532,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
             engine=args.engine,
+            memo_dir=args.memo_dir,
+            supply_buckets=args.supply_buckets,
         )
     except FleetError as exc:
         raise SystemExit(str(exc)) from None
@@ -893,6 +895,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="K",
         help="devices per checkpoint chunk (default: 256 with --checkpoint)",
+    )
+    p_fleet.add_argument(
+        "--memo-dir",
+        metavar="DIR",
+        default=None,
+        help="persist the vector executor's activation memo here "
+        "(requires --executor vector); re-runs start warm",
+    )
+    p_fleet.add_argument(
+        "--supply-buckets",
+        type=int,
+        default=None,
+        metavar="N",
+        help="charge buckets for quantized supply memo keys on the "
+        "vector executor (0 disables quantization; default 32)",
     )
     p_fleet.add_argument(
         "--histograms",

@@ -21,6 +21,28 @@ token, and environment-time token agree must produce identical
 activation outcomes -- the soundness fact the fleet memoizer
 (:mod:`repro.fleet.vector`) builds on.  Everything here is *conservative*:
 a supply without hooks is opaque (``None``), which only costs cache hits.
+
+**Quantized supply tokens.**  Exact tokens make the memo useless on
+heterogeneous fleets: per-device harvest-rate jitter and RNG stream
+positions make every key unique.  :func:`quantized_supply_token` buckets
+the charge level and drops everything per-device, which is sound only
+under a replay gate the memoizer enforces:
+
+* a bucketed entry is stored only for a **reboot-free** activation
+  (``reboots == 0`` and ``cycles_off == 0``), recording the charge level
+  it executed at;
+* a bucketed hit replays only for a device whose charge level is **at
+  least** the entry's recorded execution level.
+
+Why that gate is exact: a reboot-free activation never recharges, never
+draws boot or harvest randomness, and consults the supply only through
+checks of the form ``level - drained - energy <= low_threshold`` -- each
+monotone in the starting level.  If the recorded run tripped none of
+them starting from level ``L``, a device starting at ``L' >= L``
+(same program, environment segment, and nonvolatile state) trips none
+of them either, executes the identical instruction path, and ends at
+``L' - consumed``.  Coarser buckets therefore never manufacture a false
+hit; they only widen the population that shares a key.
 """
 
 from __future__ import annotations
@@ -39,6 +61,39 @@ def supply_memo_token(supply) -> Optional[Hashable]:
     if token is None:
         return None
     return token()
+
+
+def supply_quantum(supply) -> Optional[tuple]:
+    """``(static_token, charge_level)`` for bucketed keys, or ``None``.
+
+    Dispatches on the optional ``memo_quantum`` hook; a supply without
+    one cannot be quantized and falls back to exact tokens (or
+    opacity), which only costs cache hits.
+    """
+    hook = getattr(supply, "memo_quantum", None)
+    if hook is None:
+        return None
+    return hook()
+
+
+def quantized_supply_token(supply, bucket_size: int) -> Optional[Hashable]:
+    """Conservative bucketed supply token: geometry + charge bucket.
+
+    ``bucket_size`` is the charge span (energy units) one bucket
+    covers; any perturbation of the charge level that crosses a bucket
+    boundary changes the token (property-tested in
+    ``tests/test_fleet_vector.py``).  Only sound under the reboot-free
+    replay gate described in the module docstring -- the fleet memoizer
+    pairs every bucketed key with a recorded execution level and
+    replays only at or above it.
+    """
+    if bucket_size <= 0:
+        return None
+    quantum = supply_quantum(supply)
+    if quantum is None:
+        return None
+    static, level = quantum
+    return ("q", static, bucket_size, level // bucket_size)
 
 
 def capture_supply_state(supply):

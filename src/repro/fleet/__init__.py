@@ -17,8 +17,11 @@ simulation:
   executors with bit-identical aggregates, plus checkpoint/resume so long
   runs split across invocations;
 * :mod:`repro.fleet.vector` -- the vectorized executor: activation
-  memoization plus struct-of-arrays batching over same-class devices,
-  still bit-identical to the serial path;
+  memoization with quantized supply keys, cohort wave batching over
+  same-class devices, and a batched miss driver, still bit-identical to
+  the serial path;
+* :mod:`repro.fleet.memostore` -- content-addressed on-disk persistence
+  for the activation memo (``--memo-dir``), so re-runs start warm;
 * :mod:`repro.fleet.report` -- tables and parity fingerprints.
 
 Entry point: ``python -m repro fleet SPEC.json --devices N --executor vector``.
@@ -38,7 +41,13 @@ from repro.fleet.engine import (
     run_fleet,
     run_shard,
 )
-from repro.fleet.vector import ActivationMemo, NVCodec, VectorFleetExecutor
+from repro.fleet.memostore import MemoStore
+from repro.fleet.vector import (
+    ActivationMemo,
+    NVCodec,
+    QuantEntry,
+    VectorFleetExecutor,
+)
 from repro.fleet.report import (
     aggregate_fingerprint,
     duty_table,
@@ -57,7 +66,9 @@ __all__ = [
     "FleetDevice",
     "FleetCheckpoint",
     "FleetResult",
+    "MemoStore",
     "NVCodec",
+    "QuantEntry",
     "SerialFleetExecutor",
     "ShardedFleetExecutor",
     "VectorFleetExecutor",

@@ -218,6 +218,12 @@ class FleetAggregator:
         agg = self._class(spec.class_name, spec.app, spec.config)
         agg.devices += 1
 
+    def add_devices(self, spec, count: int) -> None:
+        """Register ``count`` same-class devices at once (batch peer of
+        :meth:`add_device`; population counts are plain sums)."""
+        agg = self._class(spec.class_name, spec.app, spec.config)
+        agg.devices += count
+
     def observe(self, spec, record) -> None:
         """The scheduler sink: fold one activation of one device."""
         self._class(spec.class_name, spec.app, spec.config).observe(record)

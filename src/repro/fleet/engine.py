@@ -182,15 +182,32 @@ def make_fleet_executor(
     name: str,
     processes: Optional[int] = None,
     engine: str = ENGINE_FAST,
+    memo_dir: Optional[Path | str] = None,
+    supply_buckets: Optional[int] = None,
 ) -> FleetExecutor:
+    if name == "vector":
+        from repro.fleet.vector import DEFAULT_SUPPLY_BUCKETS, VectorFleetExecutor
+
+        return VectorFleetExecutor(
+            engine=engine,
+            memo_dir=memo_dir,
+            supply_buckets=(
+                supply_buckets
+                if supply_buckets is not None
+                else DEFAULT_SUPPLY_BUCKETS
+            ),
+        )
+    if memo_dir is not None or supply_buckets is not None:
+        # The memo knobs silently doing nothing on a memo-less executor
+        # would read as "persistence is on" when it is not.
+        raise FleetError(
+            f"--memo-dir / --supply-buckets require the vector executor, "
+            f"not '{name}'"
+        )
     if name == "serial":
         return SerialFleetExecutor(engine=engine)
     if name in ("sharded", "parallel"):
         return ShardedFleetExecutor(processes=processes, engine=engine)
-    if name == "vector":
-        from repro.fleet.vector import VectorFleetExecutor
-
-        return VectorFleetExecutor(engine=engine)
     raise FleetError(
         f"unknown fleet executor '{name}' (serial | sharded | vector)"
     )
@@ -366,6 +383,8 @@ def run_fleet(
     checkpoint_path: Optional[Path | str] = None,
     checkpoint_every: Optional[int] = None,
     engine: str = ENGINE_FAST,
+    memo_dir: Optional[Path | str] = None,
+    supply_buckets: Optional[int] = None,
 ) -> FleetResult:
     """Run (or resume) a whole fleet and aggregate it.
 
@@ -375,11 +394,27 @@ def run_fleet(
     is byte-identical to an uninterrupted run.  A checkpoint whose
     fingerprint does not match ``spec`` is an error, not a silent
     restart.
+
+    ``memo_dir`` backs the vector executor's activation memo with a
+    persistent on-disk store and ``supply_buckets`` tunes its quantized
+    supply keys; both require ``executor`` to name the vector family.
     """
+    if memo_dir is not None or supply_buckets is not None:
+        if not isinstance(executor, str) or executor != "vector":
+            raise FleetError(
+                "memo_dir / supply_buckets require executor='vector' "
+                "(pass a configured VectorFleetExecutor instance otherwise)"
+            )
     if executor is None:
         executor = SerialFleetExecutor(engine=engine)
     elif isinstance(executor, str):
-        executor = make_fleet_executor(executor, processes=processes, engine=engine)
+        executor = make_fleet_executor(
+            executor,
+            processes=processes,
+            engine=engine,
+            memo_dir=memo_dir,
+            supply_buckets=supply_buckets,
+        )
     if checkpoint_every is not None and checkpoint_every <= 0:
         raise FleetError("checkpoint_every must be positive")
     if checkpoint_every is not None and checkpoint_path is None:

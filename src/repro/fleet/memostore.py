@@ -1,0 +1,96 @@
+"""On-disk persistence for the fleet activation memo.
+
+Activation-memo entries are pure functions of their key (the formal
+foundation's observation: an activation's outcome is determined by
+program, environment segment, nonvolatile state, and supply state), so
+they are safe to reuse across processes and runs.  The store keeps one
+*shard* file per program identity; the shard token the executor derives
+binds everything an entry's validity depends on:
+
+* the memo schema version (:data:`MEMO_SCHEMA`),
+* the aggregate-parity scheme (``AGGREGATE_PARITY_SCHEME``),
+* the program: app, build config, engine, source digest, pass-pipeline
+  fingerprint (via :class:`~repro.core.cache.CacheKey`), and cost model.
+
+File names are content addresses -- a digest of the shard token -- and
+the token itself is stored inside the payload, so a digest collision or
+a stray file can never smuggle entries into the wrong program.  Loads
+are corruption-tolerant: any unreadable, truncated, or schema-mismatched
+shard degrades to a cold cache instead of an error (a miss costs one
+re-execution; a wrong hit would cost correctness).
+
+Entries are pickled.  Pickle byte-streams are not canonical across
+processes (hash randomization perturbs set iteration order), which is
+why shards are probed by in-process dict equality after load, never by
+byte comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+
+#: Version of the on-disk entry schema.  Bump whenever the pickled
+#: entry layout (``MemoEntry`` / ``QuantEntry`` fields, key structure)
+#: changes; old shards then load as cold instead of misreplaying.
+MEMO_SCHEMA = "repro-memo-1"
+
+
+class MemoStore:
+    """Content-addressed shard files under one root directory."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        #: shard files successfully read (not entries; see MemoStats)
+        self.loads = 0
+        #: shard files successfully written
+        self.stores = 0
+
+    def shard_path(self, shard_token: str) -> Path:
+        digest = hashlib.blake2b(
+            shard_token.encode("utf-8"), digest_size=16
+        ).hexdigest()
+        return self.root / f"memo-{digest}.pkl"
+
+    def load(self, shard_token: str) -> dict:
+        """Entries of one shard; ``{}`` for missing/corrupt/mismatched."""
+        path = self.shard_path(shard_token)
+        try:
+            payload = pickle.loads(path.read_bytes())
+        except FileNotFoundError:
+            return {}
+        except Exception:  # corrupt pickles raise nearly anything
+            return {}
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != MEMO_SCHEMA
+            or payload.get("shard") != shard_token
+        ):
+            return {}
+        entries = payload.get("entries")
+        if not isinstance(entries, dict):
+            return {}
+        self.loads += 1
+        return entries
+
+    def save(self, shard_token: str, entries: dict) -> bool:
+        """Write one shard atomically; False when entries won't pickle."""
+        payload = {
+            "schema": MEMO_SCHEMA,
+            "shard": shard_token,
+            "entries": entries,
+        }
+        try:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            # An unpicklable entry (exotic supply state) only loses
+            # persistence, never the run.
+            return False
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.shard_path(shard_token)
+        tmp = path.with_suffix(".pkl.tmp")
+        tmp.write_bytes(blob)
+        tmp.replace(path)
+        self.stores += 1
+        return True

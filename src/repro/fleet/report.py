@@ -67,6 +67,18 @@ def fleet_table(result) -> Table:
             f"misses ({100.0 * memo['hit_rate']:.1f}% replayed, "
             f"{memo['entries']} entries)"
         )
+        disk_loads = memo.get("disk_loads", 0)
+        if disk_loads:
+            table.add_note(
+                f"persistent memo: started warm with {disk_loads} entries "
+                "loaded from disk"
+            )
+        evictions = memo.get("evictions", 0)
+        if evictions:
+            table.add_note(
+                f"memo cap: {evictions} LRU evictions (evicted keys "
+                "re-miss; aggregates unaffected)"
+            )
     return table
 
 

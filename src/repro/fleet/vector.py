@@ -1,11 +1,11 @@
-"""Vectorized fleet execution: memoized activations over class batches.
+"""Vectorized fleet execution: cohorts, memoized activations, quantized keys.
 
 A fleet's cost is dominated by stepping instructions, yet most of that
 work is redundant: devices of one class share a compiled program, and an
 activation's outcome is a pure function of its resume-point state --
 nonvolatile memory, supply state, and the environment's behavior from
 the start time (the observation behind the formal treatment in
-Surbatovich et al.).  This executor exploits that in three layers:
+Surbatovich et al.).  This executor exploits that in four layers:
 
 * **Activation memoization** (:class:`ActivationMemo`).  Every executed
   activation is cached under a key built from equivalence *tokens*:
@@ -17,44 +17,67 @@ Surbatovich et al.).  This executor exploits that in three layers:
   nonvolatile-state token, and a supply token
   (:mod:`repro.energy.segments`).  A hit replays the cached
   :class:`~repro.runtime.harness.ActivationRecord`, time delta, and
-  post-states without stepping a single instruction.
+  post-states without stepping a single instruction.  The memo is
+  LRU-bounded (entry count, optionally bytes) and can persist to a
+  content-addressed on-disk store (:mod:`repro.fleet.memostore`) keyed
+  under the program fingerprint and aggregate-parity scheme, so re-runs
+  and resumed checkpoints start warm.
 
-* **Struct-of-arrays run state** (:class:`_SoAState`).  Per-device
-  logical clocks, activation counts, and stuck flags live in packed
-  numpy arrays, so liveness scans and batch advances are vectorized;
-  the nonvolatile token encoder (:class:`NVCodec`) likewise packs a
-  class's fixed global/array slots and detector bit-vector into an
-  int64 array + bitmask digest, amortizing digest cost across the
-  class.  Both degrade to pure-python fallbacks when numpy is absent.
+* **Quantized supply keys** (:class:`QuantEntry`).  Exact supply tokens
+  make every key unique on jittered fleets (per-device harvest rates
+  and RNG stream positions).  Stochastic energy-driven supplies instead
+  key on the capacitor geometry plus a configurable charge *bucket*,
+  excluding everything per-device.  The bucketed key is paired with a
+  replay gate that keeps it exact: an entry is stored only for a
+  reboot-free activation and records the charge level it executed at; a
+  hit replays only for devices at or above that level.  A reboot-free
+  activation consults the supply only through charge checks monotone in
+  the starting level, so the gated replay is bit-identical to real
+  execution (contract spelled out in :mod:`repro.energy.segments`,
+  perturbation-tested in ``tests/test_fleet_vector.py``).
 
-* **Wave batching**.  Devices advance in waves; devices in provably
-  identical situations (same tokens, same logical time) group together,
-  one representative executes (or a memo hit replays), and the whole
-  group folds into the aggregate with one
-  :meth:`~repro.fleet.aggregate.ClassAggregate.observe_many` call.
-  On a homogeneous fleet the first device misses and every other device
-  rides its entries -- hit rates approach (n-1)/n.
+* **Cohort wave batching** (:class:`_Cohort`).  Devices in provably
+  identical situations -- same tokens, same logical time -- live in one
+  cohort carrying a single shared state plus (for quantized cohorts) a
+  packed per-member charge-level array.  Waves iterate cohorts, not
+  devices: a homogeneous million-device fleet is *one* cohort, and each
+  wave costs one memo probe and one aggregate fold, independent of
+  population.  Cohorts split when replayed charge levels straddle a
+  bucket boundary and merge when states reconverge.
+
+* **Batched miss path** (:class:`_MissBatch`).  Misses within a class
+  batch run through one driver holding the shared decoded program, cost
+  model, and detector plan; it drives the machine directly (no
+  per-activation stepper object), reuses the codec's preallocated
+  struct-of-arrays NV buffers (:class:`NVCodec`), and folds each wave's
+  records through one ``observe_many``-style sink.  Devices whose
+  supply goes opaque mid-run fall back to the scalar
+  :class:`~repro.runtime.harness.ActivationStepper`.
 
 Soundness: tokens are conservative.  A supply without memo hooks, an
 aperiodic environment, an unencodable nonvolatile state -- each only
 *loses cache hits*; it never manufactures a false equivalence.  The
 aggregate is commutative integer summation, so the vectorized fold is
 byte-identical to the serial and sharded executors (property-tested in
-``tests/test_fleet_vector.py``).
+``tests/test_fleet_vector.py``, including bucketed hits and warm
+disk-memo runs).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
 from typing import Hashable, NamedTuple, Optional, Sequence
 
-try:  # numpy accelerates run-state scans and NV digests; optional.
+try:  # numpy accelerates level scans and NV digests; optional.
     import numpy as np
 except ModuleNotFoundError:  # pragma: no cover - baked into the CI image
     np = None  # type: ignore[assignment]
 
 from repro.apps import BENCHMARKS
-from repro.core.cache import GLOBAL_CACHE
+from repro.core.cache import GLOBAL_CACHE, CacheKey
 from repro.energy.segments import (
     capture_supply_state,
     restore_supply_state,
@@ -62,14 +85,21 @@ from repro.energy.segments import (
 )
 from repro.eval.campaign import SupplySpec
 from repro.fleet.aggregate import FleetAggregator
+from repro.fleet.memostore import MEMO_SCHEMA, MemoStore
 from repro.fleet.spec import DeviceSpec
-from repro.runtime.engine import ENGINE_FAST
+from repro.runtime.engine import ENGINE_FAST, create_machine
 from repro.runtime.executor import NVState
 from repro.runtime.detector import BitVector
-from repro.runtime.harness import ActivationStepper
+from repro.runtime.harness import ActivationRecord, ActivationStepper
 from repro.sensors.environment import bind_signal_specs
 from repro.runtime.supply import PowerSupply
 from repro.telemetry.trace import span as _span
+
+
+#: Default number of charge buckets spanning a capacitor's capacity for
+#: quantized supply keys.  Coarser (fewer) buckets collapse more devices
+#: onto one key; the replay gate keeps any granularity exact.
+DEFAULT_SUPPLY_BUCKETS = 32
 
 
 # ---------------------------------------------------------------------------
@@ -105,7 +135,9 @@ class NVCodec:
     The codec assigns each a slot once, then digests any state of that
     program as (packed int64 values, bit mask, sparse taint list) --
     with numpy, the value digest is one ``tobytes`` over a packed
-    array.  Anything outside the fixed layout (huge integers, an
+    array.  The value buffer is preallocated once and reused across
+    encodes, so the batched miss path pays no per-activation list
+    churn.  Anything outside the fixed layout (huge integers, an
     unexpected chain, a shape drift) falls back to a slower but exact
     structural tuple; the fallback only costs speed, never identity.
     """
@@ -116,6 +148,8 @@ class NVCodec:
         self._bit_index = {
             chain: i for i, chain in enumerate(sorted(plan.bit_chains))
         }
+        # Reused across encodes; tobytes() copies, so reuse is safe.
+        self._values: list[int] = []
 
     def encode(self, nv: NVState) -> NVRef:
         """Tokenize ``nv``; the snapshot copies every mutable container."""
@@ -140,7 +174,8 @@ class NVCodec:
             raise ValueError("global layout drifted")
         if len(arrays) != len(self.array_names):
             raise ValueError("array layout drifted")
-        values: list[int] = []
+        values = self._values
+        values.clear()
         taints: list[tuple[int, frozenset]] = []
         for name in self.global_names:
             cell = globals_[name]
@@ -182,7 +217,7 @@ class NVCodec:
 
 @dataclass
 class MemoEntry:
-    """Everything needed to replay one memoized activation."""
+    """Everything needed to replay one memoized activation (exact key)."""
 
     record: object  # ActivationRecord; treated as immutable once cached
     tau_delta: int
@@ -192,12 +227,34 @@ class MemoEntry:
 
 
 @dataclass
+class QuantEntry:
+    """A replayable activation under a *quantized* supply key.
+
+    Stored only for reboot-free activations.  ``exec_level`` is the
+    charge level the recorded run started from; the replay gate admits
+    only devices at or above it (monotonicity makes that exact -- see
+    :mod:`repro.energy.segments`).  ``exec_level`` tightens downward
+    whenever a lower-level device re-executes the same key reboot-free.
+    A replayed device ends at ``level - consumed`` with its RNG streams
+    untouched (a reboot-free activation never draws them).
+    """
+
+    record: object  # ActivationRecord; reboot-free, treated as immutable
+    tau_delta: int
+    post_nv: NVRef
+    consumed: int
+    exec_level: int
+
+
+@dataclass
 class MemoStats:
     """Hit/miss accounting, in device-activations."""
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: entries adopted from the persistent store (cold size of warm runs)
+    disk_loads: int = 0
 
     @property
     def lookups(self) -> int:
@@ -213,121 +270,240 @@ class MemoStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "disk_loads": self.disk_loads,
             "hit_rate": self.hit_rate,
             "entries": entries,
         }
 
 
 class ActivationMemo:
-    """Bounded activation cache shared across batches and chunks.
+    """Bounded LRU activation cache shared across batches and chunks.
 
-    Eviction drops the oldest quarter of entries (insertion order) when
-    the table fills; entries still referenced by in-flight devices stay
-    alive through those references, so eviction can only cause future
-    misses, never wrong replays.
+    Capped by entry count and optionally by (approximate, pickled)
+    bytes; eviction drops the least-recently-used entry.  Entries still
+    referenced by in-flight cohorts stay alive through those
+    references, so eviction can only cause future misses, never wrong
+    replays -- an evicted key simply re-executes on next encounter and
+    the aggregate bytes are unchanged (tested).
     """
 
-    def __init__(self, max_entries: int = 65_536) -> None:
+    def __init__(
+        self, max_entries: int = 65_536, max_bytes: Optional[int] = None
+    ) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.stats = MemoStats()
-        self._entries: dict[Hashable, MemoEntry] = {}
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        # Byte accounting only when a byte cap is active; sizing costs a
+        # pickle per put, which the uncapped path should not pay.
+        self._sizes: Optional[dict[Hashable, int]] = (
+            {} if max_bytes is not None else None
+        )
+        self._bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: Hashable) -> Optional[MemoEntry]:
-        return self._entries.get(key)
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
 
-    def put(self, key: Hashable, entry: MemoEntry) -> None:
-        if len(self._entries) >= self.max_entries:
-            drop = max(1, self.max_entries // 4)
-            for stale in list(self._entries)[:drop]:
-                del self._entries[stale]
-            self.stats.evictions += drop
+    def items(self):
+        return self._entries.items()
+
+    def get(self, key: Hashable):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: Hashable, entry) -> None:
+        if self._sizes is not None:
+            try:
+                size = len(pickle.dumps(entry, pickle.HIGHEST_PROTOCOL))
+            except Exception:
+                size = 1024  # unpicklable: charge a nominal footprint
+            self._bytes += size - self._sizes.pop(key, 0)
+            self._sizes[key] = size
         self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries or (
+            self.max_bytes is not None
+            and self._bytes > self.max_bytes
+            and len(self._entries) > 1
+        ):
+            stale, _ = self._entries.popitem(last=False)
+            if self._sizes is not None:
+                self._bytes -= self._sizes.pop(stale, 0)
+            self.stats.evictions += 1
 
 
 # ---------------------------------------------------------------------------
-# Struct-of-arrays run state
+# The batched miss driver
 
 
-class _SoAState:
-    """Packed per-device run state for one class batch (numpy-backed)."""
+class _MissBatch:
+    """Amortized miss execution for one class batch.
 
-    def __init__(self, specs: Sequence[DeviceSpec]) -> None:
-        n = len(specs)
-        self.tau = np.zeros(n, dtype=np.int64)
-        self.index = np.zeros(n, dtype=np.int64)
-        self.stuck = np.zeros(n, dtype=bool)
-        self.budget = np.fromiter(
-            (s.budget_cycles for s in specs), dtype=np.int64, count=n
+    Holds the batch's shared decoded program, cost model, detector
+    plan, and NV codec once; every miss drives the machine directly
+    instead of building a per-activation
+    :class:`~repro.runtime.harness.ActivationStepper`, and post-state
+    tokenization reuses the codec's preallocated buffers.  Devices that
+    diverge into opaque supply state mid-wave fall back to the scalar
+    stepper (:meth:`stepper`).
+    """
+
+    __slots__ = ("compiled", "costs", "plan", "engine", "codec")
+
+    def __init__(self, compiled, costs, plan, engine: str, codec: NVCodec):
+        self.compiled = compiled
+        self.costs = costs
+        self.plan = plan
+        self.engine = engine
+        self.codec = codec
+
+    def run(self, env, supply, nv_ref: NVRef, tau: int, index: int):
+        """One real activation; returns (record, tau_delta, post_nv)."""
+        machine = create_machine(
+            self.engine,
+            self.compiled,
+            env,
+            supply,
+            costs=self.costs,
+            plan=self.plan,
+            nv=materialize_nv(nv_ref),
+            start_tau=tau,
         )
-        self.cap = np.fromiter(
-            (s.max_activations for s in specs), dtype=np.int64, count=n
+        result = machine.run()
+        kinds = [v.kind for v in result.trace.violations]
+        record = ActivationRecord(
+            index=index,
+            completed=result.stats.completed,
+            violations=result.stats.violations,
+            cycles_on=result.stats.cycles_on,
+            cycles_off=result.stats.cycles_off,
+            reboots=result.stats.reboots,
+            fresh_violations=kinds.count("fresh"),
+            consistent_violations=kinds.count("consistent"),
+            detector_queries=result.detector_queries,
+        )
+        return record, machine.tau - tau, self.codec.encode(machine.nv)
+
+    def stepper(self, spec, env, supply, nv, start_tau, start_index):
+        """Scalar fallback for devices pinned to real stepping."""
+        return ActivationStepper(
+            self.compiled,
+            env,
+            supply,
+            spec.budget_cycles,
+            costs=self.costs,
+            plan=self.plan,
+            max_activations=spec.max_activations,
+            nv=nv,
+            engine=self.engine,
+            start_tau=start_tau,
+            start_index=start_index,
         )
 
-    def live(self) -> list[int]:
-        mask = (
-            ~self.stuck & (self.tau < self.budget) & (self.index < self.cap)
+
+# ---------------------------------------------------------------------------
+# Cohorts
+
+#: Sentinel: a uni cohort whose supply has never run (spawn, don't restore).
+_FRESH = object()
+#: Sentinel: a uni cohort whose supply token has not been computed yet.
+_UNSET = object()
+
+
+class _Cohort:
+    """A set of devices in a provably identical situation.
+
+    All members share logical time, activation index, nonvolatile
+    state, and supply equivalence; liveness (budget, activation cap,
+    stuckness) is all-or-nothing because those limits are uniform
+    within the cohort.  Three kinds:
+
+    * ``uni`` -- exact supply-token equivalence (deterministic
+      supplies): one shared capture, one representative executes.
+    * ``quant`` -- bucketed equivalence (stochastic energy-driven
+      supplies): members share the charge *bucket* but keep individual
+      levels (packed array) and lazily-materialized supply objects.
+    * ``mat`` -- a singleton pinned to a real scalar stepper (opaque
+      supply state).
+    """
+
+    __slots__ = (
+        "kind",
+        "positions",
+        "tau",
+        "index",
+        "stuck",
+        "budget",
+        "cap",
+        "env_key",
+        "env",
+        "period",
+        "nv_ref",
+        # uni
+        "stoken",
+        "capture",
+        # quant
+        "static",
+        "bucket_size",
+        "bucket",
+        "levels",
+        "supplies",
+        # mat
+        "stepper",
+    )
+
+    def __init__(self, kind, positions, budget, cap, env_key, env, period, nv_ref):
+        self.kind = kind
+        self.positions = positions
+        self.tau = 0
+        self.index = 0
+        self.stuck = False
+        self.budget = budget
+        self.cap = cap
+        self.env_key = env_key
+        self.env = env
+        self.period = period
+        self.nv_ref = nv_ref
+        self.stoken = _UNSET
+        self.capture = _FRESH
+        self.static = None
+        self.bucket_size = 0
+        self.bucket = 0
+        self.levels = None
+        self.supplies = None
+        self.stepper = None
+
+    def alive(self) -> bool:
+        return (
+            not self.stuck and self.tau < self.budget and self.index < self.cap
         )
-        return np.flatnonzero(mask).tolist()
 
-    def tau_of(self, pos: int) -> int:
-        return int(self.tau[pos])
-
-    def index_of(self, pos: int) -> int:
-        return int(self.index[pos])
-
-    def advance(
-        self, positions: Sequence[int], tau_delta: int, completed: bool
-    ) -> None:
-        idx = np.asarray(positions, dtype=np.intp)
-        self.tau[idx] += tau_delta
-        self.index[idx] += 1
-        if not completed:
-            self.stuck[idx] = True
+    def time_token(self):
+        """Period-quantized start time, absolute when taint forbids it."""
+        if self.period is None or self.nv_ref.tainted:
+            return self.tau
+        return self.tau % self.period
 
 
-class _ListState:
-    """Pure-python fallback with the same interface as :class:`_SoAState`."""
-
-    def __init__(self, specs: Sequence[DeviceSpec]) -> None:
-        n = len(specs)
-        self.tau = [0] * n
-        self.index = [0] * n
-        self.stuck = [False] * n
-        self.budget = [s.budget_cycles for s in specs]
-        self.cap = [s.max_activations for s in specs]
-
-    def live(self) -> list[int]:
-        return [
-            pos
-            for pos in range(len(self.tau))
-            if not self.stuck[pos]
-            and self.tau[pos] < self.budget[pos]
-            and self.index[pos] < self.cap[pos]
-        ]
-
-    def tau_of(self, pos: int) -> int:
-        return self.tau[pos]
-
-    def index_of(self, pos: int) -> int:
-        return self.index[pos]
-
-    def advance(
-        self, positions: Sequence[int], tau_delta: int, completed: bool
-    ) -> None:
-        for pos in positions:
-            self.tau[pos] += tau_delta
-            self.index[pos] += 1
-            if not completed:
-                self.stuck[pos] = True
+def _levels_array(values):
+    if np is not None:
+        return np.asarray(values, dtype=np.int64)
+    return list(values)
 
 
-def _run_state(specs: Sequence[DeviceSpec]):
-    return _SoAState(specs) if np is not None else _ListState(specs)
+def _levels_min(levels) -> int:
+    if np is not None and isinstance(levels, np.ndarray):
+        return int(levels.min())
+    return min(levels)
 
 
 # ---------------------------------------------------------------------------
@@ -340,7 +516,9 @@ class VectorFleetExecutor:
     Drop-in peer of the serial and sharded executors: ``run`` takes
     device specs and returns a :class:`FleetAggregator` whose canonical
     JSON is byte-identical to theirs.  The memo table persists across
-    ``run`` calls, so checkpointed chunked runs keep their warm cache.
+    ``run`` calls, so checkpointed chunked runs keep their warm cache;
+    with ``memo_dir`` it also persists across processes through a
+    :class:`~repro.fleet.memostore.MemoStore`.
     """
 
     name = "vector"
@@ -350,11 +528,22 @@ class VectorFleetExecutor:
         engine: str = ENGINE_FAST,
         memo: Optional[ActivationMemo] = None,
         max_entries: int = 65_536,
+        max_bytes: Optional[int] = None,
+        memo_dir: Optional[Path | str] = None,
+        supply_buckets: int = DEFAULT_SUPPLY_BUCKETS,
     ) -> None:
+        if supply_buckets < 0:
+            raise ValueError("supply_buckets must be >= 0 (0 disables)")
         self.engine = engine
         #: what actually executed the last batch (vector always itself)
         self.used = "vector"
-        self.memo = memo if memo is not None else ActivationMemo(max_entries)
+        self.memo = (
+            memo if memo is not None else ActivationMemo(max_entries, max_bytes)
+        )
+        self.supply_buckets = supply_buckets
+        self.store = MemoStore(memo_dir) if memo_dir is not None else None
+        self._shard_tokens: dict = {}
+        self._dirty: set = set()
         self._supply_protos: dict[SupplySpec, PowerSupply] = {}
         self._envs: dict = {}
         self._codecs: dict = {}
@@ -395,6 +584,63 @@ class VectorFleetExecutor:
             )
         return codec, self._initials[key]
 
+    def _supply_mode(self, sspec) -> str:
+        """How a class's supplies group: uni / quant / exact.
+
+        ``uni`` needs spawn-equivalence across per-device seeds, which
+        is provable for our own spec kinds: continuous and schedule
+        supplies are seed-invariant, and a harvest supply with
+        degenerate jitter and boot band excludes every RNG from its
+        token.  Stochastic harvest supplies quantize (unless bucketing
+        is disabled); anything unrecognized degrades to per-device
+        exact tokens -- conservative, never wrong.
+        """
+        if not isinstance(sspec, SupplySpec):
+            return "exact"
+        if sspec.kind != "harvest":
+            return "uni"
+        lo, hi = sspec.boot_fraction
+        if sspec.harvest_spread == 1.0 and hi <= lo:
+            return "uni"
+        return "quant" if self.supply_buckets > 0 else "exact"
+
+    # -- persistent shards ---------------------------------------------------
+
+    def _load_shard(self, prog_key, meta) -> None:
+        if self.store is None or prog_key in self._shard_tokens:
+            return
+        app, config, engine = prog_key
+        token = repr(
+            (
+                MEMO_SCHEMA,
+                _parity_scheme(),
+                app,
+                config,
+                engine,
+                CacheKey.make(meta.source, config),
+                repr(meta.cost_model()),
+            )
+        )
+        self._shard_tokens[prog_key] = token
+        loaded = 0
+        for key, entry in self.store.load(token).items():
+            if key not in self.memo:
+                self.memo.put(key, entry)
+                loaded += 1
+        self.memo.stats.disk_loads += loaded
+
+    def _save_shards(self) -> None:
+        if self.store is None:
+            return
+        for prog_key in sorted(self._dirty):
+            entries = {
+                key: entry
+                for key, entry in self.memo.items()
+                if key[0] == prog_key
+            }
+            if self.store.save(self._shard_tokens[prog_key], entries):
+                self._dirty.discard(prog_key)
+
     # -- execution -----------------------------------------------------------
 
     def run(self, devices: Sequence[DeviceSpec]) -> FleetAggregator:
@@ -402,27 +648,12 @@ class VectorFleetExecutor:
             aggregator = FleetAggregator()
             batches: dict[str, list[DeviceSpec]] = {}
             for spec in devices:
-                aggregator.add_device(spec)
                 batches.setdefault(spec.class_name, []).append(spec)
             for specs in batches.values():
+                aggregator.add_devices(specs[0], len(specs))
                 self._run_batch(specs, aggregator)
+            self._save_shards()
             return aggregator
-
-    def _stepper(self, spec, env, supply, nv, start_tau, start_index, shared):
-        compiled, costs, plan = shared
-        return ActivationStepper(
-            compiled,
-            env,
-            supply,
-            spec.budget_cycles,
-            costs=costs,
-            plan=plan,
-            max_activations=spec.max_activations,
-            nv=nv,
-            engine=self.engine,
-            start_tau=start_tau,
-            start_index=start_index,
-        )
 
     def _run_batch(
         self, specs: list[DeviceSpec], aggregator: FleetAggregator
@@ -432,144 +663,483 @@ class VectorFleetExecutor:
         compiled = GLOBAL_CACHE.get_or_compile(meta.source, first.config)
         costs = meta.cost_model()
         plan = compiled.detector_plan()
-        shared = (compiled, costs, plan)
         codec, init_ref = self._codec(first, compiled, plan)
         prog_key = (first.app, first.config, self.engine)
-        envs = [self._env(spec) for spec in specs]
-        state = _run_state(specs)
-        # Per-device execution slot: None (cold, supply not yet spawned),
-        # ("cold", supply, token), ("virt", entry) -- fully tokenized,
-        # no live machine -- or ("mat", stepper) for devices whose supply
-        # is opaque and must step for real forever.
-        slots: list = [None] * len(specs)
+        self._load_shard(prog_key, meta)
+        driver = _MissBatch(compiled, costs, plan, self.engine, codec)
 
+        cohorts = self._initial_cohorts(specs, init_ref)
+        sink: dict = {}
         while True:
-            live = state.live()
+            live = [c for c in cohorts if c.alive()]
             if not live:
                 break
-            # Group provably identical situations; insertion order (and
-            # therefore representative choice) follows device order, so
-            # runs are deterministic.
             groups: dict = {}
-            for pos in live:
-                slot = slots[pos]
-                if slot is None:
-                    supply = self._spawn_supply(specs[pos])
-                    token = supply_memo_token(supply)
-                    if token is None:
-                        stepper = self._stepper(
-                            specs[pos],
-                            envs[pos][1],
-                            supply,
-                            materialize_nv(init_ref),
-                            0,
-                            0,
-                            shared,
-                        )
-                        slot = ("mat", stepper)
-                    else:
-                        slot = ("cold", supply, token)
-                    slots[pos] = slot
-                kind = slot[0]
-                if kind == "mat":
-                    self._step_materialized(pos, slot[1], specs, state, aggregator)
+            next_cohorts: list[_Cohort] = []
+            for c in live:
+                if c.kind == "mat":
+                    self._step_mat(c, sink)
+                    next_cohorts.append(c)
                     continue
-                if kind == "cold":
-                    nv_ref, stoken = init_ref, slot[2]
-                else:  # virt
-                    entry = slot[1]
-                    nv_ref, stoken = entry.post_nv, entry.post_supply_token
-                    if stoken is None:
-                        # Post-state supply became opaque: pin the device
-                        # to a real stepper from here on.
-                        supply = self._spawn_supply(specs[pos])
-                        restore_supply_state(supply, entry.post_supply_capture)
-                        stepper = self._stepper(
-                            specs[pos],
-                            envs[pos][1],
-                            supply,
-                            materialize_nv(nv_ref),
-                            state.tau_of(pos),
-                            state.index_of(pos),
-                            shared,
-                        )
-                        slots[pos] = ("mat", stepper)
-                        self._step_materialized(
-                            pos, stepper, specs, state, aggregator
-                        )
-                        continue
-                gkey = (envs[pos][0], state.tau_of(pos), nv_ref.token, stoken)
-                group = groups.get(gkey)
-                if group is None:
-                    groups[gkey] = [nv_ref, slot, pos, [pos]]
-                else:
-                    group[3].append(pos)
-
-            for gkey, (nv_ref, rep_slot, rep_pos, members) in groups.items():
-                env_key, wave_tau, _, stoken = gkey
-                period = envs[rep_pos][2]
-                # Quantize time only when the environment provably
-                # repeats and the nonvolatile state carries no
-                # absolute-time taint; otherwise key on absolute tau.
-                absolute = period is None or nv_ref.tainted
-                time_token = wave_tau if absolute else wave_tau % period
-                mkey = (prog_key, env_key, time_token, nv_ref.token, stoken)
-                entry = self.memo.get(mkey)
-                if entry is None:
-                    entry = self._execute_miss(
-                        specs[rep_pos],
-                        envs[rep_pos][1],
-                        nv_ref,
-                        rep_slot,
-                        wave_tau,
-                        state.index_of(rep_pos),
-                        codec,
-                        shared,
+                if c.kind == "uni":
+                    if c.stoken is _UNSET:
+                        c = self._resolve_uni(c, specs, driver)
+                        if c.kind == "mat":
+                            self._step_mat(c, sink)
+                            next_cohorts.append(c)
+                            continue
+                    gkey = (
+                        "u",
+                        c.env_key,
+                        c.budget,
+                        c.cap,
+                        c.index,
+                        c.tau,
+                        c.nv_ref.token,
+                        c.stoken,
                     )
-                    self.memo.put(mkey, entry)
-                    self.memo.stats.misses += 1
-                    self.memo.stats.hits += len(members) - 1
                 else:
-                    self.memo.stats.hits += len(members)
-                for pos in members:
-                    slots[pos] = ("virt", entry)
-                state.advance(members, entry.tau_delta, entry.record.completed)
-                aggregator.observe_many(
-                    specs[rep_pos], entry.record, len(members)
+                    gkey = (
+                        "q",
+                        c.env_key,
+                        c.budget,
+                        c.cap,
+                        c.index,
+                        c.tau,
+                        c.nv_ref.token,
+                        c.static,
+                        c.bucket_size,
+                        c.bucket,
+                    )
+                groups.setdefault(gkey, []).append(c)
+            for gkey, cs in groups.items():
+                if gkey[0] == "u":
+                    next_cohorts.extend(
+                        self._wave_uni(cs, prog_key, specs, driver, sink)
+                    )
+                else:
+                    next_cohorts.extend(
+                        self._wave_quant(cs, prog_key, specs, driver, sink)
+                    )
+            self._flush_sink(sink, first, aggregator)
+            cohorts = next_cohorts
+
+    # -- cohort formation ----------------------------------------------------
+
+    def _initial_cohorts(
+        self, specs: list[DeviceSpec], init_ref: NVRef
+    ) -> list[_Cohort]:
+        cohorts: dict = {}
+        order: list[_Cohort] = []
+        for pos, spec in enumerate(specs):
+            env_key, env, period = self._env(spec)
+            mode = self._supply_mode(spec.supply)
+            if mode == "quant":
+                static = (
+                    "energyq",
+                    spec.supply.capacity,
+                    spec.supply.low_threshold,
                 )
+                ckey = (
+                    "q",
+                    env_key,
+                    spec.budget_cycles,
+                    spec.max_activations,
+                    static,
+                )
+            elif mode == "uni":
+                ckey = (
+                    "u",
+                    env_key,
+                    spec.budget_cycles,
+                    spec.max_activations,
+                    spec.supply,
+                )
+            else:
+                ckey = ("x", pos)
+            cohort = cohorts.get(ckey)
+            if cohort is None:
+                kind = "quant" if mode == "quant" else "uni"
+                cohort = _Cohort(
+                    kind,
+                    [],
+                    spec.budget_cycles,
+                    spec.max_activations,
+                    env_key,
+                    env,
+                    period,
+                    init_ref,
+                )
+                if kind == "quant":
+                    cohort.static = ckey[4]
+                cohorts[ckey] = cohort
+                order.append(cohort)
+            cohort.positions.append(pos)
+        for cohort in order:
+            if cohort.kind == "quant":
+                capacity = cohort.static[1]
+                cohort.bucket_size = max(
+                    1, capacity // max(1, self.supply_buckets)
+                )
+                cohort.bucket = capacity // cohort.bucket_size
+                cohort.levels = _levels_array(
+                    [capacity] * len(cohort.positions)
+                )
+                cohort.supplies = [None] * len(cohort.positions)
+        return order
 
-    def _execute_miss(
-        self, spec, env, nv_ref, rep_slot, wave_tau, wave_index, codec, shared
-    ) -> MemoEntry:
-        """Run one real activation for a group representative."""
-        if rep_slot[0] == "cold":
-            supply = rep_slot[1]
-        else:
+    def _resolve_uni(
+        self, cohort: _Cohort, specs: list[DeviceSpec], driver: _MissBatch
+    ) -> _Cohort:
+        """Compute a cold uni cohort's supply token with one probe spawn.
+
+        An opaque token (no memo hooks) pins every member to the scalar
+        stepper; callers get back either the same cohort (token set) or
+        a replacement ``mat`` cohort (singletons only reach this path
+        opaque, because grouping by spec proved nothing about them).
+        """
+        spec = specs[cohort.positions[0]]
+        supply = self._spawn_supply(spec)
+        token = supply_memo_token(supply)
+        if token is not None:
+            cohort.stoken = token
+            return cohort
+        assert len(cohort.positions) == 1, "opaque supply in a shared cohort"
+        mat = _Cohort(
+            "mat",
+            cohort.positions,
+            cohort.budget,
+            cohort.cap,
+            cohort.env_key,
+            cohort.env,
+            cohort.period,
+            cohort.nv_ref,
+        )
+        mat.stepper = driver.stepper(
+            spec, cohort.env, supply, materialize_nv(cohort.nv_ref), 0, 0
+        )
+        return mat
+
+    # -- wave processing -----------------------------------------------------
+
+    def _wave_uni(self, cs, prog_key, specs, driver, sink):
+        rep = cs[0]
+        members = sum(len(c.positions) for c in cs)
+        mkey = (prog_key, rep.env_key, rep.time_token(), rep.nv_ref.token, rep.stoken)
+        entry = self.memo.get(mkey)
+        if entry is None:
+            spec = specs[rep.positions[0]]
             supply = self._spawn_supply(spec)
-            restore_supply_state(supply, rep_slot[1].post_supply_capture)
-        stepper = self._stepper(
-            spec,
-            env,
-            supply,
-            materialize_nv(nv_ref),
-            wave_tau,
-            wave_index,
-            shared,
-        )
-        record = stepper.step()
-        assert record is not None, "grouped device stepped while exhausted"
-        return MemoEntry(
-            record=record,
-            tau_delta=stepper.tau - wave_tau,
-            post_nv=codec.encode(stepper.nv),
-            post_supply_token=supply_memo_token(supply),
-            post_supply_capture=capture_supply_state(supply),
-        )
+            if rep.capture is not _FRESH:
+                restore_supply_state(supply, rep.capture)
+            record, tau_delta, post_nv = driver.run(
+                rep.env, supply, rep.nv_ref, rep.tau, rep.index
+            )
+            entry = MemoEntry(
+                record=record,
+                tau_delta=tau_delta,
+                post_nv=post_nv,
+                post_supply_token=supply_memo_token(supply),
+                post_supply_capture=capture_supply_state(supply),
+            )
+            self.memo.put(mkey, entry)
+            self._dirty.add(prog_key)
+            self.memo.stats.misses += 1
+            self.memo.stats.hits += members - 1
+        else:
+            self.memo.stats.hits += members
+        _sink(sink, entry.record, members)
+        new_tau = rep.tau + entry.tau_delta
+        new_index = rep.index + 1
+        if not entry.record.completed:
+            return []  # every member is stuck; records already folded
+        if entry.post_supply_token is None:
+            # Post-state supply became opaque: pin each member to a real
+            # stepper from here on (the scalar fallback path).
+            if new_tau >= rep.budget or new_index >= rep.cap:
+                return []
+            out = []
+            for c in cs:
+                for pos in c.positions:
+                    supply = self._spawn_supply(specs[pos])
+                    restore_supply_state(supply, entry.post_supply_capture)
+                    mat = _Cohort(
+                        "mat",
+                        [pos],
+                        c.budget,
+                        c.cap,
+                        c.env_key,
+                        c.env,
+                        c.period,
+                        entry.post_nv,
+                    )
+                    mat.tau = new_tau
+                    mat.index = new_index
+                    mat.stepper = driver.stepper(
+                        specs[pos],
+                        c.env,
+                        supply,
+                        materialize_nv(entry.post_nv),
+                        new_tau,
+                        new_index,
+                    )
+                    out.append(mat)
+            return out
+        if len(cs) > 1:
+            positions = rep.positions
+            for c in cs[1:]:
+                positions.extend(c.positions)
+        rep.tau = new_tau
+        rep.index = new_index
+        rep.nv_ref = entry.post_nv
+        rep.stoken = entry.post_supply_token
+        rep.capture = entry.post_supply_capture
+        return [rep]
 
-    def _step_materialized(self, pos, stepper, specs, state, aggregator):
-        record = stepper.step()
-        assert record is not None, "live arrays disagree with stepper"
-        state.advance(
-            [pos], stepper.tau - state.tau_of(pos), record.completed
+    def _wave_quant(self, cs, prog_key, specs, driver, sink):
+        rep = cs[0]
+        bsize = rep.bucket_size
+        qkey = (
+            prog_key,
+            rep.env_key,
+            rep.time_token(),
+            rep.nv_ref.token,
+            ("q", rep.static, bsize, rep.bucket),
         )
-        aggregator.observe_many(specs[pos], record, 1)
+        entry = self.memo.get(qkey)
+        if entry is not None and all(
+            _levels_min(c.levels) >= entry.exec_level for c in cs
+        ):
+            return self._quant_replay_all(cs, entry, sink)
+        # Mixed wave: walk members in deterministic order; the first
+        # reboot-free execution publishes (or tightens) the bucket entry
+        # and later members in the same wave ride it.
+        new_index = rep.index + 1
+        regroup: dict = {}
+        order: list[_Cohort] = []
+        for c in cs:
+            levels = c.levels
+            supplies = c.supplies
+            for i, pos in enumerate(c.positions):
+                level = int(levels[i])
+                if entry is not None and level >= entry.exec_level:
+                    self.memo.stats.hits += 1
+                    _sink(sink, entry.record, 1)
+                    if entry.record.completed:
+                        self._requeue(
+                            regroup,
+                            order,
+                            c,
+                            new_index,
+                            rep.tau + entry.tau_delta,
+                            entry.post_nv,
+                            level - entry.consumed,
+                            pos,
+                            supplies[i],
+                        )
+                    continue
+                supply = supplies[i]
+                if supply is None:
+                    supply = self._spawn_supply(specs[pos])
+                # Bucketed replays track levels outside the supply
+                # object; re-sync before real execution.
+                supply.capacitor.level = level
+                record, tau_delta, post_nv = driver.run(
+                    c.env, supply, c.nv_ref, rep.tau, rep.index
+                )
+                self.memo.stats.misses += 1
+                _sink(sink, record, 1)
+                new_level = supply.capacitor.level
+                if record.reboots == 0 and record.cycles_off == 0:
+                    if entry is None:
+                        entry = QuantEntry(
+                            record=record,
+                            tau_delta=tau_delta,
+                            post_nv=post_nv,
+                            consumed=level - new_level,
+                            exec_level=level,
+                        )
+                        self.memo.put(qkey, entry)
+                        self._dirty.add(prog_key)
+                    elif level < entry.exec_level:
+                        # Same key, reboot-free from a lower level: the
+                        # identical path re-ran; widen the gate.
+                        entry.exec_level = level
+                        self._dirty.add(prog_key)
+                if record.completed:
+                    self._requeue(
+                        regroup,
+                        order,
+                        c,
+                        new_index,
+                        rep.tau + tau_delta,
+                        post_nv,
+                        new_level,
+                        pos,
+                        supply,
+                    )
+        for cohort in order:
+            cohort.levels = _levels_array(cohort.levels)
+        return order
+
+    def _quant_replay_all(self, cs, entry: QuantEntry, sink) -> list:
+        """Whole-group bucketed replay: vectorized drain + bucket split."""
+        members = sum(len(c.positions) for c in cs)
+        self.memo.stats.hits += members
+        _sink(sink, entry.record, members)
+        if not entry.record.completed:
+            return []
+        consumed = entry.consumed
+        by_bucket: dict = {}
+        order: list[_Cohort] = []
+        for c in cs:
+            c.tau += entry.tau_delta
+            c.index += 1
+            c.nv_ref = entry.post_nv
+            bsize = c.bucket_size
+            if np is not None and isinstance(c.levels, np.ndarray):
+                c.levels -= consumed
+                buckets = c.levels // bsize
+                first = int(buckets[0])
+                if bool((buckets == first).all()):
+                    splits = [(first, None)]
+                else:
+                    splits = [
+                        (int(b), buckets == b) for b in np.unique(buckets)
+                    ]
+            else:
+                c.levels = [lv - consumed for lv in c.levels]
+                buckets = [lv // bsize for lv in c.levels]
+                uniq = sorted(set(buckets))
+                if len(uniq) == 1:
+                    splits = [(uniq[0], None)]
+                else:
+                    splits = [(b, b) for b in uniq]
+            for bucket, mask in splits:
+                target = by_bucket.get(bucket)
+                if mask is None and target is None and len(splits) == 1:
+                    # Common case: the cohort stays whole; keep its
+                    # membership arrays untouched (O(1) per wave).
+                    c.bucket = bucket
+                    by_bucket[bucket] = c
+                    order.append(c)
+                    continue
+                if np is not None and isinstance(mask, np.ndarray):
+                    idx = np.flatnonzero(mask)
+                    positions = [c.positions[j] for j in idx]
+                    levels = c.levels[idx]
+                    supplies = [c.supplies[j] for j in idx]
+                elif mask is None:
+                    positions = c.positions
+                    levels = c.levels
+                    supplies = c.supplies
+                else:  # list fallback: mask is the bucket value
+                    sel = [j for j, b in enumerate(buckets) if b == mask]
+                    positions = [c.positions[j] for j in sel]
+                    levels = [c.levels[j] for j in sel]
+                    supplies = [c.supplies[j] for j in sel]
+                if target is None:
+                    split = _Cohort(
+                        "quant",
+                        list(positions),
+                        c.budget,
+                        c.cap,
+                        c.env_key,
+                        c.env,
+                        c.period,
+                        c.nv_ref,
+                    )
+                    split.tau = c.tau
+                    split.index = c.index
+                    split.static = c.static
+                    split.bucket_size = bsize
+                    split.bucket = bucket
+                    split.levels = levels
+                    split.supplies = list(supplies)
+                    by_bucket[bucket] = split
+                    order.append(split)
+                else:
+                    target.positions.extend(positions)
+                    target.supplies.extend(supplies)
+                    if np is not None and isinstance(
+                        target.levels, np.ndarray
+                    ):
+                        target.levels = np.concatenate(
+                            [target.levels, np.asarray(levels, dtype=np.int64)]
+                        )
+                    else:
+                        target.levels = list(target.levels) + list(levels)
+        return order
+
+    @staticmethod
+    def _requeue(
+        regroup, order, src: _Cohort, index, tau, nv_ref, level, pos, supply
+    ) -> None:
+        """File one quant member into its post-activation cohort."""
+        bucket = level // src.bucket_size
+        key = (tau, nv_ref.token, bucket)
+        cohort = regroup.get(key)
+        if cohort is None:
+            cohort = _Cohort(
+                "quant",
+                [],
+                src.budget,
+                src.cap,
+                src.env_key,
+                src.env,
+                src.period,
+                nv_ref,
+            )
+            cohort.tau = tau
+            cohort.index = index
+            cohort.static = src.static
+            cohort.bucket_size = src.bucket_size
+            cohort.bucket = bucket
+            cohort.levels = []
+            cohort.supplies = []
+            regroup[key] = cohort
+            order.append(cohort)
+        cohort.positions.append(pos)
+        cohort.levels.append(level)
+        cohort.supplies.append(supply)
+
+    def _step_mat(self, cohort: _Cohort, sink) -> None:
+        record = cohort.stepper.step()
+        assert record is not None, "cohort liveness disagrees with stepper"
+        cohort.tau = cohort.stepper.tau
+        cohort.index += 1
+        if not record.completed:
+            cohort.stuck = True
+        _sink(sink, record, 1)
+
+    @staticmethod
+    def _flush_sink(sink: dict, spec: DeviceSpec, aggregator) -> None:
+        """One ``observe_many`` per distinct record content per wave."""
+        for record, count in sink.values():
+            aggregator.observe_many(spec, record, count)
+        sink.clear()
+
+
+def _sink(sink: dict, record, count: int) -> None:
+    key = (
+        record.index,
+        record.completed,
+        record.violations,
+        record.cycles_on,
+        record.cycles_off,
+        record.reboots,
+        record.fresh_violations,
+        record.consistent_violations,
+        record.detector_queries,
+    )
+    slot = sink.get(key)
+    if slot is None:
+        sink[key] = [record, count]
+    else:
+        slot[1] += count
+
+
+def _parity_scheme() -> str:
+    from repro.fleet.engine import AGGREGATE_PARITY_SCHEME
+
+    return AGGREGATE_PARITY_SCHEME

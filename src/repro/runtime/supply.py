@@ -199,14 +199,29 @@ class ScheduledFailures:
         self._fired.clear()
 
     def memo_token(self):
-        """Hashable identity of future behavior: the schedule plus which
-        points already fired and the per-uid occurrence counters."""
+        """Hashable identity of future behavior: the *armed* schedule only.
+
+        Every future answer depends on the points that have not fired
+        yet, the occurrence counters of the uids those armed points
+        watch, and the off time.  Fired points and counters for uids
+        with no armed point can never influence another answer
+        (``fail_before`` returns without touching state when nothing
+        armed matches the uid), so both are excluded -- the
+        schedule-cursor quantization the fleet memoizer relies on:
+        devices that reached the same armed state through different
+        firing histories compare equal.
+        """
+        armed = tuple(p for p in self.points if p not in self._fired)
+        watched = {p.trigger_uid for p in armed}
         return (
             "sched",
-            tuple(self.points),
+            armed,
             self.off_cycles,
-            tuple(sorted(self._counts.items())),
-            frozenset(self._fired),
+            tuple(
+                (uid, count)
+                for uid, count in sorted(self._counts.items())
+                if uid in watched
+            ),
         )
 
     def memo_capture(self):
@@ -336,6 +351,23 @@ class EnergyDrivenSupply:
             self.boot_fraction,
             boot,
             harvester,
+        )
+
+    def memo_quantum(self):
+        """Bucketing profile for quantized memo keys: geometry + charge.
+
+        Returns ``(static_token, charge_level)``.  The static token is
+        the capacitor geometry only; everything else that varies per
+        device -- harvest rate, jitter and boot RNG stream positions,
+        the boot band -- is deliberately excluded.  The exclusion is
+        sound because a reboot-free activation consults the supply only
+        through charge-threshold checks that are monotone in the
+        starting level (see :mod:`repro.energy.segments` for the
+        replay-gate contract the fleet memoizer enforces).
+        """
+        return (
+            ("energyq", self.capacitor.capacity, self.capacitor.low_threshold),
+            self.capacitor.level,
         )
 
     def memo_capture(self):

@@ -228,7 +228,7 @@ def absorb_fleet(registry: MetricsRegistry, result) -> None:
                 registry.counter(f"fleet.{key}").inc(int(payload[key]))
     memo = getattr(result, "memo", None)
     if memo:
-        for key in ("hits", "misses", "evictions", "entries"):
+        for key in ("hits", "misses", "evictions", "disk_loads", "entries"):
             if key in memo:
                 registry.counter(f"fleet.memo.{key}").inc(int(memo[key]))
         if "hit_rate" in memo:

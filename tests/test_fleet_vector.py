@@ -2,14 +2,18 @@
 
 The vector executor's whole value proposition is "same bytes, fewer
 instructions": these tests pin the byte-identity against the serial and
-sharded executors (including under hypothesis-generated fleets), prove
-the memo key cannot produce false hits (perturbing one nonvolatile bit,
-one stored value, one taint, or one environment segment changes the
-key), and check that the intended hits actually happen (a homogeneous
-deterministic fleet replays almost everything).
+sharded executors (including under hypothesis-generated fleets, with
+quantized supply keys at aggressive bucket sizes and warm disk-backed
+memo runs), prove the memo key cannot produce false hits (perturbing one
+nonvolatile bit, one stored value, one taint, one environment segment,
+or one charge bucket changes the key), and check that the intended hits
+actually happen (a homogeneous deterministic fleet replays almost
+everything; a jittered fleet scores nonzero hits via quantization).
 """
 
 from __future__ import annotations
+
+import pickle
 
 import pytest
 from hypothesis import given, settings
@@ -17,13 +21,16 @@ from hypothesis import strategies as st
 
 from repro.apps import BENCHMARKS
 from repro.core.cache import GLOBAL_CACHE
+from repro.energy.segments import quantized_supply_token, supply_memo_token
 from repro.eval.campaign import SupplySpec
 from repro.fleet import (
+    ActivationMemo,
     DeviceClass,
     FleetAggregator,
     FleetCheckpoint,
     FleetError,
     FleetSpec,
+    MemoStore,
     NVCodec,
     VectorFleetExecutor,
     aggregate_fingerprint,
@@ -31,8 +38,10 @@ from repro.fleet import (
     run_fleet,
     run_shard,
 )
+from repro.fleet.memostore import MEMO_SCHEMA
 from repro.ir.instructions import InstrId
 from repro.runtime.executor import NVState
+from repro.runtime.supply import FailurePoint, ScheduledFailures
 from repro.runtime.values import InputEvent, TVal
 from repro.sensors.environment import Environment, constant, steps
 from tests.strategies import fleet_specs
@@ -96,6 +105,36 @@ def mixed_spec(**overrides) -> FleetSpec:
     )
     defaults.update(overrides)
     return FleetSpec(**defaults)
+
+
+def jittered_spec(count: int = 12, **overrides) -> FleetSpec:
+    """A stochastic fleet with per-device harvest jitter, one shared env.
+
+    Exact supply tokens are unique per device here (per-device rates and
+    RNG streams); only quantized keys can score hits.
+    """
+    defaults = dict(
+        classes=(
+            DeviceClass(
+                name="tire-jittered",
+                app="tire",
+                config="ocelot",
+                count=count,
+                supply=SupplySpec(name="rf", harvest_rate=300),
+                harvest_jitter=0.5,
+            ),
+        ),
+        fleet_seed=29,
+        budget_cycles=30_000,
+        name="jittered",
+    )
+    defaults.update(overrides)
+    return FleetSpec(**defaults)
+
+
+def _harvest_supply(seed: int = 0, rate: int = 300):
+    """A spawned stochastic :class:`EnergyDrivenSupply` on stream ``seed``."""
+    return SupplySpec(name="rf", harvest_rate=rate).build(0).spawn(seed)
 
 
 def _tire_codec() -> tuple[NVCodec, NVState]:
@@ -249,6 +288,181 @@ class TestHitRates:
         serial = run_fleet(spec, "serial")
         vector = run_fleet(spec, "vector")
         assert aggregate_fingerprint(vector) == aggregate_fingerprint(serial)
+
+
+class TestQuantizedSupplyTokens:
+    """Soundness of bucketed supply keys (the no-false-hit contract)."""
+
+    @given(
+        level=st.integers(601, 3000),
+        delta=st.integers(-600, 600).filter(lambda d: d != 0),
+        bucket_size=st.sampled_from([1, 7, 75, 300, 1500]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bucket_crossing_perturbation_changes_key(
+        self, level, delta, bucket_size
+    ):
+        supply = _harvest_supply(seed=3)
+        supply.capacitor.level = level
+        baseline = quantized_supply_token(supply, bucket_size)
+        assert baseline is not None
+        supply.capacitor.level = level + delta
+        perturbed = quantized_supply_token(supply, bucket_size)
+        crosses = (level // bucket_size) != ((level + delta) // bucket_size)
+        if crosses:
+            assert perturbed != baseline
+        else:
+            assert perturbed == baseline
+
+    def test_quantized_token_ignores_per_device_randomness(self):
+        # Two devices with different seeds and harvest rates: exact
+        # tokens must differ (RNG streams diverge), quantized tokens at
+        # the same charge level must agree -- that is the whole point.
+        one = _harvest_supply(seed=1, rate=200)
+        two = _harvest_supply(seed=2, rate=400)
+        assert supply_memo_token(one) != supply_memo_token(two)
+        assert quantized_supply_token(one, 75) == quantized_supply_token(
+            two, 75
+        )
+
+    def test_quantized_token_tracks_geometry(self):
+        # Same bucket index on different capacitor geometry must differ.
+        small = SupplySpec(name="a", capacity=2000, low_threshold=400)
+        big = SupplySpec(name="b", capacity=4000, low_threshold=800)
+        one = small.build(0).spawn(1)
+        two = big.build(0).spawn(1)
+        one.capacitor.level = two.capacitor.level = 1500
+        assert quantized_supply_token(one, 75) != quantized_supply_token(
+            two, 75
+        )
+
+    def test_quantized_token_conservative_fallbacks(self):
+        supply = _harvest_supply()
+        assert quantized_supply_token(supply, 0) is None
+        from repro.runtime.supply import ContinuousPower
+
+        assert quantized_supply_token(ContinuousPower(), 75) is None
+
+    @given(spec=fleet_specs(), buckets=st.sampled_from([1, 2, 5, 32, 500]))
+    @settings(max_examples=10, deadline=None)
+    def test_bucketed_replay_matches_serial_property(self, spec, buckets):
+        # The acceptance property: byte parity under quantized keys at
+        # aggressive bucket sizes, across random apps x configs x
+        # jittered fleets.  Coarse buckets collapse more devices onto
+        # one key; the reboot-free replay gate must keep every hit
+        # bit-identical to real execution.
+        devices = spec.expand()
+        serial = run_shard(devices)
+        vector = VectorFleetExecutor(supply_buckets=buckets).run(devices)
+        assert vector.to_json() == serial.to_json()
+
+    def test_jittered_fleet_scores_nonzero_hits(self):
+        spec = jittered_spec(count=12)
+        serial = run_fleet(spec, "serial")
+        executor = VectorFleetExecutor()
+        vector = run_fleet(spec, executor=executor)
+        assert aggregate_fingerprint(vector) == aggregate_fingerprint(serial)
+        # Exact tokens scored exactly 0 here; quantization must not.
+        assert executor.memo.stats.hits > 0
+
+    def test_scheduled_failures_armed_token_quantizes_history(self):
+        # Devices that reached the same *armed* schedule state through
+        # different firing histories must compare equal: the fired
+        # bookkeeping can never influence a future answer.
+        a_uid, b_uid = InstrId("main", 1), InstrId("main", 9)
+        fired_path = ScheduledFailures(
+            [FailurePoint(uid=a_uid), FailurePoint(uid=b_uid, occurrence=2)],
+            off_cycles=500,
+        )
+        assert fired_path.fail_before(a_uid) is True  # fire point A
+        fresh_path = ScheduledFailures(
+            [FailurePoint(uid=b_uid, occurrence=2)], off_cycles=500
+        )
+        assert fired_path.memo_token() == fresh_path.memo_token()
+        # ... but progress toward an armed point still distinguishes.
+        fresh_path.fail_before(b_uid)
+        assert fired_path.memo_token() != fresh_path.memo_token()
+
+
+class TestMemoCapAndEviction:
+    def test_lru_eviction_order_and_stats(self):
+        memo = ActivationMemo(max_entries=2)
+        memo.put("a", 1)
+        memo.put("b", 2)
+        assert memo.get("a") == 1  # refresh "a": "b" is now LRU
+        memo.put("c", 3)
+        assert memo.get("b") is None
+        assert memo.get("a") == 1 and memo.get("c") == 3
+        assert memo.stats.evictions == 1
+
+    def test_byte_cap_bounds_the_table(self):
+        entry_size = len(pickle.dumps("x" * 100, pickle.HIGHEST_PROTOCOL))
+        memo = ActivationMemo(max_entries=1000, max_bytes=3 * entry_size)
+        for i in range(10):
+            memo.put(i, "x" * 100)
+        assert len(memo) <= 3
+        assert memo.stats.evictions >= 7
+
+    def test_capped_memo_produces_byte_identical_aggregates(self):
+        # The satellite bugfix contract: eviction only causes re-misses,
+        # never wrong replays -- aggregates must not change by a byte.
+        for spec in (uniform_spec(count=20), jittered_spec(count=8)):
+            devices = spec.expand()
+            unbounded = VectorFleetExecutor().run(devices)
+            capped_executor = VectorFleetExecutor(max_entries=4)
+            capped = capped_executor.run(devices)
+            assert capped.to_json() == unbounded.to_json()
+        assert capped_executor.memo.stats.evictions > 0
+        assert len(capped_executor.memo) <= 4
+
+
+class TestPersistentMemo:
+    def test_warm_run_is_byte_identical_and_reports_disk_loads(
+        self, tmp_path
+    ):
+        spec = jittered_spec(count=10)
+        serial = run_fleet(spec, "serial")
+        cold = run_fleet(spec, "vector", memo_dir=tmp_path)
+        warm_executor = VectorFleetExecutor(memo_dir=tmp_path)
+        warm = run_fleet(spec, executor=warm_executor)
+        assert aggregate_fingerprint(cold) == aggregate_fingerprint(serial)
+        assert aggregate_fingerprint(warm) == aggregate_fingerprint(serial)
+        assert warm.memo["disk_loads"] > 0
+        assert warm.memo["hit_rate"] > cold.memo["hit_rate"]
+
+    def test_corrupt_shard_degrades_to_cold(self, tmp_path):
+        spec = uniform_spec(count=6)
+        run_fleet(spec, "vector", memo_dir=tmp_path)
+        shards = list(tmp_path.glob("memo-*.pkl"))
+        assert shards, "cold run should have written a shard"
+        for shard in shards:
+            shard.write_bytes(b"\x80corrupt garbage")
+        warm = run_fleet(spec, "vector", memo_dir=tmp_path)
+        assert warm.memo["disk_loads"] == 0  # cold, not crashed
+        serial = run_fleet(spec, "serial")
+        assert aggregate_fingerprint(warm) == aggregate_fingerprint(serial)
+
+    def test_schema_or_token_mismatch_loads_nothing(self, tmp_path):
+        store = MemoStore(tmp_path)
+        store.save("token-a", {"k": "v"})
+        assert store.load("token-a") == {"k": "v"}
+        assert store.load("token-b") == {}
+        # A forged payload under the right digest but wrong schema.
+        path = store.shard_path("token-a")
+        path.write_bytes(
+            pickle.dumps(
+                {"schema": "other", "shard": "token-a", "entries": {"k": 1}}
+            )
+        )
+        assert store.load("token-a") == {}
+        assert MEMO_SCHEMA == "repro-memo-1"
+
+    def test_memo_dir_requires_vector_executor(self):
+        spec = uniform_spec(count=2)
+        with pytest.raises(FleetError, match="vector"):
+            run_fleet(spec, "serial", memo_dir="/tmp/nope")
+        with pytest.raises(FleetError, match="vector"):
+            run_fleet(spec, "sharded", supply_buckets=8)
 
 
 class TestCheckpointFamilyGate:

@@ -403,6 +403,59 @@ class TestCliTelemetry:
         assert doc["command"] == "run"
         assert doc["counters"]["run.detector_queries"] > 0
 
+    def test_fleet_metrics_export_memo_counters(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = tmp_path / "fleet.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "name": "metrics-fleet",
+                    "fleet_seed": 3,
+                    "budget_cycles": 15000,
+                    "classes": [
+                        {
+                            "name": "tire",
+                            "app": "tire",
+                            "config": "ocelot",
+                            "count": 6,
+                            "supply": {
+                                "name": "rf",
+                                "kind": "harvest",
+                                "harvest_rate": 300,
+                            },
+                            "harvest_jitter": 0.5,
+                        }
+                    ],
+                }
+            )
+        )
+        metrics = tmp_path / "metrics.json"
+        memo_dir = tmp_path / "memo"
+        args = [
+            "fleet",
+            str(spec),
+            "--executor",
+            "vector",
+            "--memo-dir",
+            str(memo_dir),
+            "--metrics-out",
+            str(metrics),
+        ]
+        assert main(args) == 0  # cold: populates the on-disk store
+        assert main(args) == 0  # warm: loads it back
+        capsys.readouterr()
+        counters = json.loads(metrics.read_text())["counters"]
+        for key in (
+            "fleet.memo.hits",
+            "fleet.memo.misses",
+            "fleet.memo.evictions",
+            "fleet.memo.disk_loads",
+        ):
+            assert key in counters
+        assert counters["fleet.memo.disk_loads"] > 0
+        assert counters["fleet.memo.misses"] > 0
+
     def test_quiet_silences_status(self, tmp_path, capsys):
         from repro.cli import main
 
